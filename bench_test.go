@@ -1,0 +1,161 @@
+package smartdpss_test
+
+// One benchmark per reproduced table/figure of the paper's evaluation
+// (Sec. VI), plus ablation benches for the design choices called out in
+// DESIGN.md. Each figure bench runs its experiment end to end on a
+// shortened horizon so `go test -bench=.` regenerates every row the paper
+// reports in bounded time; `cmd/experiments` prints the full-month
+// versions.
+
+import (
+	"io"
+	"testing"
+
+	dpss "github.com/smartdpss/smartdpss"
+	"github.com/smartdpss/smartdpss/internal/experiments"
+)
+
+// benchConfig trims the horizon so the full bench suite stays fast.
+func benchConfig() experiments.Config {
+	return experiments.Config{Days: 7, Seed: 1, SkipOffline: true}
+}
+
+func benchTable(b *testing.B, run func(experiments.Config) (*experiments.Table, error), cfg experiments.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tbl.Fprint(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Traces regenerates the Fig. 5 input traces and statistics.
+func BenchmarkFig5Traces(b *testing.B) {
+	benchTable(b, experiments.Fig5Traces, benchConfig())
+}
+
+// BenchmarkFig6VSweep regenerates the Fig. 6(a)(b) V sensitivity sweep.
+func BenchmarkFig6VSweep(b *testing.B) {
+	benchTable(b, experiments.Fig6VSweep, benchConfig())
+}
+
+// BenchmarkFig6TSweep regenerates the Fig. 6(c)(d) T sensitivity sweep.
+func BenchmarkFig6TSweep(b *testing.B) {
+	benchTable(b, experiments.Fig6TSweep, benchConfig())
+}
+
+// BenchmarkFig7Factors regenerates the Fig. 7 ε/markets/battery factors.
+func BenchmarkFig7Factors(b *testing.B) {
+	benchTable(b, experiments.Fig7Factors, benchConfig())
+}
+
+// BenchmarkFig8Penetration regenerates the Fig. 8 penetration/variation
+// sweeps.
+func BenchmarkFig8Penetration(b *testing.B) {
+	benchTable(b, experiments.Fig8Penetration, benchConfig())
+}
+
+// BenchmarkFig9Robustness regenerates the Fig. 9 estimation-error table.
+func BenchmarkFig9Robustness(b *testing.B) {
+	benchTable(b, experiments.Fig9Robustness, benchConfig())
+}
+
+// BenchmarkFig10Scaling regenerates the Fig. 10 system-expansion table.
+func BenchmarkFig10Scaling(b *testing.B) {
+	benchTable(b, experiments.Fig10Scaling, benchConfig())
+}
+
+// BenchmarkDefaultsSimulation measures one month of SmartDPSS under the
+// Sec. VI-A parameter table (the per-simulation cost all sweeps pay).
+func BenchmarkDefaultsSimulation(b *testing.B) {
+	traces, err := dpss.GenerateTraces(dpss.DefaultTraceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := dpss.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpss.Simulate(dpss.PolicySmartDPSS, opts, traces); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationP5Analytic measures the closed-form P5 solver path
+// (the default). Compare with BenchmarkAblationP5LP: the merit-order
+// solver should be orders of magnitude faster at identical decisions.
+func BenchmarkAblationP5Analytic(b *testing.B) {
+	benchP5Path(b, false)
+}
+
+// BenchmarkAblationP5LP measures the simplex-based P5 reference path.
+func BenchmarkAblationP5LP(b *testing.B) {
+	benchP5Path(b, true)
+}
+
+func benchP5Path(b *testing.B, useLP bool) {
+	b.Helper()
+	tc := dpss.DefaultTraceConfig()
+	tc.Days = 7
+	traces, err := dpss.GenerateTraces(tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := dpss.DefaultOptions()
+	opts.UseLP = useLP
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpss.Simulate(dpss.PolicySmartDPSS, opts, traces); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOfflineDayLP measures the paper's per-interval offline
+// benchmark (31 small LPs for a week: 7).
+func BenchmarkAblationOfflineDayLP(b *testing.B) {
+	benchOffline(b, dpss.PolicyOfflineOptimal)
+}
+
+// BenchmarkAblationOfflineHorizonLP measures the single whole-horizon LP
+// (the cross-interval planner the day decomposition gives up).
+func BenchmarkAblationOfflineHorizonLP(b *testing.B) {
+	benchOffline(b, dpss.PolicyOfflineHorizon)
+}
+
+func benchOffline(b *testing.B, pol dpss.Policy) {
+	b.Helper()
+	tc := dpss.DefaultTraceConfig()
+	tc.Days = 3
+	traces, err := dpss.GenerateTraces(tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := dpss.DefaultOptions()
+	opts.T = 12
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpss.Simulate(pol, opts, traces); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures the synthetic generator substrate.
+func BenchmarkTraceGeneration(b *testing.B) {
+	tc := dpss.DefaultTraceConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpss.GenerateTraces(tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

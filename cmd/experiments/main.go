@@ -1,0 +1,126 @@
+// Command experiments reproduces the figures of the SmartDPSS evaluation
+// (ICDCS 2013, Sec. VI) and prints each as an aligned text table.
+//
+// Usage:
+//
+//	experiments [-days N] [-seed S] [-skip-offline] [-fig name] [-csv path]
+//
+// With -fig the run is limited to one figure (fig5, fig6v, fig6t, fig7,
+// fig8, fig9, fig10); otherwise all figures run in paper order. With -csv
+// the Fig. 5 raw traces are also exported to the given file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/smartdpss/smartdpss/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	days := fs.Int("days", 31, "trace horizon in days")
+	seed := fs.Int64("seed", 1, "generator seed")
+	skipOffline := fs.Bool("skip-offline", false, "skip the clairvoyant benchmark columns")
+	seeds := fs.Int("seeds", 5, "seed count for -fig ext-seeds")
+	fig := fs.String("fig", "", "run a single figure: fig5|fig6v|fig6t|fig7|fig8|fig9|fig10|ext-peak|ext-cycle|ext-mix|ext-est|ext-mpc|ext-seeds|ext-cool")
+	csvPath := fs.String("csv", "", "export the Fig. 5 raw traces to this CSV file")
+	outDir := fs.String("out-dir", "", "also write each table as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{Days: *days, Seed: *seed, SkipOffline: *skipOffline}
+
+	runners := map[string]func(experiments.Config) (*experiments.Table, error){
+		"fig5":      experiments.Fig5Traces,
+		"fig6v":     experiments.Fig6VSweep,
+		"fig6t":     experiments.Fig6TSweep,
+		"fig7":      experiments.Fig7Factors,
+		"fig8":      experiments.Fig8Penetration,
+		"fig9":      experiments.Fig9Robustness,
+		"fig10":     experiments.Fig10Scaling,
+		"ext-peak":  experiments.ExtPeakManagement,
+		"ext-cycle": experiments.ExtCycleBudget,
+		"ext-mix":   experiments.ExtRenewableMix,
+		"ext-est":   experiments.ExtEstimatorAblation,
+		"ext-mpc":   experiments.ExtForesight,
+		"ext-seeds": func(c experiments.Config) (*experiments.Table, error) {
+			return experiments.MultiSeedSummary(c, *seeds)
+		},
+		"ext-cool": experiments.ExtCooling,
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.ExportFig5CSV(cfg, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote raw traces to %s\n\n", *csvPath)
+	}
+
+	emit := func(name string, tbl *experiments.Table) error {
+		if err := tbl.Fprint(os.Stdout); err != nil {
+			return err
+		}
+		if *outDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*outDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := tbl.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	if *fig != "" {
+		runner, ok := runners[*fig]
+		if !ok {
+			return fmt.Errorf("unknown figure %q", *fig)
+		}
+		tbl, err := runner(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(*fig, tbl)
+	}
+
+	names := []string{"fig5", "fig6v", "fig6t", "fig7", "fig8", "fig9", "fig10"}
+	tables, err := experiments.All(cfg)
+	if err != nil {
+		return err
+	}
+	for i, tbl := range tables {
+		name := fmt.Sprintf("table%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		if err := emit(name, tbl); err != nil {
+			return err
+		}
+	}
+	return nil
+}

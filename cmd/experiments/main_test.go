@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	for _, fig := range []string{"fig5", "ext-cycle"} {
+		if err := run([]string{"-days", "2", "-skip-offline", "-fig", fig}); err != nil {
+			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-days", "2", "-fig", "fig99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fig5.csv")
+	if err := run([]string{"-days", "2", "-fig", "fig5", "-csv", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "slot,") {
+		t.Error("csv export malformed")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-days", "1", "-csv", filepath.Join(t.TempDir(), "no", "dir.csv")}); err == nil {
+		t.Error("unwritable csv path accepted")
+	}
+}
+
+func TestRunOutDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tables")
+	if err := run([]string{"-days", "2", "-fig", "fig5", "-out-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,") {
+		t.Errorf("table csv header = %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "traces.csv")
+	if err := run([]string{"-days", "2", "-out", out}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2*24+1 {
+		t.Fatalf("lines = %d, want %d", len(lines), 2*24+1)
+	}
+	if !strings.HasPrefix(lines[0], "slot,") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRunPenetrationOverride(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "traces.csv")
+	if err := run([]string{"-days", "2", "-penetration", "0.5", "-out", out}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-days", "0"},
+		{"-penetration", "0.5", "-solar-mw", "0", "-days", "1"},
+		{"-out", filepath.Join(t.TempDir(), "missing-dir", "x.csv"), "-days", "1"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package smartdpss_test
+
+// Godoc examples for the public API. They run as part of the test suite;
+// output lines are checked verbatim, so everything printed must be
+// deterministic (seeded generators guarantee that).
+
+import (
+	"fmt"
+	"log"
+
+	dpss "github.com/smartdpss/smartdpss"
+)
+
+// Example runs one week of SmartDPSS and prints whether it beat the
+// serve-immediately baseline.
+func Example() {
+	tc := dpss.DefaultTraceConfig()
+	tc.Days = 7
+	traces, err := dpss.GenerateTraces(tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smart, err := dpss.Simulate(dpss.PolicySmartDPSS, dpss.DefaultOptions(), traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	impatient, err := dpss.Simulate(dpss.PolicyImpatient, dpss.DefaultOptions(), traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SmartDPSS cheaper:", smart.TotalCostUSD < impatient.TotalCostUSD)
+	// Output:
+	// SmartDPSS cheaper: true
+}
+
+// ExampleBounds shows the deterministic Theorem 2 guarantees for a
+// configuration before running anything.
+func ExampleBounds() {
+	opts := dpss.DefaultOptions() // V = 1, ε = 0.5, T = 24, Pmax = 150
+	b := dpss.Bounds(opts)
+	fmt.Printf("Qmax = %.2f MWh\n", b.QMax)
+	fmt.Printf("worst-case delay = %d slots\n", b.LambdaMax)
+	// Output:
+	// Qmax = 7.25 MWh
+	// worst-case delay = 28 slots
+}
+
+// ExampleTraces_SetPenetration rescales the renewable series to a target
+// share of total demand.
+func ExampleTraces_SetPenetration() {
+	tc := dpss.DefaultTraceConfig()
+	tc.Days = 7
+	traces, err := dpss.GenerateTraces(tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := traces.SetPenetration(0.5); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("penetration = %.0f%%\n", 100*traces.RenewablePenetration())
+	// Output:
+	// penetration = 50%
+}
+
+// ExampleSimulate_lookahead compares SmartDPSS with an MPC controller
+// holding six hours of perfect foresight.
+func ExampleSimulate_lookahead() {
+	tc := dpss.DefaultTraceConfig()
+	tc.Days = 7
+	traces, err := dpss.GenerateTraces(tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smart, err := dpss.Simulate(dpss.PolicySmartDPSS, dpss.DefaultOptions(), traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := dpss.DefaultOptions()
+	opts.LookaheadWindow = 6
+	mpc, err := dpss.Simulate(dpss.PolicyLookahead, opts, traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("forecast-free SmartDPSS beats 6h-perfect MPC:",
+		smart.TotalCostUSD < mpc.TotalCostUSD)
+	// Output:
+	// forecast-free SmartDPSS beats 6h-perfect MPC: true
+}

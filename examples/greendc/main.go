@@ -1,0 +1,46 @@
+// Greendc: greening a datacenter with on-site solar. The example sweeps
+// the renewable penetration of the same one-month scenario (the Fig. 8
+// axis) and shows how SmartDPSS converts intermittent solar into cost
+// reduction, how much of it must be wasted once storage saturates, and
+// what the small UPS contributes at each level.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dpss "github.com/smartdpss/smartdpss"
+)
+
+func main() {
+	fmt.Printf("%-12s  %-12s  %-12s  %-12s  %s\n",
+		"penetration", "cost $/slot", "vs no solar", "waste MWh", "battery ops")
+
+	var baseline float64
+	for _, pen := range []float64{0, 0.15, 0.3, 0.5, 0.75, 1.0} {
+		traces, err := dpss.GenerateTraces(dpss.DefaultTraceConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := traces.SetPenetration(pen); err != nil {
+			log.Fatal(err)
+		}
+		opts := dpss.DefaultOptions()
+		opts.BatteryMinutes = 30 // a greener site invests in storage
+		rep, err := dpss.Simulate(dpss.PolicySmartDPSS, opts, traces)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pen == 0 {
+			baseline = rep.TimeAvgCostUSD
+		}
+		fmt.Printf("%-12s  %-12.2f  %-+11.1f%%  %-12.1f  %d\n",
+			fmt.Sprintf("%.0f%%", 100*pen), rep.TimeAvgCostUSD,
+			100*(rep.TimeAvgCostUSD/baseline-1), rep.WasteMWh, rep.BatteryOps)
+	}
+
+	fmt.Println("\nReading: free solar displaces grid purchases almost one-for-one at low")
+	fmt.Println("penetration; beyond the midday demand the battery absorbs some surplus")
+	fmt.Println("and the remainder is curtailed (waste), flattening the curve — the")
+	fmt.Println("diminishing-returns shape of the paper's Fig. 8.")
+}

@@ -1,0 +1,47 @@
+// Robustness: operating on bad forecasts. SmartDPSS makes every decision
+// from current observations only, so this example injects uniform ±50%
+// errors into what the controller sees (demand, solar, prices — the
+// Sec. VI-C experiment) and measures how much of the cost advantage over
+// Impatient survives, and whether availability is ever at risk.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dpss "github.com/smartdpss/smartdpss"
+)
+
+func main() {
+	traces, err := dpss.GenerateTraces(dpss.DefaultTraceConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := dpss.DefaultOptions()
+
+	impatient, err := dpss.Simulate(dpss.PolicyImpatient, opts, traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-18s  %-12s  %-14s  %-12s  %s\n",
+		"observation error", "cost $/slot", "vs Impatient", "mean delay", "availability")
+	for _, noise := range []float64{0, 0.1, 0.25, 0.5} {
+		o := opts
+		o.ObservationNoise = noise
+		o.NoiseSeed = 7
+		rep, err := dpss.Simulate(dpss.PolicySmartDPSS, o, traces)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("±%-17.0f%% %-12.2f  %-+13.1f%%  %-12.2f  %.6f\n",
+			100*noise, rep.TimeAvgCostUSD,
+			100*(rep.TotalCostUSD/impatient.TotalCostUSD-1),
+			rep.MeanDelaySlots, rep.Availability)
+	}
+
+	fmt.Println("\nReading: even with ±50% errors on every input the controller keeps a")
+	fmt.Println("cost advantage and full availability — the passive UPS covers mis-sized")
+	fmt.Println("slots and the queue state (which the DPSS always knows exactly) keeps")
+	fmt.Println("the service guarantees intact. This is the paper's Fig. 9 finding.")
+}

@@ -1,0 +1,45 @@
+// Sizing: how big a UPS is worth buying? The example sweeps the battery
+// size (minutes of peak demand, the paper's Fig. 7 axis extended) and
+// computes each increment's monthly operating saving under SmartDPSS,
+// which an operator can set against the capital cost of the additional
+// capacity. The paper's Sec. VI-B.3 observation — "the optimal cost is
+// mainly limited by the battery capacity" — is precisely this curve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dpss "github.com/smartdpss/smartdpss"
+)
+
+func main() {
+	traces, err := dpss.GenerateTraces(dpss.DefaultTraceConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s  %-12s  %-16s  %-12s  %s\n",
+		"Bmax (min)", "cost $/slot", "monthly saving $", "battery ops", "throughput MWh")
+
+	var base float64
+	for _, minutes := range []float64{0, 5, 15, 30, 60, 120} {
+		opts := dpss.DefaultOptions()
+		opts.BatteryMinutes = minutes
+		rep, err := dpss.Simulate(dpss.PolicySmartDPSS, opts, traces)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if minutes == 0 {
+			base = rep.TotalCostUSD
+		}
+		fmt.Printf("%-10g  %-12.2f  %-16.2f  %-12d  %.2f\n",
+			minutes, rep.TimeAvgCostUSD, base-rep.TotalCostUSD,
+			rep.BatteryOps, rep.BatteryOutMWh)
+	}
+
+	fmt.Println("\nReading: each doubling of the UPS buys a shrinking monthly saving —")
+	fmt.Println("the knee of this curve against the battery's amortized capital cost")
+	fmt.Println("is the economic size. The paper's 15-minute default sits below the")
+	fmt.Println("knee; storage value at these price spreads grows slowly with size.")
+}

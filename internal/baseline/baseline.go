@@ -1,0 +1,86 @@
+// Package baseline provides the comparison policies of the SmartDPSS
+// evaluation (Sec. VI-A "Compared Algorithms"):
+//
+//   - Impatient: the online strawman that "always schedules workloads
+//     immediately regardless of the changes of electricity prices and
+//     renewable production".
+//   - OfflineOptimal: the paper's offline benchmark (Sec. II-D). By
+//     Lemma 1 the clairvoyant optimum needs essentially no real-time
+//     purchases and wastes nothing; the paper solves problem P2 once per
+//     coarse slot. We realize this as a per-interval linear program with
+//     full knowledge of that interval's demand, renewable production and
+//     prices, intra-interval battery dynamics, and battery state carried
+//     across intervals.
+//   - OfflineHorizon: a single clairvoyant LP over the whole horizon,
+//     used on short horizons to measure how much the per-interval
+//     decomposition gives up (cross-interval battery planning).
+//
+// The UPS fixed charge Cb·n(τ) is non-convex; the offline LPs use the
+// standard linear proxy Cb·(brc/Bcmax + bdc/Bdmax), which never overstates
+// the true operation cost. The offline benchmarks therefore report a cost
+// at or slightly below what any physical schedule could achieve — the
+// right direction for a lower-bound benchmark.
+package baseline
+
+import (
+	"errors"
+
+	"github.com/smartdpss/smartdpss/internal/battery"
+)
+
+// Config holds the system constants shared by the baseline policies.
+// Semantics match core.Params field for field.
+type Config struct {
+	// T is the number of fine slots per coarse slot.
+	T int
+	// PgridMWh is the per-slot grid draw cap (Eq. 5).
+	PgridMWh float64
+	// PmaxUSD is the market price cap.
+	PmaxUSD float64
+	// SmaxMWh is the per-slot supply cap (Eq. 1).
+	SmaxMWh float64
+	// SdtMaxMWh is the per-slot delay-tolerant service cap.
+	SdtMaxMWh float64
+	// WasteCostUSD prices wasted energy per MWh.
+	WasteCostUSD float64
+	// EmergencyCostUSD is the shadow price for unserved delay-sensitive
+	// energy inside the offline LPs.
+	EmergencyCostUSD float64
+	// Battery is the UPS configuration.
+	Battery battery.Params
+}
+
+// DefaultConfig mirrors core.DefaultParams for the shared constants.
+func DefaultConfig() Config {
+	return Config{
+		T:                24,
+		PgridMWh:         2.0,
+		PmaxUSD:          150,
+		SmaxMWh:          4.0,
+		SdtMaxMWh:        1.0,
+		WasteCostUSD:     1.0,
+		EmergencyCostUSD: 1e6,
+		Battery:          battery.Sized(2.0, 15, 1),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.T <= 0:
+		return errors.New("baseline: T must be positive")
+	case c.PgridMWh <= 0:
+		return errors.New("baseline: PgridMWh must be positive")
+	case c.PmaxUSD <= 0:
+		return errors.New("baseline: PmaxUSD must be positive")
+	case c.SmaxMWh <= 0:
+		return errors.New("baseline: SmaxMWh must be positive")
+	case c.SdtMaxMWh <= 0:
+		return errors.New("baseline: SdtMaxMWh must be positive")
+	case c.WasteCostUSD < 0:
+		return errors.New("baseline: negative WasteCostUSD")
+	case c.EmergencyCostUSD <= c.PmaxUSD:
+		return errors.New("baseline: EmergencyCostUSD must dwarf PmaxUSD")
+	}
+	return c.Battery.Validate()
+}

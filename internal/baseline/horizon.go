@@ -1,0 +1,208 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/smartdpss/smartdpss/internal/lp"
+	"github.com/smartdpss/smartdpss/internal/sim"
+	"github.com/smartdpss/smartdpss/internal/trace"
+)
+
+// OfflineHorizon is the fully clairvoyant benchmark: one linear program
+// spanning the entire horizon, with a long-term purchase variable per
+// coarse interval and cross-interval battery planning. It lower-bounds the
+// per-interval OfflineOptimal and is intended for short horizons (the
+// dense tableau grows quadratically with the horizon).
+type OfflineHorizon struct {
+	cfg Config
+	set *trace.Set
+
+	gbef []float64      // per coarse interval
+	plan []sim.Decision // per fine slot
+}
+
+var _ sim.Controller = (*OfflineHorizon)(nil)
+
+// NewOfflineHorizon solves the horizon LP eagerly and returns the
+// replaying controller.
+func NewOfflineHorizon(cfg Config, set *trace.Set) (*OfflineHorizon, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	o := &OfflineHorizon{cfg: cfg, set: set}
+	if err := o.solve(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Name implements sim.Controller.
+func (o *OfflineHorizon) Name() string { return "OfflineHorizon" }
+
+// CoarseSlots implements sim.Controller.
+func (o *OfflineHorizon) CoarseSlots() int { return o.cfg.T }
+
+// PlanCoarse replays the precomputed interval purchase.
+func (o *OfflineHorizon) PlanCoarse(obs sim.CoarseObs) float64 {
+	if obs.Interval < 0 || obs.Interval >= len(o.gbef) {
+		return 0
+	}
+	return o.gbef[obs.Interval]
+}
+
+// PlanFine replays the precomputed slot decision.
+func (o *OfflineHorizon) PlanFine(obs sim.FineObs) sim.Decision {
+	if obs.Slot < 0 || obs.Slot >= len(o.plan) {
+		return sim.Decision{}
+	}
+	dec := o.plan[obs.Slot]
+	dec.ServeDT = math.Min(dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax))
+	dec.Charge = math.Min(dec.Charge, obs.MaxCharge)
+	dec.Discharge = math.Min(dec.Discharge, obs.MaxDischarge)
+	return dec
+}
+
+// RecordOutcome implements sim.Controller; the plan is precomputed.
+func (o *OfflineHorizon) RecordOutcome(sim.Outcome) {}
+
+// solve builds and solves the full-horizon LP. The structure matches
+// solveInterval, with one gbef per coarse interval, battery dynamics and
+// service causality chained across the whole horizon, and the same
+// "served by interval end" deadline so the two offline benchmarks differ
+// only in cross-interval planning.
+func (o *OfflineHorizon) solve() error {
+	cfg, set := o.cfg, o.set
+	bat := cfg.Battery
+	inf := math.Inf(1)
+	H := set.Horizon()
+	T := cfg.T
+	K := (H + T - 1) / T
+
+	prob := lp.NewProblem()
+	// Large horizon LPs need a generous pivot budget.
+	prob.SetMaxIterations(200000)
+
+	gbef := make([]lp.VarID, K)
+	intervalLen := make([]int, K)
+	for k := 0; k < K; k++ {
+		n := minInt(T, H-k*T)
+		intervalLen[k] = n
+		plt := set.PriceLT.At(k * T)
+		gbef[k] = prob.AddVariable(fmt.Sprintf("gbef%d", k), 0, float64(n)*cfg.PgridMWh, plt)
+	}
+
+	grt := make([]lp.VarID, H)
+	u := make([]lp.VarID, H)
+	c := make([]lp.VarID, H)
+	d := make([]lp.VarID, H)
+	w := make([]lp.VarID, H)
+	e := make([]lp.VarID, H)
+	proxy := 0.0
+	if bat.MaxChargeMWh > 0 {
+		proxy = bat.OpCostUSD / math.Max(bat.MaxChargeMWh, bat.MaxDischargeMWh)
+	}
+	for i := 0; i < H; i++ {
+		prt := set.PriceRT.At(i)
+		grt[i] = prob.AddVariable(fmt.Sprintf("grt%d", i), 0, cfg.PgridMWh, prt)
+		u[i] = prob.AddVariable(fmt.Sprintf("u%d", i), 0, cfg.SdtMaxMWh, 0)
+		c[i] = prob.AddVariable(fmt.Sprintf("c%d", i), 0, bat.MaxChargeMWh, proxy)
+		d[i] = prob.AddVariable(fmt.Sprintf("d%d", i), 0, bat.MaxDischargeMWh, proxy)
+		w[i] = prob.AddVariable(fmt.Sprintf("w%d", i), 0, inf, cfg.WasteCostUSD)
+		e[i] = prob.AddVariable(fmt.Sprintf("e%d", i), 0, inf, cfg.EmergencyCostUSD)
+	}
+
+	b0 := bat.InitialMWh
+	for i := 0; i < H; i++ {
+		k := i / T
+		invN := 1.0 / float64(intervalLen[k])
+		dds := set.DemandDS.At(i)
+		r := set.Renewable.At(i)
+
+		prob.AddConstraint(lp.EQ, dds-r,
+			lp.Term{Var: gbef[k], Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+			lp.Term{Var: d[i], Coeff: 1},
+			lp.Term{Var: e[i], Coeff: 1},
+			lp.Term{Var: u[i], Coeff: -1},
+			lp.Term{Var: c[i], Coeff: -1},
+			lp.Term{Var: w[i], Coeff: -1},
+		)
+		prob.AddConstraint(lp.LE, cfg.PgridMWh,
+			lp.Term{Var: gbef[k], Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+		)
+		prob.AddConstraint(lp.LE, cfg.SmaxMWh-r,
+			lp.Term{Var: gbef[k], Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+		)
+
+		levelTerms := make([]lp.Term, 0, 2*(i+1))
+		for j := 0; j <= i; j++ {
+			levelTerms = append(levelTerms,
+				lp.Term{Var: c[j], Coeff: bat.ChargeEff},
+				lp.Term{Var: d[j], Coeff: -bat.DischargeEff},
+			)
+		}
+		prob.AddConstraint(lp.GE, bat.MinLevelMWh-b0, levelTerms...)
+		prob.AddConstraint(lp.LE, bat.CapacityMWh-b0, levelTerms...)
+
+		avail := 0.0
+		serveTerms := make([]lp.Term, 0, i+1)
+		for j := 0; j <= i; j++ {
+			avail += set.DemandDT.At(j)
+			serveTerms = append(serveTerms, lp.Term{Var: u[j], Coeff: 1})
+		}
+		prob.AddConstraint(lp.LE, avail, serveTerms...)
+	}
+
+	// Per-interval deadlines with a penalized slack each.
+	arrived := 0.0
+	served := make([]lp.Term, 0, H+K)
+	for k := 0; k < K; k++ {
+		for i := k * T; i < k*T+intervalLen[k]; i++ {
+			arrived += set.DemandDT.At(i)
+			served = append(served, lp.Term{Var: u[i], Coeff: 1})
+		}
+		slack := prob.AddVariable(fmt.Sprintf("slack%d", k), 0, inf, cfg.EmergencyCostUSD)
+		terms := make([]lp.Term, len(served), len(served)+1)
+		copy(terms, served)
+		terms = append(terms, lp.Term{Var: slack, Coeff: 1})
+		prob.AddConstraint(lp.GE, arrived, terms...)
+	}
+
+	sol, err := prob.Minimize()
+	if err != nil {
+		return fmt.Errorf("baseline: horizon LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return fmt.Errorf("baseline: horizon LP: %v", sol.Status)
+	}
+
+	o.gbef = make([]float64, K)
+	for k := 0; k < K; k++ {
+		o.gbef[k] = sol.Value(gbef[k])
+	}
+	o.plan = make([]sim.Decision, H)
+	for i := 0; i < H; i++ {
+		dec := sim.Decision{
+			Grt:       sol.Value(grt[i]),
+			ServeDT:   sol.Value(u[i]),
+			Charge:    sol.Value(c[i]),
+			Discharge: sol.Value(d[i]),
+		}
+		netPlanChargeDischarge(&dec, bat.ChargeEff, bat.DischargeEff)
+		o.plan[i] = dec
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

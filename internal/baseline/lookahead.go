@@ -1,0 +1,188 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/smartdpss/smartdpss/internal/lp"
+	"github.com/smartdpss/smartdpss/internal/sim"
+	"github.com/smartdpss/smartdpss/internal/trace"
+)
+
+// Lookahead is a receding-horizon (MPC) controller with W fine slots of
+// perfect foresight — the "T-Step Lookahead" family the paper contrasts
+// with in its related work ([29], [30]). At every fine slot it solves a
+// linear program over the next W slots from the current battery and
+// backlog state and executes only the first slot's decision; the
+// long-term purchase is chosen from the same LP run at the interval
+// boundary.
+//
+// Lookahead interpolates between the online regime (W = 1, essentially
+// myopic) and the clairvoyant benchmarks (W → horizon): comparing it with
+// SmartDPSS quantifies what perfect short-range forecasts would be worth
+// over a forecast-free Lyapunov policy (experiment EXT-5).
+type Lookahead struct {
+	cfg    Config
+	set    *trace.Set
+	window int
+}
+
+var _ sim.Controller = (*Lookahead)(nil)
+
+// NewLookahead returns an MPC controller with a W-slot foresight window.
+func NewLookahead(cfg Config, set *trace.Set, window int) (*Lookahead, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("baseline: lookahead window %d must be >= 1", window)
+	}
+	return &Lookahead{cfg: cfg, set: set, window: window}, nil
+}
+
+// Name implements sim.Controller.
+func (l *Lookahead) Name() string { return fmt.Sprintf("Lookahead(%d)", l.window) }
+
+// CoarseSlots implements sim.Controller.
+func (l *Lookahead) CoarseSlots() int { return l.cfg.T }
+
+// Window returns the foresight length in fine slots.
+func (l *Lookahead) Window() int { return l.window }
+
+// PlanCoarse picks gbef from the interval LP over the visible window,
+// scaled up to the full interval when the window is shorter.
+func (l *Lookahead) PlanCoarse(obs sim.CoarseObs) float64 {
+	visible := minInt(l.window, obs.Slots)
+	gbef, _, err := solveInterval(l.cfg, l.set, obs.Slot, visible, obs.Battery, obs.Backlog)
+	if err != nil {
+		return 0
+	}
+	// Extrapolate the per-slot rate across the whole interval.
+	perSlot := gbef / float64(visible)
+	return perSlot * float64(obs.Slots)
+}
+
+// PlanFine re-solves the window LP from the current state (receding
+// horizon) and executes its first slot.
+func (l *Lookahead) PlanFine(obs sim.FineObs) sim.Decision {
+	dec, err := l.solveWindow(obs)
+	if err != nil {
+		// Degrade to a safe myopic decision: cover dds from the grid.
+		need := math.Max(0, obs.DemandDS-obs.LongTermDue-obs.Renewable)
+		return sim.Decision{Grt: math.Min(need, obs.RTHeadroom)}
+	}
+	return dec
+}
+
+// RecordOutcome implements sim.Controller; state is re-read every slot.
+func (l *Lookahead) RecordOutcome(sim.Outcome) {}
+
+// solveWindow builds the W-slot LP anchored at the current slot. The
+// committed long-term delivery obs.LongTermDue is a constant for every
+// visible slot (it holds for the rest of the interval; slots beyond the
+// boundary see it as an estimate).
+func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
+	bat := l.cfg.Battery
+	inf := math.Inf(1)
+	n := minInt(l.window, l.set.Horizon()-obs.Slot)
+	if n < 1 {
+		return sim.Decision{}, fmt.Errorf("baseline: empty window")
+	}
+
+	prob := lp.NewProblem()
+	grt := make([]lp.VarID, n)
+	u := make([]lp.VarID, n)
+	c := make([]lp.VarID, n)
+	d := make([]lp.VarID, n)
+	w := make([]lp.VarID, n)
+	e := make([]lp.VarID, n)
+	proxy := 0.0
+	if bat.MaxChargeMWh > 0 {
+		proxy = bat.OpCostUSD / math.Max(bat.MaxChargeMWh, bat.MaxDischargeMWh)
+	}
+	for i := 0; i < n; i++ {
+		slot := obs.Slot + i
+		prt := l.set.PriceRT.At(slot)
+		grt[i] = prob.AddVariable(fmt.Sprintf("grt%d", i), 0, math.Max(0, obs.RTHeadroom), prt)
+		u[i] = prob.AddVariable(fmt.Sprintf("u%d", i), 0, l.cfg.SdtMaxMWh, 0)
+		c[i] = prob.AddVariable(fmt.Sprintf("c%d", i), 0, bat.MaxChargeMWh, proxy)
+		d[i] = prob.AddVariable(fmt.Sprintf("d%d", i), 0, bat.MaxDischargeMWh, proxy)
+		w[i] = prob.AddVariable(fmt.Sprintf("w%d", i), 0, inf, l.cfg.WasteCostUSD)
+		e[i] = prob.AddVariable(fmt.Sprintf("e%d", i), 0, inf, l.cfg.EmergencyCostUSD)
+	}
+
+	for i := 0; i < n; i++ {
+		slot := obs.Slot + i
+		dds := l.set.DemandDS.At(slot)
+		r := l.set.Renewable.At(slot)
+
+		// Balance with the committed flat delivery as a constant.
+		prob.AddConstraint(lp.EQ, dds-r-obs.LongTermDue,
+			lp.Term{Var: grt[i], Coeff: 1},
+			lp.Term{Var: d[i], Coeff: 1},
+			lp.Term{Var: e[i], Coeff: 1},
+			lp.Term{Var: u[i], Coeff: -1},
+			lp.Term{Var: c[i], Coeff: -1},
+			lp.Term{Var: w[i], Coeff: -1},
+		)
+		// Supply cap.
+		prob.AddConstraint(lp.LE, l.cfg.SmaxMWh-r-obs.LongTermDue,
+			lp.Term{Var: grt[i], Coeff: 1})
+
+		// Battery trajectory bounds from the live level.
+		levelTerms := make([]lp.Term, 0, 2*(i+1))
+		for j := 0; j <= i; j++ {
+			levelTerms = append(levelTerms,
+				lp.Term{Var: c[j], Coeff: bat.ChargeEff},
+				lp.Term{Var: d[j], Coeff: -bat.DischargeEff},
+			)
+		}
+		prob.AddConstraint(lp.GE, bat.MinLevelMWh-obs.Battery, levelTerms...)
+		prob.AddConstraint(lp.LE, bat.CapacityMWh-obs.Battery, levelTerms...)
+
+		// Service causality from the live backlog.
+		avail := obs.Backlog
+		serveTerms := make([]lp.Term, 0, i+1)
+		for j := 0; j <= i; j++ {
+			if j > 0 {
+				avail += l.set.DemandDT.At(obs.Slot + j - 1)
+			}
+			serveTerms = append(serveTerms, lp.Term{Var: u[j], Coeff: 1})
+		}
+		prob.AddConstraint(lp.LE, avail, serveTerms...)
+	}
+
+	// Window deadline: all visible demand served by the window end
+	// (penalized slack keeps degenerate windows feasible).
+	total := obs.Backlog
+	for j := 1; j < n; j++ {
+		total += l.set.DemandDT.At(obs.Slot + j - 1)
+	}
+	slack := prob.AddVariable("slack", 0, inf, l.cfg.EmergencyCostUSD)
+	endTerms := make([]lp.Term, 0, n+1)
+	for i := 0; i < n; i++ {
+		endTerms = append(endTerms, lp.Term{Var: u[i], Coeff: 1})
+	}
+	endTerms = append(endTerms, lp.Term{Var: slack, Coeff: 1})
+	prob.AddConstraint(lp.GE, total, endTerms...)
+
+	sol, err := prob.Minimize()
+	if err != nil {
+		return sim.Decision{}, err
+	}
+	if sol.Status != lp.Optimal {
+		return sim.Decision{}, fmt.Errorf("baseline: window LP %v", sol.Status)
+	}
+
+	dec := sim.Decision{
+		Grt:       sol.Value(grt[0]),
+		ServeDT:   math.Min(sol.Value(u[0]), math.Min(obs.Backlog, obs.SdtMax)),
+		Charge:    math.Min(sol.Value(c[0]), obs.MaxCharge),
+		Discharge: math.Min(sol.Value(d[0]), obs.MaxDischarge),
+	}
+	netPlanChargeDischarge(&dec, bat.ChargeEff, bat.DischargeEff)
+	return dec, nil
+}

@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/smartdpss/smartdpss/internal/sim"
+)
+
+func TestNewLookaheadValidation(t *testing.T) {
+	set := testTraces(t, 2)
+	if _, err := NewLookahead(DefaultConfig(), set, 0); err == nil {
+		t.Error("window 0 accepted")
+	}
+	bad := DefaultConfig()
+	bad.T = 0
+	if _, err := NewLookahead(bad, set, 4); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := NewLookahead(DefaultConfig(), set, 6); err != nil {
+		t.Errorf("valid lookahead rejected: %v", err)
+	}
+}
+
+func TestLookaheadName(t *testing.T) {
+	set := testTraces(t, 1)
+	la, err := NewLookahead(DefaultConfig(), set, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(la.Name(), "6") {
+		t.Errorf("Name = %q, want the window length included", la.Name())
+	}
+	if la.Window() != 6 {
+		t.Errorf("Window = %d", la.Window())
+	}
+}
+
+func TestLookaheadServesEverything(t *testing.T) {
+	cfg := DefaultConfig()
+	set := testTraces(t, 4)
+	la, err := NewLookahead(cfg, set, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(simConfig(cfg), set, la)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnservedMWh > 1e-6 {
+		t.Errorf("unserved = %g", rep.UnservedMWh)
+	}
+	if rep.Availability < 1-1e-9 {
+		t.Errorf("availability = %g", rep.Availability)
+	}
+}
+
+func TestLookaheadMoreForesightHelps(t *testing.T) {
+	cfg := DefaultConfig()
+	set := testTraces(t, 7)
+
+	run := func(w int) float64 {
+		t.Helper()
+		la, err := NewLookahead(cfg, set, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sim.Run(simConfig(cfg), set, la)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TotalCostUSD
+	}
+	myopic := run(1)
+	day := run(24)
+	// A day of perfect foresight must not lose to a single slot; allow a
+	// small tolerance for receding-horizon end effects.
+	if day > myopic*1.02 {
+		t.Errorf("Lookahead(24) $%.2f worse than Lookahead(1) $%.2f", day, myopic)
+	}
+}
+
+func TestLookaheadBeatsImpatient(t *testing.T) {
+	cfg := DefaultConfig()
+	set := testTraces(t, 7)
+
+	la, err := NewLookahead(cfg, set, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laRep, err := sim.Run(simConfig(cfg), set, la)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := NewImpatient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impRep, err := sim.Run(simConfig(cfg), set, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if laRep.TotalCostUSD >= impRep.TotalCostUSD {
+		t.Errorf("Lookahead(24) $%.2f not below Impatient $%.2f",
+			laRep.TotalCostUSD, impRep.TotalCostUSD)
+	}
+}

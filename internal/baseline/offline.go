@@ -1,0 +1,222 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/smartdpss/smartdpss/internal/lp"
+	"github.com/smartdpss/smartdpss/internal/sim"
+	"github.com/smartdpss/smartdpss/internal/trace"
+)
+
+// OfflineOptimal is the paper's clairvoyant benchmark (Sec. II-D): at each
+// coarse boundary it solves one linear program over the upcoming interval
+// with full knowledge of demand, renewable production and prices, then
+// replays the per-slot plan. Battery state and any unserved backlog carry
+// across intervals; every interval must serve its arrivals (plus inherited
+// backlog) by its end, mirroring the single-interval scope of problem P2.
+type OfflineOptimal struct {
+	cfg Config
+	set *trace.Set
+
+	// plan for the current interval, indexed by slot offset
+	plan      []sim.Decision
+	planStart int
+}
+
+var _ sim.Controller = (*OfflineOptimal)(nil)
+
+// NewOfflineOptimal returns the per-interval clairvoyant benchmark over
+// the given (already validated) trace set.
+func NewOfflineOptimal(cfg Config, set *trace.Set) (*OfflineOptimal, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return &OfflineOptimal{cfg: cfg, set: set}, nil
+}
+
+// Name implements sim.Controller.
+func (o *OfflineOptimal) Name() string { return "OfflineOptimal" }
+
+// CoarseSlots implements sim.Controller.
+func (o *OfflineOptimal) CoarseSlots() int { return o.cfg.T }
+
+// PlanCoarse solves the interval LP and returns its long-term purchase.
+func (o *OfflineOptimal) PlanCoarse(obs sim.CoarseObs) float64 {
+	gbef, plan, err := solveInterval(o.cfg, o.set, obs.Slot, obs.Slots, obs.Battery, obs.Backlog)
+	if err != nil {
+		// A solver failure leaves a defensive empty plan; the engine's
+		// passive UPS and the emergency accounting absorb the slots.
+		o.plan = make([]sim.Decision, obs.Slots)
+		o.planStart = obs.Slot
+		return 0
+	}
+	o.plan = plan
+	o.planStart = obs.Slot
+	return gbef
+}
+
+// PlanFine replays the solved plan.
+func (o *OfflineOptimal) PlanFine(obs sim.FineObs) sim.Decision {
+	idx := obs.Slot - o.planStart
+	if idx < 0 || idx >= len(o.plan) {
+		return sim.Decision{}
+	}
+	dec := o.plan[idx]
+	// Guard against drift between the planned and actual backlog.
+	dec.ServeDT = math.Min(dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax))
+	dec.Charge = math.Min(dec.Charge, obs.MaxCharge)
+	dec.Discharge = math.Min(dec.Discharge, obs.MaxDischarge)
+	return dec
+}
+
+// RecordOutcome implements sim.Controller; the plan is precomputed.
+func (o *OfflineOptimal) RecordOutcome(sim.Outcome) {}
+
+// solveInterval builds and solves the clairvoyant LP for slots
+// [start, start+n), returning the long-term purchase and per-slot plan.
+//
+// Variables per slot i: grt_i, u_i (backlog service), c_i (charge),
+// d_i (discharge), w_i (waste), e_i (emergency); plus one gbef.
+// By Lemma 1 grt is essentially unused at the optimum, but keeping it
+// preserves feasibility when the flat gbef/T delivery cannot track peaky
+// intra-interval demand.
+func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (float64, []sim.Decision, error) {
+	prob := lp.NewProblem()
+	bat := cfg.Battery
+	inf := math.Inf(1)
+
+	// gbef is paid at plt per MWh and delivered evenly (Cost(τ) sums
+	// gbef/T·plt across the interval, totalling gbef·plt).
+	plt := set.PriceLT.At(start)
+	gbef := prob.AddVariable("gbef", 0, float64(n)*cfg.PgridMWh, plt)
+
+	grt := make([]lp.VarID, n)
+	u := make([]lp.VarID, n)
+	c := make([]lp.VarID, n)
+	d := make([]lp.VarID, n)
+	w := make([]lp.VarID, n)
+	e := make([]lp.VarID, n)
+
+	// The linear battery-operation proxy (see package docs).
+	proxy := 0.0
+	if bat.MaxChargeMWh > 0 {
+		proxy = bat.OpCostUSD / math.Max(bat.MaxChargeMWh, bat.MaxDischargeMWh)
+	}
+
+	totalArrivals := q0
+	for i := 0; i < n; i++ {
+		slot := start + i
+		prt := set.PriceRT.At(slot)
+		grt[i] = prob.AddVariable(fmt.Sprintf("grt%d", i), 0, cfg.PgridMWh, prt)
+		u[i] = prob.AddVariable(fmt.Sprintf("u%d", i), 0, cfg.SdtMaxMWh, 0)
+		c[i] = prob.AddVariable(fmt.Sprintf("c%d", i), 0, bat.MaxChargeMWh, proxy)
+		d[i] = prob.AddVariable(fmt.Sprintf("d%d", i), 0, bat.MaxDischargeMWh, proxy)
+		w[i] = prob.AddVariable(fmt.Sprintf("w%d", i), 0, inf, cfg.WasteCostUSD)
+		e[i] = prob.AddVariable(fmt.Sprintf("e%d", i), 0, inf, cfg.EmergencyCostUSD)
+		totalArrivals += set.DemandDT.At(slot)
+	}
+
+	invN := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		slot := start + i
+		dds := set.DemandDS.At(slot)
+		r := set.Renewable.At(slot)
+
+		// Balance: gbef/n + r + grt + d + e = dds + u + c + w.
+		prob.AddConstraint(lp.EQ, dds-r,
+			lp.Term{Var: gbef, Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+			lp.Term{Var: d[i], Coeff: 1},
+			lp.Term{Var: e[i], Coeff: 1},
+			lp.Term{Var: u[i], Coeff: -1},
+			lp.Term{Var: c[i], Coeff: -1},
+			lp.Term{Var: w[i], Coeff: -1},
+		)
+
+		// Grid cap: gbef/n + grt_i ≤ Pgrid.
+		prob.AddConstraint(lp.LE, cfg.PgridMWh,
+			lp.Term{Var: gbef, Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+		)
+		// Supply cap: gbef/n + grt_i + r_i ≤ Smax.
+		prob.AddConstraint(lp.LE, cfg.SmaxMWh-r,
+			lp.Term{Var: gbef, Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+		)
+
+		// Battery level bounds: Bmin ≤ b0 + Σ(ηc·c − ηd·d) ≤ Bmax.
+		levelTerms := make([]lp.Term, 0, 2*(i+1))
+		for j := 0; j <= i; j++ {
+			levelTerms = append(levelTerms,
+				lp.Term{Var: c[j], Coeff: bat.ChargeEff},
+				lp.Term{Var: d[j], Coeff: -bat.DischargeEff},
+			)
+		}
+		prob.AddConstraint(lp.GE, bat.MinLevelMWh-b0, levelTerms...)
+		prob.AddConstraint(lp.LE, bat.CapacityMWh-b0, levelTerms...)
+
+		// Service causality: Σ_{j≤i} u_j ≤ q0 + Σ_{j≤i} ddt_j.
+		avail := q0
+		serveTerms := make([]lp.Term, 0, i+1)
+		for j := 0; j <= i; j++ {
+			avail += set.DemandDT.At(start + j)
+			serveTerms = append(serveTerms, lp.Term{Var: u[j], Coeff: 1})
+		}
+		prob.AddConstraint(lp.LE, avail, serveTerms...)
+	}
+
+	// Interval deadline: everything arrived must be served by the end,
+	// with a heavily penalized slack for physically infeasible intervals.
+	slack := prob.AddVariable("slack", 0, inf, cfg.EmergencyCostUSD)
+	endTerms := make([]lp.Term, 0, n+1)
+	for i := 0; i < n; i++ {
+		endTerms = append(endTerms, lp.Term{Var: u[i], Coeff: 1})
+	}
+	endTerms = append(endTerms, lp.Term{Var: slack, Coeff: 1})
+	prob.AddConstraint(lp.EQ, totalArrivals, endTerms...)
+
+	sol, err := prob.Minimize()
+	if err != nil {
+		return 0, nil, fmt.Errorf("baseline: interval LP at %d: %w", start, err)
+	}
+	if sol.Status != lp.Optimal {
+		return 0, nil, fmt.Errorf("baseline: interval LP at %d: %v", start, sol.Status)
+	}
+
+	plan := make([]sim.Decision, n)
+	for i := 0; i < n; i++ {
+		plan[i] = sim.Decision{
+			Grt:       sol.Value(grt[i]),
+			ServeDT:   sol.Value(u[i]),
+			Charge:    sol.Value(c[i]),
+			Discharge: sol.Value(d[i]),
+		}
+		netPlanChargeDischarge(&plan[i], bat.ChargeEff, bat.DischargeEff)
+	}
+	return sol.Value(gbef), plan, nil
+}
+
+// netPlanChargeDischarge replaces a simultaneous charge+discharge by the
+// pure action with the same stored-energy effect ηc·brc − ηd·bdc. The LP
+// can otherwise "pump" the battery (charge and discharge in one slot) to
+// burn surplus energy for less than the waste price; the executed schedule
+// must satisfy brc(τ)·bdc(τ) ≡ 0 and keep the planned battery trajectory,
+// so the conversion goes through the stored-energy delta and the engine's
+// balance residual absorbs the freed energy as waste.
+func netPlanChargeDischarge(dec *sim.Decision, etaC, etaD float64) {
+	if dec.Charge <= 1e-12 || dec.Discharge <= 1e-12 {
+		return
+	}
+	delta := etaC*dec.Charge - etaD*dec.Discharge
+	if delta >= 0 {
+		dec.Charge = delta / etaC
+		dec.Discharge = 0
+	} else {
+		dec.Discharge = -delta / etaD
+		dec.Charge = 0
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+
+	"github.com/smartdpss/smartdpss/internal/queue"
+	"github.com/smartdpss/smartdpss/internal/sim"
+)
+
+// Controller is the SmartDPSS online policy (Algorithm 1). It keeps the
+// delay-aware virtual queue Y internally, freezes the concatenated queue
+// state Θ(t) = [Q(t), X(t), Y(t)] at each coarse boundary (the Sec. IV-A
+// approximation), and solves P4/P5 per slot.
+type Controller struct {
+	params Params
+	delay  *queue.Delay
+
+	// Queue state frozen at the current coarse-slot start.
+	qT, yT, xT float64
+
+	// est tracks trailing means of the exogenous inputs over the previous
+	// coarse interval for P4's deficit estimate (see sim.TrailingMeans).
+	est sim.TrailingMeans
+
+	// lpFailures counts LP-path failures recovered by the analytic path
+	// (expected to stay zero; exported for tests via LPFailures).
+	lpFailures int
+}
+
+var _ sim.Controller = (*Controller)(nil)
+
+// New returns a SmartDPSS controller for the given parameters.
+func New(p Params) (*Controller, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := queue.NewDelay(p.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{params: p, delay: d}, nil
+}
+
+// Name implements sim.Controller.
+func (c *Controller) Name() string { return "SmartDPSS" }
+
+// CoarseSlots implements sim.Controller.
+func (c *Controller) CoarseSlots() int { return c.params.T }
+
+// Params returns the controller configuration.
+func (c *Controller) Params() Params { return c.params }
+
+// QueueY returns the current delay virtual queue value Y(τ).
+func (c *Controller) QueueY() float64 { return c.delay.Value() }
+
+// FrozenState returns the queue state Θ(t) = [Q(t), X(t), Y(t)] captured at
+// the last coarse boundary.
+func (c *Controller) FrozenState() (q, x, y float64) { return c.qT, c.xT, c.yT }
+
+// LPFailures reports how many fine slots fell back from the LP path to the
+// analytic path. It should be zero.
+func (c *Controller) LPFailures() int { return c.lpFailures }
+
+// PlanCoarse solves P4: pick gbef(t) minimizing
+// gbef·[V·plt − Q(t) − Y(t)] subject to covering the observed
+// delay-sensitive deficit and the per-slot grid cap. The objective is
+// linear, so the optimum is bang-bang: buy the maximum when the weight is
+// negative (grid cheap relative to queue pressure), otherwise buy exactly
+// the deficit not coverable by renewables and the battery.
+func (c *Controller) PlanCoarse(obs sim.CoarseObs) float64 {
+	p := c.params
+	c.qT = obs.Backlog
+	c.yT = c.delay.Value()
+	c.xT = obs.Battery - p.XShift()
+
+	// Per-slot demand and renewable estimates: the trailing means of the
+	// previous interval when available, otherwise the boundary snapshot
+	// the paper's Algorithm 1 reads (SnapshotPlanning forces the latter;
+	// see the EXT-4 ablation).
+	dds, ddt, ren := obs.DemandDS, obs.DemandDT, obs.Renewable
+	if c.est.Ready() && !p.SnapshotPlanning {
+		dds, ddt, ren = c.est.Means()
+	}
+	c.est.Reset()
+
+	if p.DisableLongTerm {
+		return 0
+	}
+	weight := p.V*obs.PriceLT - (c.qT + c.yT)
+	slots := float64(obs.Slots)
+	if weight < 0 {
+		// Queue pressure exceeds the weighted price: buy the maximum the
+		// system can consume. The printed P4 is linear and its optimum is
+		// the raw cap T·Pgrid, but P4 as printed drops the V·W waste term
+		// of P3; retaining it caps the purchase at estimated serviceable
+		// load — demand, backlog drain at the service rate, and battery
+		// headroom — instead of flooding the plant (see doc.go).
+		drain := math.Min(p.SdtMaxMWh, obs.Backlog/slots+ddt)
+		chargeable := math.Max(0, (p.Battery.CapacityMWh-obs.Battery)/p.Battery.ChargeEff) / slots
+		usable := dds - ren + drain + math.Min(chargeable, p.Battery.MaxChargeMWh)
+		return slots * clamp(usable, 0, p.PgridMWh)
+	}
+	// Deliverable battery energy spread across the interval, respecting
+	// the per-slot discharge cap.
+	avail := math.Max(0, (obs.Battery-p.Battery.MinLevelMWh)/p.Battery.DischargeEff)
+	battPerSlot := math.Min(p.Battery.MaxDischargeMWh, avail/slots)
+	deficit := dds - ren - battPerSlot
+	return slots * clamp(deficit, 0, p.PgridMWh)
+}
+
+// PlanFine solves P5 for one fine slot using the frozen queue state, with
+// the UPS fixed charge handled exactly by comparing the battery-frozen and
+// battery-free optima (see doc.go).
+func (c *Controller) PlanFine(obs sim.FineObs) sim.Decision {
+	p := c.params
+	c.est.Observe(obs.DemandDS, obs.DemandDT, obs.Renewable)
+	qy := c.qT + c.yT
+	in := p5Input{
+		dds:          obs.DemandDS,
+		base:         obs.LongTermDue + obs.Renewable,
+		grtMax:       math.Max(0, math.Min(obs.RTHeadroom, p.SmaxMWh-obs.LongTermDue-obs.Renewable)),
+		sdtMax:       math.Max(0, math.Min(obs.Backlog, obs.SdtMax)),
+		chargeMax:    math.Max(0, obs.MaxCharge),
+		dischargeMax: math.Max(0, obs.MaxDischarge),
+		etaC:         p.Battery.ChargeEff,
+		etaD:         p.Battery.DischargeEff,
+		wGrt:         p.V*obs.PriceRT - qy,
+		wSdt:         -qy,
+		wCharge:      c.qT + c.xT + c.yT,
+		wWaste:       p.V*p.WasteCostUSD + qy,
+		wEmergency:   p.V * p.EmergencyCostUSD,
+	}
+
+	free := c.solve(in)
+	frozen := c.solve(in.frozen())
+	freeTotal := free.obj
+	if free.batteryUsed() {
+		freeTotal += p.V * p.Battery.OpCostUSD
+	}
+	best := frozen
+	if freeTotal < frozen.obj-1e-12 {
+		best = free
+	}
+	return sim.Decision{
+		Grt:       best.grt,
+		ServeDT:   best.sdt,
+		Charge:    best.charge,
+		Discharge: best.discharge,
+	}
+}
+
+// solve runs the configured P5 solver, falling back to the analytic path
+// if the LP reference path fails (it cannot, short of a numerical bug).
+func (c *Controller) solve(in p5Input) p5Result {
+	if c.params.UseLP {
+		res, err := solveP5LP(in)
+		if err == nil {
+			return res
+		}
+		c.lpFailures++
+	}
+	return solveP5Analytic(in)
+}
+
+// RecordOutcome implements sim.Controller: it advances the delay virtual
+// queue Y with the executed service (Algorithm 1 step 3, Eq. 12).
+func (c *Controller) RecordOutcome(out sim.Outcome) {
+	c.delay.Update(out.ServedDT, out.BacklogBefore > 1e-12)
+}
+
+func clamp(x, lo, hi float64) float64 { return math.Min(hi, math.Max(lo, x)) }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/smartdpss/smartdpss/internal/sim"
+	"github.com/smartdpss/smartdpss/internal/trace"
+)
+
+// randomTraceSet builds an adversarial trace set: demand/renewable/prices
+// drawn independently per slot with spikes, gaps and flat stretches — the
+// "arbitrary demand" regime the paper targets (no stationarity at all).
+func randomTraceSet(r *rand.Rand, slots int, pgrid, pmax float64) *trace.Set {
+	mk := func(name string) *trace.Series { return trace.New(name, "MWh", 60, slots) }
+	set := &trace.Set{
+		DemandDS:  mk("demand_ds"),
+		DemandDT:  mk("demand_dt"),
+		Renewable: mk("renewable"),
+		PriceLT:   mk("price_lt"),
+		PriceRT:   mk("price_rt"),
+	}
+	for i := 0; i < slots; i++ {
+		switch r.Intn(5) {
+		case 0: // quiet slot
+			set.DemandDS.Values[i] = r.Float64() * 0.3
+		case 1: // spike
+			set.DemandDS.Values[i] = pgrid * (0.8 + 0.2*r.Float64())
+		default:
+			set.DemandDS.Values[i] = r.Float64() * pgrid * 0.7
+		}
+		set.DemandDT.Values[i] = r.Float64() * pgrid / 2
+		set.Renewable.Values[i] = r.Float64() * r.Float64() * pgrid // skewed low
+		set.PriceLT.Values[i] = 1 + r.Float64()*(pmax*0.5)
+		set.PriceRT.Values[i] = 1 + r.Float64()*(pmax-1)
+	}
+	return set
+}
+
+// TestFuzzControllerInvariants drives SmartDPSS over fully random
+// (non-stationary, spiky) traces with random V/ε/T and checks the physical
+// invariants the engine and Theorem 2 guarantee:
+//   - the run completes without controller errors,
+//   - the battery never leaves [Bmin, Bmax],
+//   - delay-sensitive demand is always served (grid + rescue suffice since
+//     dds ≤ Pgrid by construction),
+//   - total cost is finite and non-negative.
+func TestFuzzControllerInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	f := func() bool {
+		p := DefaultParams()
+		p.V = 0.02 + r.Float64()*5
+		p.Epsilon = 0.1 + r.Float64()*2
+		p.T = []int{3, 6, 12, 24, 48}[r.Intn(5)]
+		p.UseLP = r.Intn(4) == 0 // occasionally exercise the LP path
+		if r.Intn(3) == 0 {
+			p.DisableLongTerm = true
+		}
+		if r.Intn(4) == 0 {
+			p.Battery.MaxOps = 5 + r.Intn(30)
+		}
+
+		slots := 48 + r.Intn(120)
+		set := randomTraceSet(r, slots, p.PgridMWh, p.PmaxUSD)
+
+		ctrl, err := New(p)
+		if err != nil {
+			t.Logf("New: %v", err)
+			return false
+		}
+		cfg := simConfig(p)
+		cfg.KeepSeries = true
+		rep, err := sim.Run(cfg, set, ctrl)
+		if err != nil {
+			t.Logf("Run: %v (V=%g eps=%g T=%d)", err, p.V, p.Epsilon, p.T)
+			return false
+		}
+		if rep.BatteryMinMWh < p.Battery.MinLevelMWh-1e-9 ||
+			rep.BatteryMaxMWh > p.Battery.CapacityMWh+1e-9 {
+			t.Logf("battery bounds violated: [%g, %g]", rep.BatteryMinMWh, rep.BatteryMaxMWh)
+			return false
+		}
+		if rep.UnservedMWh > 1e-6 {
+			t.Logf("unserved %g with dds <= Pgrid", rep.UnservedMWh)
+			return false
+		}
+		if math.IsNaN(rep.TotalCostUSD) || math.IsInf(rep.TotalCostUSD, 0) || rep.TotalCostUSD < 0 {
+			t.Logf("cost = %g", rep.TotalCostUSD)
+			return false
+		}
+		if ctrl.LPFailures() != 0 {
+			t.Logf("LP fallbacks = %d", ctrl.LPFailures())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzExtremeTraces pushes degenerate inputs: all-zero demand,
+// all-zero renewable, max-price stretches, zero-capacity battery.
+func TestFuzzExtremeTraces(t *testing.T) {
+	flat := func(v float64, slots int) []float64 {
+		vals := make([]float64, slots)
+		for i := range vals {
+			vals[i] = v
+		}
+		return vals
+	}
+	const slots = 48
+	cases := []struct {
+		name string
+		mut  func(*trace.Set, *Params)
+	}{
+		{"zero demand", func(s *trace.Set, p *Params) {
+			s.DemandDS = trace.FromValues("demand_ds", "MWh", 60, flat(0, slots))
+			s.DemandDT = trace.FromValues("demand_dt", "MWh", 60, flat(0, slots))
+		}},
+		{"zero renewable", func(s *trace.Set, p *Params) {
+			s.Renewable = trace.FromValues("renewable", "MWh", 60, flat(0, slots))
+		}},
+		{"max prices", func(s *trace.Set, p *Params) {
+			s.PriceLT = trace.FromValues("price_lt", "MWh", 60, flat(p.PmaxUSD, slots))
+			s.PriceRT = trace.FromValues("price_rt", "MWh", 60, flat(p.PmaxUSD, slots))
+		}},
+		{"free power", func(s *trace.Set, p *Params) {
+			s.PriceLT = trace.FromValues("price_lt", "MWh", 60, flat(0, slots))
+			s.PriceRT = trace.FromValues("price_rt", "MWh", 60, flat(0, slots))
+		}},
+		{"no battery", func(s *trace.Set, p *Params) {
+			p.Battery.CapacityMWh = 0
+			p.Battery.MinLevelMWh = 0
+			p.Battery.InitialMWh = 0
+		}},
+	}
+	r := rand.New(rand.NewSource(72))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			set := randomTraceSet(r, slots, p.PgridMWh, p.PmaxUSD)
+			tc.mut(set, &p)
+			ctrl, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sim.Run(simConfig(p), set, ctrl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.UnservedMWh > 1e-6 {
+				t.Errorf("unserved = %g", rep.UnservedMWh)
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/smartdpss/smartdpss/internal/lp"
+)
+
+// solveP5LP solves the same subproblem as solveP5Analytic through the
+// dense-simplex substrate. It is the reference path, mirroring the paper's
+// "solve the two sub-problems using classical linear programming
+// approaches, e.g., simplex method" (Sec. IV-B Remark).
+func solveP5LP(in p5Input) (p5Result, error) {
+	prob := lp.NewProblem()
+	grt := prob.AddVariable("grt", 0, math.Max(0, in.grtMax), in.wGrt)
+	sdt := prob.AddVariable("sdt", 0, math.Max(0, in.sdtMax), in.wSdt)
+	brc := prob.AddVariable("brc", 0, math.Max(0, in.chargeMax), in.wCharge)
+	bdc := prob.AddVariable("bdc", 0, math.Max(0, in.dischargeMax), -in.wCharge)
+	waste := prob.AddVariable("waste", 0, math.Inf(1), in.wWaste)
+	emerg := prob.AddVariable("unserved", 0, math.Inf(1), in.wEmergency)
+
+	// Balance (Eq. 4): base + grt + bdc + unserved = dds + sdt + brc + W.
+	prob.AddConstraint(lp.EQ, in.dds-in.base,
+		lp.Term{Var: grt, Coeff: 1},
+		lp.Term{Var: bdc, Coeff: 1},
+		lp.Term{Var: emerg, Coeff: 1},
+		lp.Term{Var: sdt, Coeff: -1},
+		lp.Term{Var: brc, Coeff: -1},
+		lp.Term{Var: waste, Coeff: -1},
+	)
+
+	sol, err := prob.Minimize()
+	if err != nil {
+		return p5Result{}, fmt.Errorf("core: P5 solve: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return p5Result{}, fmt.Errorf("core: P5 status %v", sol.Status)
+	}
+	res := p5Result{
+		grt:       sol.Value(grt),
+		sdt:       sol.Value(sdt),
+		charge:    sol.Value(brc),
+		discharge: sol.Value(bdc),
+		waste:     sol.Value(waste),
+		unserved:  sol.Value(emerg),
+		obj:       sol.Objective,
+	}
+	netChargeDischarge(&res, in.etaC, in.etaD)
+	return res, nil
+}

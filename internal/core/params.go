@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"github.com/smartdpss/smartdpss/internal/battery"
+)
+
+// Params configures a SmartDPSS controller. Energy is in MWh per fine
+// slot, prices in USD/MWh.
+type Params struct {
+	// V is the Lyapunov cost–delay tradeoff parameter: larger V weights
+	// cost reduction over queue (delay) control, giving the
+	// [O(1/V), O(V)] tradeoff of Theorem 2.
+	V float64
+	// Epsilon is the ε of the delay-aware virtual queue Y (Eq. 12):
+	// larger ε forces faster service and shorter worst-case delay.
+	Epsilon float64
+	// T is the number of fine slots per coarse slot (the long-term-ahead
+	// market period).
+	T int
+	// PmaxUSD is the market price cap (both markets).
+	PmaxUSD float64
+	// PgridMWh is the per-slot grid draw cap Pgrid (Eq. 5).
+	PgridMWh float64
+	// SmaxMWh is the per-slot total supply cap Smax (Eq. 1).
+	SmaxMWh float64
+	// SdtMaxMWh is the per-slot delay-tolerant service cap Sdtmax.
+	SdtMaxMWh float64
+	// DdtMaxMWh is the per-slot delay-tolerant arrival bound Ddtmax.
+	DdtMaxMWh float64
+	// WasteCostUSD prices each wasted MWh (the paper's Cost(τ) adds W
+	// directly, an implicit unit price).
+	WasteCostUSD float64
+	// EmergencyCostUSD is the shadow price per MWh of unserved
+	// delay-sensitive demand inside P5 (must dwarf PmaxUSD).
+	EmergencyCostUSD float64
+	// Battery is the UPS configuration.
+	Battery battery.Params
+	// DisableLongTerm removes the long-term-ahead market, leaving only
+	// real-time purchases (the "RTM" configuration of Fig. 7).
+	DisableLongTerm bool
+	// UseLP selects the simplex-based P5 solver instead of the
+	// closed-form merit-order solver. Both produce identical decisions;
+	// the LP path is the reference implementation.
+	UseLP bool
+	// SnapshotPlanning makes P4 estimate the upcoming interval from the
+	// single boundary slot, as Algorithm 1 literally reads ("observing
+	// ... the demand d(t) and renewable r(t) generated during time slot
+	// t"), instead of the trailing means of the previous interval. Kept
+	// as an ablation switch; see the EXT-4 experiment.
+	SnapshotPlanning bool
+}
+
+// DefaultParams returns the paper's Sec. VI-A configuration: V = 1,
+// ε = 0.5, T = 24 one-hour slots, Pgrid = 2 MW, and a 15-minute UPS.
+func DefaultParams() Params {
+	return Params{
+		V:                1.0,
+		Epsilon:          0.5,
+		T:                24,
+		PmaxUSD:          150,
+		PgridMWh:         2.0,
+		SmaxMWh:          4.0,
+		SdtMaxMWh:        1.0,
+		DdtMaxMWh:        1.0,
+		WasteCostUSD:     1.0,
+		EmergencyCostUSD: 1e6,
+		Battery:          battery.Sized(2.0, 15, 1),
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.V <= 0:
+		return errors.New("core: V must be positive")
+	case p.Epsilon <= 0:
+		return errors.New("core: Epsilon must be positive")
+	case p.T <= 0:
+		return errors.New("core: T must be positive")
+	case p.PmaxUSD <= 0:
+		return errors.New("core: PmaxUSD must be positive")
+	case p.PgridMWh <= 0:
+		return errors.New("core: PgridMWh must be positive")
+	case p.SmaxMWh <= 0:
+		return errors.New("core: SmaxMWh must be positive")
+	case p.SdtMaxMWh <= 0:
+		return errors.New("core: SdtMaxMWh must be positive")
+	case p.DdtMaxMWh <= 0:
+		return errors.New("core: DdtMaxMWh must be positive")
+	case p.WasteCostUSD < 0:
+		return errors.New("core: negative WasteCostUSD")
+	case p.EmergencyCostUSD <= p.PmaxUSD:
+		return errors.New("core: EmergencyCostUSD must dwarf PmaxUSD")
+	}
+	return p.Battery.Validate()
+}
+
+// QMax is the deterministic backlog bound of Theorem 2(3):
+// Qmax = V·Pmax/T + Ddtmax.
+func (p Params) QMax() float64 {
+	return p.V*p.PmaxUSD/float64(p.T) + p.DdtMaxMWh
+}
+
+// YMax is the delay-queue bound of Theorem 2(3): Ymax = V·Pmax/T + ε.
+func (p Params) YMax() float64 {
+	return p.V*p.PmaxUSD/float64(p.T) + p.Epsilon
+}
+
+// UMax bounds Q(t)+Y(t) (Eq. 25): Umax = V·Pmax/T + Ddtmax + ε.
+func (p Params) UMax() float64 {
+	return p.V*p.PmaxUSD/float64(p.T) + p.DdtMaxMWh + p.Epsilon
+}
+
+// LambdaMax is the worst-case delay bound of Theorem 2(4) in slots:
+// λmax = ⌈(2V·Pmax/T + Ddtmax + ε)/ε⌉.
+func (p Params) LambdaMax() int {
+	return int(math.Ceil((2*p.V*p.PmaxUSD/float64(p.T) + p.DdtMaxMWh + p.Epsilon) / p.Epsilon))
+}
+
+// VMax is the largest V for which Theorem 2's battery-bound argument
+// applies (Sec. V-A):
+//
+//	Vmax = T·(Bmax − Bmin − Bdmax·ηd − Bcmax·ηc − Ddtmax − ε)/Pmax.
+//
+// For small UPS installations the numerator can be negative, making the
+// theorem vacuous; the controller still keeps b(τ) within its physical
+// bounds through the hard rate and level limits.
+func (p Params) VMax() float64 {
+	b := p.Battery
+	num := b.CapacityMWh - b.MinLevelMWh - b.MaxDischargeMWh*b.DischargeEff -
+		b.MaxChargeMWh*b.ChargeEff - p.DdtMaxMWh - p.Epsilon
+	return float64(p.T) * num / p.PmaxUSD
+}
+
+// XShift is the constant of the battery virtual queue (Eq. 14):
+// X(t) = b(t) − (Umax + Bmin + Bdmax·ηd).
+func (p Params) XShift() float64 {
+	return p.UMax() + p.Battery.MinLevelMWh + p.Battery.MaxDischargeMWh*p.Battery.DischargeEff
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestParamsValidateRejects(t *testing.T) {
+	mut := func(f func(*Params)) Params {
+		p := DefaultParams()
+		f(&p)
+		return p
+	}
+	bad := []Params{
+		mut(func(p *Params) { p.V = 0 }),
+		mut(func(p *Params) { p.Epsilon = 0 }),
+		mut(func(p *Params) { p.T = 0 }),
+		mut(func(p *Params) { p.PmaxUSD = 0 }),
+		mut(func(p *Params) { p.PgridMWh = 0 }),
+		mut(func(p *Params) { p.SmaxMWh = 0 }),
+		mut(func(p *Params) { p.SdtMaxMWh = 0 }),
+		mut(func(p *Params) { p.DdtMaxMWh = 0 }),
+		mut(func(p *Params) { p.WasteCostUSD = -1 }),
+		mut(func(p *Params) { p.EmergencyCostUSD = 10 }),
+		mut(func(p *Params) { p.Battery.ChargeEff = 2 }),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestTheorem2Bounds(t *testing.T) {
+	p := DefaultParams() // V=1, T=24, Pmax=150, Ddtmax=1, eps=0.5
+	vp := 1.0 * 150 / 24
+	if got := p.QMax(); math.Abs(got-(vp+1)) > 1e-12 {
+		t.Errorf("QMax = %g, want %g", got, vp+1)
+	}
+	if got := p.YMax(); math.Abs(got-(vp+0.5)) > 1e-12 {
+		t.Errorf("YMax = %g, want %g", got, vp+0.5)
+	}
+	if got := p.UMax(); math.Abs(got-(vp+1.5)) > 1e-12 {
+		t.Errorf("UMax = %g, want %g", got, vp+1.5)
+	}
+	wantLambda := int(math.Ceil((2*vp + 1 + 0.5) / 0.5))
+	if got := p.LambdaMax(); got != wantLambda {
+		t.Errorf("LambdaMax = %d, want %d", got, wantLambda)
+	}
+}
+
+func TestBoundsScaleWithV(t *testing.T) {
+	small := DefaultParams()
+	small.V = 0.1
+	large := DefaultParams()
+	large.V = 5
+	if small.QMax() >= large.QMax() {
+		t.Error("QMax must grow with V (O(V) delay side of the tradeoff)")
+	}
+	if small.LambdaMax() >= large.LambdaMax() {
+		t.Error("LambdaMax must grow with V")
+	}
+	if small.UMax() >= large.UMax() {
+		t.Error("UMax must grow with V")
+	}
+}
+
+func TestBoundsShrinkWithT(t *testing.T) {
+	shortT := DefaultParams()
+	shortT.T = 3
+	longT := DefaultParams()
+	longT.T = 144
+	// Queue bounds are proportional to V·Pmax/T (Theorem 2): larger T
+	// means tighter backlog bounds and shorter worst-case delay.
+	if shortT.QMax() <= longT.QMax() {
+		t.Error("QMax must shrink as T grows")
+	}
+	if shortT.LambdaMax() <= longT.LambdaMax() {
+		t.Error("LambdaMax must shrink as T grows")
+	}
+}
+
+func TestVMax(t *testing.T) {
+	p := DefaultParams()
+	// The default 15-minute UPS is smaller than the drift slack, so the
+	// theorem's Vmax is negative (vacuous) — the physical caps still hold.
+	if got := p.VMax(); got >= 0 {
+		t.Logf("VMax = %g (battery large enough for Theorem 2)", got)
+	}
+	// A big battery must produce a positive Vmax.
+	big := p
+	big.Battery.CapacityMWh = 100
+	big.Battery.InitialMWh = 50
+	if got := big.VMax(); got <= 0 {
+		t.Errorf("VMax = %g for a 100 MWh battery, want positive", got)
+	}
+	// Vmax grows with capacity.
+	bigger := big
+	bigger.Battery.CapacityMWh = 200
+	if bigger.VMax() <= big.VMax() {
+		t.Error("VMax must grow with battery capacity")
+	}
+}
+
+func TestXShift(t *testing.T) {
+	p := DefaultParams()
+	want := p.UMax() + p.Battery.MinLevelMWh + p.Battery.MaxDischargeMWh*p.Battery.DischargeEff
+	if got := p.XShift(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("XShift = %g, want %g", got, want)
+	}
+}

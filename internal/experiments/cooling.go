@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	dpss "github.com/smartdpss/smartdpss"
+)
+
+// ExtCooling (EXT-7) exercises the paper's other declared future-work
+// item: cooling cost (Sec. IV-C). Demand is coupled through an
+// outside-temperature trace and a PUE curve — free cooling at a flat base
+// overhead in cold weather, chiller load growing with temperature in hot
+// weather. Because hot afternoons coincide with the interactive peak,
+// summer cooling raises both the level and the variance of facility
+// demand; the experiment measures whether SmartDPSS's advantage over
+// Impatient survives the coupling.
+func ExtCooling(cfg Config) (*Table, error) {
+	t := &Table{
+		Title: "EXT-7 — cooling coupling (paper future work, Sec. IV-C)",
+		Note: "facility demand = IT demand × PUE(outside temperature); winter ≈ free cooling,\n" +
+			"summer ≈ chiller regime; expected: demand and cost rise with temperature, the\n" +
+			"SmartDPSS saving over Impatient persists.",
+		Columns: []string{"climate", "avg PUE", "demand MWh", "smart $/slot", "impatient $/slot", "saving"},
+	}
+
+	climates := []struct {
+		label string
+		meanC float64
+	}{
+		{"no cooling model", -1000}, // sentinel: skip coupling
+		{"winter (2 C)", 2},
+		{"mild (16 C)", 16},
+		{"summer (26 C)", 26},
+	}
+	for _, cl := range climates {
+		traces, err := dpss.GenerateTraces(cfg.traceConfig())
+		if err != nil {
+			return nil, err
+		}
+		avgPUE := 1.0
+		if cl.meanC > -999 {
+			avgPUE, err = traces.ApplyCooling(dpss.CoolingConfig{
+				MeanTempC: cl.meanC,
+				Seed:      cfg.Seed + 31,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		stats, err := dpss.TraceStatistics(traces)
+		if err != nil {
+			return nil, err
+		}
+		demand := stats[0].Sum + stats[1].Sum
+
+		opts := dpss.DefaultOptions()
+		smart, err := simulate(dpss.PolicySmartDPSS, opts, traces)
+		if err != nil {
+			return nil, err
+		}
+		imp, err := simulate(dpss.PolicyImpatient, opts, traces)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(cl.label, fmt.Sprintf("%.3f", avgPUE), fmtF(demand),
+			fmtUSD(smart.TimeAvgCostUSD), fmtUSD(imp.TimeAvgCostUSD),
+			fmtPct(1-smart.TotalCostUSD/imp.TotalCostUSD))
+	}
+	return t, nil
+}

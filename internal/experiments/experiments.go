@@ -1,0 +1,152 @@
+// Package experiments reproduces every figure of the SmartDPSS evaluation
+// (Sec. VI): the one-month input traces (Fig. 5), the V and T sensitivity
+// sweeps (Fig. 6), the ε/market-structure/battery-size factors (Fig. 7),
+// renewable penetration and demand variation (Fig. 8), robustness to
+// estimation errors (Fig. 9), and system-expansion scalability (Fig. 10).
+//
+// Each runner returns a Table whose rows mirror the series the paper
+// plots; cmd/experiments prints them and EXPERIMENTS.md records measured
+// outputs against the paper's qualitative claims. Absolute dollar values
+// differ from the paper (synthetic traces stand in for MIDC/NYISO/Google
+// data), but the shapes — who wins, what is monotone, where benefits
+// order — are the reproduction targets.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	dpss "github.com/smartdpss/smartdpss"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	// Days is the trace horizon (paper: 31).
+	Days int
+	// Seed drives the synthetic generators.
+	Seed int64
+	// SkipOffline drops the clairvoyant benchmark columns (useful for
+	// quick runs; the offline LPs dominate the runtime).
+	SkipOffline bool
+}
+
+// DefaultConfig matches the paper's one-month setup.
+func DefaultConfig() Config {
+	return Config{Days: 31, Seed: 1}
+}
+
+// traceConfig translates the experiment scope into a trace request.
+func (c Config) traceConfig() dpss.TraceConfig {
+	tc := dpss.DefaultTraceConfig()
+	tc.Days = c.Days
+	tc.Seed = c.Seed
+	return tc
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	// Title names the reproduced figure.
+	Title string
+	// Note captures the fixed parameters and reading guidance.
+	Note string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, already formatted.
+	Rows [][]string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "## %s\n", t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtUSD formats a dollar amount.
+func fmtUSD(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// fmtF formats a generic float.
+func fmtF(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// fmtPct formats a ratio as a signed percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%+.2f%%", 100*v) }
+
+// simulate is a small helper with uniform error context.
+func simulate(policy dpss.Policy, opts dpss.Options, tr *dpss.Traces) (*dpss.Report, error) {
+	rep, err := dpss.Simulate(policy, opts, tr)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", policy, err)
+	}
+	return rep, nil
+}
+
+// WriteCSV renders the table as CSV (one header row plus data rows), for
+// piping experiment results into plotting tools.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("experiments: write header: %w", err)
+	}
+	for i, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

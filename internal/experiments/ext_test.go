@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestExtPeakManagement(t *testing.T) {
+	tbl, err := ExtPeakManagement(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// Peaks are bounded by Pgrid = 2 MW for every policy (the paper's
+	// Sec. IV-C remark).
+	for r := range tbl.Rows {
+		if peak := cell(t, tbl, r, 3); peak > 2.0+1e-9 {
+			t.Errorf("row %d: peak %g MW exceeds Pgrid", r, peak)
+		}
+	}
+	// Combined cost (energy + demand charge) keeps SmartDPSS ahead of
+	// Impatient at equal battery.
+	if cell(t, tbl, 0, 5) >= cell(t, tbl, 2, 5) {
+		t.Errorf("SmartDPSS combined %s not below Impatient %s",
+			tbl.Rows[0][5], tbl.Rows[2][5])
+	}
+}
+
+func TestExtCycleBudget(t *testing.T) {
+	tbl, err := ExtCycleBudget(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(ExtCycleBudgetValues) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(ExtCycleBudgetValues))
+	}
+	// Battery operations respect each budget.
+	for r := 1; r < len(tbl.Rows); r++ {
+		budget := float64(ExtCycleBudgetValues[r])
+		if ops := cell(t, tbl, r, 2); ops > budget {
+			t.Errorf("row %d: ops %g exceed budget %g", r, ops, budget)
+		}
+	}
+	// Cost is non-decreasing as the budget tightens (within round-off).
+	for r := 2; r < len(tbl.Rows); r++ {
+		if cell(t, tbl, r, 1) < cell(t, tbl, r-1, 1)-0.05 {
+			t.Errorf("cost at Nmax=%s (%s) below looser budget (%s)",
+				tbl.Rows[r][0], tbl.Rows[r][1], tbl.Rows[r-1][1])
+		}
+	}
+	// The controller must degrade gracefully: nothing unserved.
+	for r := range tbl.Rows {
+		if cell(t, tbl, r, 4) > 1e-6 {
+			t.Errorf("row %d: unserved %s under a cycle budget", r, tbl.Rows[r][4])
+		}
+	}
+}
+
+func TestExtEstimatorAblation(t *testing.T) {
+	tbl, err := ExtEstimatorAblation(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// The two estimators must stay within a moderate band of each other;
+	// the ablation is informative, not pathological.
+	for r := range tbl.Rows {
+		if p := cell(t, tbl, r, 3); p < -20 || p > 20 {
+			t.Errorf("row %d: snapshot penalty %s outside ±20%%", r, tbl.Rows[r][3])
+		}
+	}
+}
+
+func TestExtForesight(t *testing.T) {
+	tbl, err := ExtForesight(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1+len(ExtForesightValues) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), 1+len(ExtForesightValues))
+	}
+	// More foresight is monotone valuable across the lookahead ladder
+	// (allow a small receding-horizon tolerance).
+	for r := 2; r < len(tbl.Rows); r++ {
+		if cell(t, tbl, r, 1) > cell(t, tbl, r-1, 1)*1.03 {
+			t.Errorf("%s cost %s above %s cost %s",
+				tbl.Rows[r][0], tbl.Rows[r][1], tbl.Rows[r-1][0], tbl.Rows[r-1][1])
+		}
+	}
+	// Myopic lookahead must lose to SmartDPSS (the paper's thesis: the
+	// Lyapunov policy extracts deferral value without foresight).
+	if cell(t, tbl, 1, 1) <= cell(t, tbl, 0, 1) {
+		t.Errorf("Lookahead(1) %s not above SmartDPSS %s", tbl.Rows[1][1], tbl.Rows[0][1])
+	}
+}
+
+func TestExtRenewableMix(t *testing.T) {
+	tbl, err := ExtRenewableMix(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	// Solar-only has no night production; wind-dominated portfolios do.
+	if tbl.Rows[0][3] != "0.0%" {
+		t.Errorf("solar-only night share = %s, want 0.0%%", tbl.Rows[0][3])
+	}
+	// The mixed portfolio wastes no more than solar alone at equal
+	// penetration (the smoothing effect).
+	if cell(t, tbl, 2, 2) > cell(t, tbl, 0, 2) {
+		t.Errorf("mixed waste %s above solar-only %s", tbl.Rows[2][2], tbl.Rows[0][2])
+	}
+	// And costs no more than solar alone.
+	if cell(t, tbl, 2, 1) > cell(t, tbl, 0, 1) {
+		t.Errorf("mixed cost %s above solar-only %s", tbl.Rows[2][1], tbl.Rows[0][1])
+	}
+}
+
+func TestMultiSeedSummary(t *testing.T) {
+	cfg := fastConfig()
+	tbl, err := MultiSeedSummary(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 { // offline skipped in fastConfig
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// SmartDPSS mean cost below Impatient mean cost.
+	if cell(t, tbl, 0, 1) >= cell(t, tbl, 1, 1) {
+		t.Errorf("SmartDPSS mean %s not below Impatient mean %s",
+			tbl.Rows[0][1], tbl.Rows[1][1])
+	}
+	if _, err := MultiSeedSummary(cfg, 1); err == nil {
+		t.Error("single seed accepted")
+	}
+}
+
+func TestExtCooling(t *testing.T) {
+	tbl, err := ExtCooling(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// PUE and demand rise with climate temperature.
+	for r := 2; r < len(tbl.Rows); r++ {
+		if cell(t, tbl, r, 1) < cell(t, tbl, r-1, 1) {
+			t.Errorf("PUE at %s below %s", tbl.Rows[r][0], tbl.Rows[r-1][0])
+		}
+		if cell(t, tbl, r, 2) < cell(t, tbl, r-1, 2) {
+			t.Errorf("demand at %s below %s", tbl.Rows[r][0], tbl.Rows[r-1][0])
+		}
+	}
+	// The saving persists in every climate.
+	for r := range tbl.Rows {
+		if cell(t, tbl, r, 5) <= 0 {
+			t.Errorf("%s: saving %s not positive", tbl.Rows[r][0], tbl.Rows[r][5])
+		}
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("3", "4")
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}

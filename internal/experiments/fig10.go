@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	dpss "github.com/smartdpss/smartdpss"
+)
+
+// Fig10Betas are the system-expansion factors of Fig. 10.
+var Fig10Betas = []float64{1, 2, 5, 10}
+
+// Fig10Scaling reproduces Fig. 10: time-average total cost as the system
+// expands to β times the current demand and renewable production
+// (Sec. V-C). The grid connection grows with the datacenter, but the UPS
+// "cannot be enlarged proportionally and stays fixed due to limits of
+// space and capital cost". The paper's reading: total cost grows almost
+// linearly with β while the per-unit cost falls (the growth rate slows).
+func Fig10Scaling(cfg Config) (*Table, error) {
+	t := &Table{
+		Title: "Fig. 10 — time-average total cost under system expansion β",
+		Note: "demand and renewables scaled by β, Pgrid scaled, UPS fixed at the β=1 size;\n" +
+			"expected: total cost near-linear in β, per-unit cost ↓.",
+		Columns: []string{"beta", "cost $/slot", "cost per unit ($/slot/beta)", "mean delay", "unserved MWh"},
+	}
+	for _, beta := range Fig10Betas {
+		traces, err := dpss.GenerateTraces(cfg.traceConfig())
+		if err != nil {
+			return nil, err
+		}
+		traces.ScaleSystem(beta)
+
+		opts := dpss.DefaultOptions()
+		opts.PeakMW = 2.0 * beta      // grid connection grows with the DC
+		opts.BatteryReferenceMW = 2.0 // UPS stays at the original size
+		rep, err := simulate(dpss.PolicySmartDPSS, opts, traces)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.0f", beta),
+			fmtUSD(rep.TimeAvgCostUSD), fmtUSD(rep.TimeAvgCostUSD/beta),
+			fmtF(rep.MeanDelaySlots), fmtF(rep.UnservedMWh))
+	}
+	return t, nil
+}
+
+// All runs every figure's experiment and returns the tables in paper
+// order. SkipOffline in cfg shortens the run considerably.
+func All(cfg Config) ([]*Table, error) {
+	runners := []func(Config) (*Table, error){
+		Fig5Traces,
+		Fig6VSweep,
+		Fig6TSweep,
+		Fig7Factors,
+		Fig8Penetration,
+		Fig9Robustness,
+		Fig10Scaling,
+	}
+	tables := make([]*Table, 0, len(runners))
+	for _, run := range runners {
+		tbl, err := run(cfg)
+		if err != nil {
+			return tables, err
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}

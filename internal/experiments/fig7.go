@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	dpss "github.com/smartdpss/smartdpss"
+)
+
+// Fig7EpsilonValues are the delay-control parameters of Fig. 7.
+var Fig7EpsilonValues = []float64{0.25, 0.5, 1, 2}
+
+// Fig7BatteryMinutes are the UPS sizes of Fig. 7 (minutes of peak demand).
+var Fig7BatteryMinutes = []float64{0, 15, 30}
+
+// Fig7Factors reproduces Fig. 7: the impact of ε, the market structure
+// (two markets "TM" vs real-time only "RTM") and the battery size Bmax on
+// time-average total cost, with V = 1 and T = 24. The paper's reading:
+// cost ↑ with ε; TM < RTM; cost ↓ with Bmax; and the benefit ordering is
+// battery > market structure > ε.
+func Fig7Factors(cfg Config) (*Table, error) {
+	traces, err := dpss.GenerateTraces(cfg.traceConfig())
+	if err != nil {
+		return nil, err
+	}
+	base := dpss.DefaultOptions()
+
+	t := &Table{
+		Title: "Fig. 7 — impact of ε, market structure and Bmax on time-average total cost",
+		Note: "V=1, T=24; TM = two-timescale markets, RTM = real-time market only, NB = no battery;\n" +
+			"expected: cost ↑ with ε; TM < RTM; cost ↓ with Bmax.",
+		Columns: []string{"configuration", "cost $/slot", "mean delay", "battery ops"},
+	}
+
+	addRun := func(label string, o dpss.Options) error {
+		rep, err := simulate(dpss.PolicySmartDPSS, o, traces)
+		if err != nil {
+			return err
+		}
+		t.AddRow(label, fmtUSD(rep.TimeAvgCostUSD), fmtF(rep.MeanDelaySlots),
+			fmt.Sprintf("%d", rep.BatteryOps))
+		return nil
+	}
+
+	// ε sweep (TM, Bmax = 15 min).
+	for _, eps := range Fig7EpsilonValues {
+		o := base
+		o.Epsilon = eps
+		if err := addRun(fmt.Sprintf("eps=%.2f TM Bmax=15", eps), o); err != nil {
+			return nil, err
+		}
+	}
+
+	// Market structure (ε = 0.5, Bmax = 15 min).
+	rtm := base
+	rtm.DisableLongTerm = true
+	if err := addRun("eps=0.50 RTM Bmax=15", rtm); err != nil {
+		return nil, err
+	}
+
+	// Battery sizes (TM, ε = 0.5).
+	for _, minutes := range Fig7BatteryMinutes {
+		o := base
+		o.BatteryMinutes = minutes
+		label := fmt.Sprintf("eps=0.50 TM Bmax=%g", minutes)
+		if minutes == 0 {
+			label = "eps=0.50 TM NB (no battery)"
+		}
+		if err := addRun(label, o); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	dpss "github.com/smartdpss/smartdpss"
+)
+
+// Fig8PenetrationLevels are the renewable shares of Fig. 8 (fraction of
+// total demand the on-site production could cover).
+var Fig8PenetrationLevels = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+// Fig8VariationFactors stretch demand around its mean for Fig. 8's
+// demand-variation axis.
+var Fig8VariationFactors = []float64{0.5, 0.75, 1.0, 1.25, 1.5}
+
+// Fig8Penetration reproduces Fig. 8: DPSS operation cost at increasing
+// renewable penetration and increasing demand variation. The paper's
+// reading: cost falls sharply with penetration (renewables are free at
+// the margin) and rises mildly with demand variation (approximation
+// errors grow, buffered by the battery and the two markets).
+func Fig8Penetration(cfg Config) (*Table, error) {
+	opts := dpss.DefaultOptions()
+
+	t := &Table{
+		Title: "Fig. 8 — cost vs renewable penetration and demand variation",
+		Note: "V=1, T=24, ε=0.5, Bmax=15 min;\n" +
+			"expected: cost ↓ strongly with penetration, ↑ mildly with variation.",
+		Columns: []string{"axis", "level", "cost $/slot", "waste MWh", "demand std MWh"},
+	}
+
+	for _, pen := range Fig8PenetrationLevels {
+		traces, err := dpss.GenerateTraces(cfg.traceConfig())
+		if err != nil {
+			return nil, err
+		}
+		if err := traces.SetPenetration(pen); err != nil {
+			return nil, err
+		}
+		rep, err := simulate(dpss.PolicySmartDPSS, opts, traces)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("penetration", fmt.Sprintf("%.0f%%", 100*pen),
+			fmtUSD(rep.TimeAvgCostUSD), fmtF(rep.WasteMWh), fmtF(traces.DemandStdDev()))
+	}
+
+	for _, k := range Fig8VariationFactors {
+		traces, err := dpss.GenerateTraces(cfg.traceConfig())
+		if err != nil {
+			return nil, err
+		}
+		if err := traces.ScaleDemandVariation(k); err != nil {
+			return nil, err
+		}
+		rep, err := simulate(dpss.PolicySmartDPSS, opts, traces)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("variation", fmt.Sprintf("k=%.2f", k),
+			fmtUSD(rep.TimeAvgCostUSD), fmtF(rep.WasteMWh), fmtF(traces.DemandStdDev()))
+	}
+	return t, nil
+}

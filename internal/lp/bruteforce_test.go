@@ -1,0 +1,161 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// halfspace is one linear condition a·x {≤,=} b used by the brute-force
+// vertex enumerator.
+type halfspace struct {
+	a   []float64
+	rel Relation
+	b   float64
+}
+
+// allHalfspaces flattens a randomBoxLP into halfspaces including bounds.
+func (g randomBoxLP) allHalfspaces() []halfspace {
+	var hs []halfspace
+	for c, row := range g.rows {
+		a := make([]float64, g.nVars)
+		copy(a, row)
+		hs = append(hs, halfspace{a: a, rel: g.rels[c], b: g.rhs[c]})
+	}
+	for i := 0; i < g.nVars; i++ {
+		lo := make([]float64, g.nVars)
+		lo[i] = 1
+		hs = append(hs, halfspace{a: lo, rel: GE, b: g.lo[i]})
+		hi := make([]float64, g.nVars)
+		hi[i] = 1
+		hs = append(hs, halfspace{a: hi, rel: LE, b: g.hi[i]})
+	}
+	return hs
+}
+
+// solveSquare solves an n×n dense linear system with partial pivoting,
+// returning ok=false for singular systems.
+func solveSquare(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		piv, best := -1, 1e-9
+		for r := col; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				piv, best = r, v
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for j := col; j <= n; j++ {
+			m[col][j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col]
+			for j := col; j <= n; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = m[i][n]
+	}
+	return x, true
+}
+
+// bruteForceMin enumerates all vertices of the polytope (intersections of
+// nVars constraint hyperplanes), and returns the best feasible objective.
+func bruteForceMin(g randomBoxLP) (best float64, found bool) {
+	hs := g.allHalfspaces()
+	n := g.nVars
+	best = math.Inf(1)
+
+	idx := make([]int, n)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == n {
+			a := make([][]float64, n)
+			b := make([]float64, n)
+			for i, hi := range idx {
+				a[i] = hs[hi].a
+				b[i] = hs[hi].b
+			}
+			x, ok := solveSquare(a, b)
+			if !ok {
+				return
+			}
+			if g.feasible(x, 1e-7) {
+				found = true
+				if obj := g.objective(x); obj < best {
+					best = obj
+				}
+			}
+			return
+		}
+		for i := start; i < len(hs); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+// TestBruteForceCrossValidation compares the simplex optimum against
+// exhaustive vertex enumeration on hundreds of random small LPs. Because the
+// random boxes are bounded, an optimum always sits on a vertex.
+func TestBruteForceCrossValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	checked := 0
+	for trial := 0; trial < 600; trial++ {
+		g := genBoxLP(r)
+		if g.nVars > 3 {
+			continue // keep the C(n+m, n) enumeration cheap
+		}
+		p, _ := g.build()
+		sol, err := p.Minimize()
+		if err != nil {
+			t.Fatalf("trial %d: solver error: %v (problem %+v)", trial, err, g)
+		}
+		bfBest, bfFound := bruteForceMin(g)
+		switch sol.Status {
+		case Optimal:
+			if !bfFound {
+				// The brute force can miss feasible regions whose optimum is
+				// at a degenerate intersection it failed to solve; verify the
+				// simplex point instead.
+				if !g.feasible(sol.Values(), 1e-6) {
+					t.Fatalf("trial %d: optimum not feasible (problem %+v)", trial, g)
+				}
+				continue
+			}
+			if math.Abs(bfBest-sol.Objective) > 1e-5*math.Max(1, math.Abs(bfBest)) {
+				t.Fatalf("trial %d: simplex %.9g vs brute force %.9g (problem %+v)",
+					trial, sol.Objective, bfBest, g)
+			}
+			checked++
+		case Infeasible:
+			if bfFound {
+				t.Fatalf("trial %d: solver infeasible but brute force found vertex with obj %g (problem %+v)",
+					trial, bfBest, g)
+			}
+		case Unbounded:
+			t.Fatalf("trial %d: bounded box cannot be unbounded (problem %+v)", trial, g)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d optimal instances cross-checked; generator too restrictive", checked)
+	}
+}

@@ -1,0 +1,23 @@
+// Package lp provides a dense, two-phase primal simplex solver for small
+// and medium linear programs, written against the standard library only.
+//
+// The SmartDPSS paper solves its per-slot subproblems (P2, P4, P5) "using
+// classical linear programming approaches, e.g., simplex method" with
+// toolbox solvers such as Matlab's linprog. Go has no such solver in the
+// standard library, so this package supplies the substrate.
+//
+// The solver accepts minimization problems over bounded variables:
+//
+//	min  cᵀx
+//	s.t. aᵢᵀx {≤,=,≥} bᵢ   for each constraint i
+//	     lo ≤ x ≤ hi       element-wise (lo may be -Inf, hi may be +Inf)
+//
+// Internally the problem is rewritten to standard form (equalities over
+// non-negative variables) and solved with a two-phase tableau simplex.
+// Entering variables are chosen by Dantzig's rule, falling back to Bland's
+// rule when the objective stalls, which guarantees termination.
+//
+// The problems produced by SmartDPSS are tiny (2–6 variables per fine slot)
+// or moderate (a few hundred variables for the per-day offline LP); a dense
+// tableau is both simple and fast enough for those sizes.
+package lp

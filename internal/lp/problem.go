@@ -1,0 +1,145 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of a linear constraint.
+type Relation int
+
+// Constraint relations.
+const (
+	LE Relation = iota + 1 // aᵀx ≤ b
+	GE                     // aᵀx ≥ b
+	EQ                     // aᵀx = b
+)
+
+// String returns the mathematical symbol for the relation.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// VarID identifies a variable within a Problem.
+type VarID int
+
+// Term is a single coefficient–variable product in a constraint row.
+type Term struct {
+	Var   VarID
+	Coeff float64
+}
+
+// variable is the internal record of one decision variable.
+type variable struct {
+	name  string
+	lower float64
+	upper float64
+	cost  float64
+}
+
+// constraint is the internal record of one constraint row.
+type constraint struct {
+	terms []Term
+	rel   Relation
+	rhs   float64
+}
+
+// Problem is a mutable linear program under construction. The zero value is
+// not usable; create instances with NewProblem.
+type Problem struct {
+	vars    []variable
+	cons    []constraint
+	maxIter int
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem {
+	return &Problem{}
+}
+
+// SetMaxIterations overrides the default simplex iteration budget
+// (0 restores the default, which scales with problem size).
+func (p *Problem) SetMaxIterations(n int) { p.maxIter = n }
+
+// AddVariable adds a decision variable with bounds [lower, upper] and the
+// given objective coefficient, returning its identifier. lower may be
+// math.Inf(-1) and upper may be math.Inf(1).
+func (p *Problem) AddVariable(name string, lower, upper, cost float64) VarID {
+	p.vars = append(p.vars, variable{name: name, lower: lower, upper: upper, cost: cost})
+	return VarID(len(p.vars) - 1)
+}
+
+// AddConstraint adds the row  Σ terms  rel  rhs.
+// Terms referencing the same variable are summed.
+func (p *Problem) AddConstraint(rel Relation, rhs float64, terms ...Term) {
+	own := make([]Term, len(terms))
+	copy(own, terms)
+	p.cons = append(p.cons, constraint{terms: own, rel: rel, rhs: rhs})
+}
+
+// NumVariables reports the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.vars) }
+
+// NumConstraints reports the number of constraint rows added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// Validation errors returned by Minimize.
+var (
+	ErrNoVariables  = errors.New("lp: problem has no variables")
+	ErrBadBounds    = errors.New("lp: variable lower bound exceeds upper bound")
+	ErrBadTerm      = errors.New("lp: constraint references unknown variable")
+	ErrNotFinite    = errors.New("lp: non-finite coefficient or right-hand side")
+	ErrIterLimit    = errors.New("lp: simplex iteration limit exceeded")
+	ErrInfeasible   = errors.New("lp: problem is infeasible")
+	ErrUnbounded    = errors.New("lp: problem is unbounded")
+	errNumericalBug = errors.New("lp: internal numerical inconsistency")
+)
+
+// validate checks the problem for structural errors before solving.
+func (p *Problem) validate() error {
+	if len(p.vars) == 0 {
+		return ErrNoVariables
+	}
+	for i, v := range p.vars {
+		if v.lower > v.upper {
+			return fmt.Errorf("%w: %s has [%g, %g]", ErrBadBounds, p.varName(VarID(i)), v.lower, v.upper)
+		}
+		if math.IsNaN(v.lower) || math.IsNaN(v.upper) || !isFinite(v.cost) {
+			return fmt.Errorf("%w: variable %s", ErrNotFinite, p.varName(VarID(i)))
+		}
+	}
+	for i, c := range p.cons {
+		if !isFinite(c.rhs) {
+			return fmt.Errorf("%w: constraint %d rhs", ErrNotFinite, i)
+		}
+		for _, t := range c.terms {
+			if int(t.Var) < 0 || int(t.Var) >= len(p.vars) {
+				return fmt.Errorf("%w: constraint %d references %d", ErrBadTerm, i, t.Var)
+			}
+			if !isFinite(t.Coeff) {
+				return fmt.Errorf("%w: constraint %d coefficient", ErrNotFinite, i)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Problem) varName(id VarID) string {
+	v := p.vars[id]
+	if v.name == "" {
+		return fmt.Sprintf("x%d", int(id))
+	}
+	return v.name
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

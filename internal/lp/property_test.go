@@ -1,0 +1,235 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomBoxLP builds a random LP over a bounded box, so it is always
+// feasible (the box corner) unless the random rows cut the box away.
+type randomBoxLP struct {
+	nVars int
+	costs []float64
+	rows  [][]float64
+	rels  []Relation
+	rhs   []float64
+	lo    []float64
+	hi    []float64
+}
+
+func genBoxLP(r *rand.Rand) randomBoxLP {
+	nVars := 1 + r.Intn(4)
+	nCons := r.Intn(5)
+	g := randomBoxLP{
+		nVars: nVars,
+		costs: make([]float64, nVars),
+		lo:    make([]float64, nVars),
+		hi:    make([]float64, nVars),
+	}
+	for i := 0; i < nVars; i++ {
+		g.costs[i] = math.Round((r.Float64()*10-5)*8) / 8
+		g.lo[i] = math.Round((r.Float64()*4-2)*4) / 4
+		g.hi[i] = g.lo[i] + math.Round(r.Float64()*5*4)/4
+	}
+	for c := 0; c < nCons; c++ {
+		row := make([]float64, nVars)
+		for i := range row {
+			row[i] = math.Round((r.Float64()*6-3)*4) / 4
+		}
+		g.rows = append(g.rows, row)
+		g.rels = append(g.rels, []Relation{LE, GE, EQ}[r.Intn(3)])
+		g.rhs = append(g.rhs, math.Round((r.Float64()*20-10)*4)/4)
+	}
+	return g
+}
+
+func (g randomBoxLP) build() (*Problem, []VarID) {
+	p := NewProblem()
+	ids := make([]VarID, g.nVars)
+	for i := 0; i < g.nVars; i++ {
+		ids[i] = p.AddVariable("", g.lo[i], g.hi[i], g.costs[i])
+	}
+	for c, row := range g.rows {
+		terms := make([]Term, 0, g.nVars)
+		for i, coef := range row {
+			if coef != 0 {
+				terms = append(terms, Term{ids[i], coef})
+			}
+		}
+		p.AddConstraint(g.rels[c], g.rhs[c], terms...)
+	}
+	return p, ids
+}
+
+// feasible reports whether x satisfies all constraints and bounds of g.
+func (g randomBoxLP) feasible(x []float64, slack float64) bool {
+	for i := 0; i < g.nVars; i++ {
+		if x[i] < g.lo[i]-slack || x[i] > g.hi[i]+slack {
+			return false
+		}
+	}
+	for c, row := range g.rows {
+		dot := 0.0
+		for i, coef := range row {
+			dot += coef * x[i]
+		}
+		switch g.rels[c] {
+		case LE:
+			if dot > g.rhs[c]+slack {
+				return false
+			}
+		case GE:
+			if dot < g.rhs[c]-slack {
+				return false
+			}
+		case EQ:
+			if math.Abs(dot-g.rhs[c]) > slack {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (g randomBoxLP) objective(x []float64) float64 {
+	dot := 0.0
+	for i, c := range g.costs {
+		dot += c * x[i]
+	}
+	return dot
+}
+
+// TestPropertyOptimalSolutionsAreFeasible: any reported optimum must satisfy
+// every constraint and bound of the original problem.
+func TestPropertyOptimalSolutionsAreFeasible(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		g := genBoxLP(r)
+		p, _ := g.build()
+		sol, err := p.Minimize()
+		if err != nil {
+			t.Logf("solver error: %v", err)
+			return false
+		}
+		if sol.Status != Optimal {
+			return true // nothing to verify for infeasible/unbounded here
+		}
+		x := sol.Values()
+		if !g.feasible(x, 1e-6) {
+			t.Logf("infeasible optimum %v for %+v", x, g)
+			return false
+		}
+		if !almostEqual(g.objective(x), sol.Objective) {
+			t.Logf("objective mismatch: reported %g computed %g", sol.Objective, g.objective(x))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRandomPointsNeverBeatOptimum: random feasible samples of the
+// box cannot achieve a lower objective than the reported optimum.
+func TestPropertyRandomPointsNeverBeatOptimum(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		g := genBoxLP(r)
+		p, _ := g.build()
+		sol, err := p.Minimize()
+		if err != nil || sol.Status != Optimal {
+			return true
+		}
+		for trial := 0; trial < 200; trial++ {
+			x := make([]float64, g.nVars)
+			for i := range x {
+				x[i] = g.lo[i] + r.Float64()*(g.hi[i]-g.lo[i])
+			}
+			if g.feasible(x, 0) && g.objective(x) < sol.Objective-1e-6 {
+				t.Logf("random point %v beats optimum: %g < %g", x, g.objective(x), sol.Objective)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyInfeasibleMeansNoBoxCorner: when the solver reports
+// infeasible, no corner of the variable box may satisfy the constraints.
+// (Corners do not cover the whole feasible set, but a feasible corner is a
+// definite counterexample.)
+func TestPropertyInfeasibleMeansNoBoxCorner(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	f := func() bool {
+		g := genBoxLP(r)
+		p, _ := g.build()
+		sol, err := p.Minimize()
+		if err != nil || sol.Status != Infeasible {
+			return true
+		}
+		n := g.nVars
+		for mask := 0; mask < 1<<n; mask++ {
+			x := make([]float64, n)
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					x[i] = g.hi[i]
+				} else {
+					x[i] = g.lo[i]
+				}
+			}
+			if g.feasible(x, 1e-9) {
+				t.Logf("solver said infeasible but corner %v is feasible for %+v", x, g)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyScalingInvariance: scaling the objective by a positive factor
+// scales the optimum accordingly and keeps the argmin feasible set.
+func TestPropertyScalingInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	f := func() bool {
+		g := genBoxLP(r)
+		p1, _ := g.build()
+		sol1, err1 := p1.Minimize()
+
+		scaled := g
+		scaled.costs = make([]float64, len(g.costs))
+		const k = 3.5
+		for i, c := range g.costs {
+			scaled.costs[i] = k * c
+		}
+		p2, _ := scaled.build()
+		sol2, err2 := p2.Minimize()
+
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		if sol1.Status != sol2.Status {
+			t.Logf("status changed under scaling: %v vs %v", sol1.Status, sol2.Status)
+			return false
+		}
+		if sol1.Status != Optimal {
+			return true
+		}
+		if !almostEqual(sol2.Objective, k*sol1.Objective) {
+			t.Logf("scaled objective %g, want %g", sol2.Objective, k*sol1.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

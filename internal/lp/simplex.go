@@ -1,0 +1,358 @@
+package lp
+
+import (
+	"math"
+)
+
+// Numerical tolerances for the tableau simplex.
+const (
+	pivotTol = 1e-9  // minimum |pivot| accepted
+	costTol  = 1e-9  // reduced-cost optimality tolerance
+	feasTol  = 1e-7  // phase-1 feasibility tolerance
+	stallWin = 256   // pivots without improvement before switching to Bland
+	improveE = 1e-12 // minimum objective improvement counted as progress
+)
+
+// tableau is a dense simplex tableau with simultaneous phase-1/phase-2
+// objective rows.
+type tableau struct {
+	m, n     int         // active rows, total columns (incl. slacks/artificials)
+	rows     [][]float64 // m rows × n coefficients (current B⁻¹A)
+	rhs      []float64   // current B⁻¹b (kept ≥ 0 up to roundoff)
+	basis    []int       // basis[i] = column basic in row i
+	obj      []float64   // phase-2 reduced-cost row
+	objVal   float64     // phase-2 objective of current basis (to be negated)
+	p1obj    []float64   // phase-1 reduced-cost row
+	p1val    float64     // phase-1 objective of current basis
+	artStart int         // first artificial column; columns ≥ artStart are banned in phase 2
+	inPhase1 bool
+	bland    bool // permanent Bland's-rule mode after stalls
+	stall    int
+	pivots   int
+}
+
+// Minimize solves the problem, returning a Solution whose Status reports
+// optimality, infeasibility or unboundedness. An error is returned only for
+// structurally invalid problems or when the iteration budget is exhausted.
+func (p *Problem) Minimize() (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	sf := p.toStandardForm()
+	t := newTableau(sf)
+
+	maxIter := p.maxIter
+	if maxIter <= 0 {
+		maxIter = 200 + 60*(t.m+t.n)
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	t.inPhase1 = true
+	status, err := t.iterate(maxIter)
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
+		// Phase-1 objective is bounded below by 0; unbounded here means a bug.
+		return nil, errNumericalBug
+	}
+	if t.p1val > feasTol {
+		return &Solution{Status: Infeasible, Iterations: t.pivots}, nil
+	}
+	t.leavePhase1()
+
+	// Phase 2: minimize the true objective.
+	status, err = t.iterate(maxIter)
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
+		return &Solution{Status: Unbounded, Iterations: t.pivots}, nil
+	}
+
+	y := make([]float64, sf.ncols)
+	for i, col := range t.basis {
+		if col < sf.ncols {
+			y[col] = t.rhs[i]
+		}
+	}
+	return &Solution{
+		Status:     Optimal,
+		Objective:  t.objVal + sf.offset,
+		Iterations: t.pivots,
+		values:     sf.recoverValues(y),
+	}, nil
+}
+
+// newTableau builds the initial tableau: slack columns for ≤ rows,
+// surplus+artificial for ≥ rows, artificial for = rows, with rhs ≥ 0.
+func newTableau(sf *standardForm) *tableau {
+	m := len(sf.rows)
+	// Count auxiliary columns.
+	slacks, arts := 0, 0
+	for _, r := range sf.rows {
+		rel, rhs := r.rel, r.rhs
+		if rhs < 0 {
+			rel = flipRel(rel)
+		}
+		switch rel {
+		case LE:
+			slacks++
+		case GE:
+			slacks++ // surplus
+			arts++
+		case EQ:
+			arts++
+		}
+	}
+	n := sf.ncols + slacks + arts
+	t := &tableau{
+		m:        m,
+		n:        n,
+		rows:     make([][]float64, m),
+		rhs:      make([]float64, m),
+		basis:    make([]int, m),
+		obj:      make([]float64, n+1),
+		p1obj:    make([]float64, n+1),
+		artStart: sf.ncols + slacks,
+	}
+
+	slackCol := sf.ncols
+	artCol := t.artStart
+	for i, r := range sf.rows {
+		row := make([]float64, n)
+		sign := 1.0
+		rel, rhs := r.rel, r.rhs
+		if rhs < 0 {
+			sign, rhs, rel = -1, -rhs, flipRel(rel)
+		}
+		for j, c := range r.coeffs {
+			row[j] = sign * c
+		}
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.rows[i] = row
+		t.rhs[i] = rhs
+	}
+
+	// Phase-2 cost row: reduced costs w.r.t. the initial basis. Initial basic
+	// columns are slacks/artificials with zero phase-2 cost, so the row is
+	// simply the cost vector.
+	for j := 0; j < sf.ncols; j++ {
+		t.obj[j] = sf.costs[j]
+	}
+
+	// Phase-1 cost row: cost 1 on artificials; eliminate basic artificials.
+	// Index n of an objective row holds −(objective value of current basis).
+	for j := t.artStart; j < n; j++ {
+		t.p1obj[j] = 1
+	}
+	for i, col := range t.basis {
+		if col >= t.artStart {
+			for j := 0; j < n; j++ {
+				t.p1obj[j] -= t.rows[i][j]
+			}
+			t.p1obj[n] -= t.rhs[i]
+		}
+	}
+	t.p1val = -t.p1obj[n]
+	return t
+}
+
+func flipRel(r Relation) Relation {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// iterate runs simplex pivots until optimality or unboundedness for the
+// current phase.
+func (t *tableau) iterate(maxIter int) (Status, error) {
+	for {
+		if t.pivots >= maxIter {
+			return 0, ErrIterLimit
+		}
+		enter := t.chooseEntering()
+		if enter < 0 {
+			return Optimal, nil
+		}
+		leave := t.chooseLeaving(enter)
+		if leave < 0 {
+			return Unbounded, nil
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// currentObjRow returns the active phase's reduced-cost row.
+func (t *tableau) currentObjRow() []float64 {
+	if t.inPhase1 {
+		return t.p1obj
+	}
+	return t.obj
+}
+
+// columnAllowed reports whether column j may enter the basis in the current
+// phase (artificials are banned once phase 1 completes).
+func (t *tableau) columnAllowed(j int) bool {
+	return t.inPhase1 || j < t.artStart
+}
+
+// chooseEntering picks the entering column: Dantzig's rule normally,
+// Bland's rule when stalled. Returns -1 at optimality.
+func (t *tableau) chooseEntering() int {
+	objRow := t.currentObjRow()
+	if t.bland {
+		for j := 0; j < t.n; j++ {
+			if t.columnAllowed(j) && objRow[j] < -costTol {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -costTol
+	for j := 0; j < t.n; j++ {
+		if t.columnAllowed(j) && objRow[j] < bestVal {
+			best, bestVal = j, objRow[j]
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the ratio test for entering column e, breaking ties by
+// the smallest basis column (lexicographic Bland tie-break). Returns -1 when
+// the column is unbounded.
+func (t *tableau) chooseLeaving(e int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		a := t.rows[i][e]
+		if a <= pivotTol {
+			continue
+		}
+		ratio := t.rhs[i] / a
+		if ratio < bestRatio-1e-12 ||
+			(ratio <= bestRatio+1e-12 && best >= 0 && t.basis[i] < t.basis[best]) {
+			best, bestRatio = i, ratio
+		}
+	}
+	return best
+}
+
+// pivot performs the Gauss-Jordan pivot on (row r, column e), updating both
+// objective rows and objective values.
+func (t *tableau) pivot(r, e int) {
+	prevObj := t.objVal
+	prevP1 := t.p1val
+
+	pr := t.rows[r]
+	pv := pr[e]
+	inv := 1 / pv
+	for j := 0; j < t.n; j++ {
+		pr[j] *= inv
+	}
+	t.rhs[r] *= inv
+	pr[e] = 1 // kill roundoff on the pivot element
+
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.rows[i][e]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := 0; j < t.n; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[e] = 0
+		t.rhs[i] -= f * t.rhs[r]
+		if t.rhs[i] < 0 && t.rhs[i] > -1e-11 {
+			t.rhs[i] = 0
+		}
+	}
+	for _, objRow := range [][]float64{t.obj, t.p1obj} {
+		f := objRow[e]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			objRow[j] -= f * pr[j]
+		}
+		objRow[e] = 0
+		objRow[t.n] -= f * t.rhs[r]
+	}
+	t.objVal = -t.obj[t.n]
+	t.p1val = -t.p1obj[t.n]
+	t.basis[r] = e
+	t.pivots++
+
+	// Stall detection: switch to Bland's rule when the active objective has
+	// not improved for a while (anti-cycling guarantee).
+	improved := false
+	if t.inPhase1 {
+		improved = prevP1-t.p1val > improveE
+	} else {
+		improved = prevObj-t.objVal > improveE
+	}
+	if improved {
+		t.stall = 0
+	} else {
+		t.stall++
+		if t.stall >= stallWin {
+			t.bland = true
+		}
+	}
+}
+
+// leavePhase1 transitions the tableau to phase 2: artificials still in the
+// basis (at value zero) are driven out where possible; rows that cannot be
+// pivoted are redundant and are deactivated.
+func (t *tableau) leavePhase1() {
+	t.inPhase1 = false
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		// Find any admissible pivot column in this degenerate row.
+		pivotCol := -1
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[i][j]) > pivotTol {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol >= 0 {
+			t.pivot(i, pivotCol)
+			continue
+		}
+		// Redundant row: remove it by swapping with the last active row.
+		last := t.m - 1
+		t.rows[i], t.rows[last] = t.rows[last], t.rows[i]
+		t.rhs[i], t.rhs[last] = t.rhs[last], t.rhs[i]
+		t.basis[i], t.basis[last] = t.basis[last], t.basis[i]
+		t.m--
+		i--
+	}
+	t.stall, t.bland = 0, false
+}

@@ -1,0 +1,145 @@
+package lp
+
+import "math"
+
+// Variable-recovery kinds used when mapping standard-form values back to the
+// caller's variables.
+const (
+	recShifted = iota + 1 // x = base + y[col]
+	recFlipped            // x = base − y[col]
+	recSplit              // x = y[col] − y[col2]
+	recFixed              // x = base
+)
+
+// varRecover describes how to reconstruct one original variable from the
+// standard-form solution vector.
+type varRecover struct {
+	kind int
+	col  int
+	col2 int
+	base float64
+}
+
+// sfRow is one constraint row over standard-form columns.
+type sfRow struct {
+	coeffs []float64
+	rel    Relation
+	rhs    float64
+}
+
+// standardForm is the problem rewritten over non-negative variables.
+type standardForm struct {
+	ncols   int
+	rows    []sfRow
+	costs   []float64
+	offset  float64 // constant added to the objective by substitutions
+	recover []varRecover
+}
+
+// toStandardForm rewrites the problem over non-negative variables,
+// translating finite bounds into shifts, sign flips, splits and explicit
+// upper-bound rows.
+func (p *Problem) toStandardForm() *standardForm {
+	sf := &standardForm{recover: make([]varRecover, len(p.vars))}
+
+	// Column assignment and per-variable substitution.
+	type colSub struct {
+		col, col2 int     // standard columns (col2 only for split)
+		scale     float64 // contribution of y[col] to x
+		base      float64 // constant part of x
+	}
+	subs := make([]colSub, len(p.vars))
+	var upperRows []sfRow // filled after ncols is known
+
+	for i, v := range p.vars {
+		switch {
+		case v.lower == v.upper:
+			sf.recover[i] = varRecover{kind: recFixed, base: v.lower}
+			subs[i] = colSub{col: -1, base: v.lower}
+		case !math.IsInf(v.lower, -1):
+			col := sf.ncols
+			sf.ncols++
+			sf.recover[i] = varRecover{kind: recShifted, col: col, base: v.lower}
+			subs[i] = colSub{col: col, scale: 1, base: v.lower}
+			if !math.IsInf(v.upper, 1) {
+				upperRows = append(upperRows, sfRow{
+					coeffs: []float64{float64(col)}, // placeholder, fixed below
+					rel:    LE,
+					rhs:    v.upper - v.lower,
+				})
+			}
+		case !math.IsInf(v.upper, 1):
+			// lower = -Inf, upper finite: x = upper − y.
+			col := sf.ncols
+			sf.ncols++
+			sf.recover[i] = varRecover{kind: recFlipped, col: col, base: v.upper}
+			subs[i] = colSub{col: col, scale: -1, base: v.upper}
+		default:
+			// Free variable: x = y⁺ − y⁻.
+			col := sf.ncols
+			col2 := sf.ncols + 1
+			sf.ncols += 2
+			sf.recover[i] = varRecover{kind: recSplit, col: col, col2: col2}
+			subs[i] = colSub{col: col, col2: col2, scale: 1}
+		}
+	}
+
+	// Objective.
+	sf.costs = make([]float64, sf.ncols)
+	for i, v := range p.vars {
+		s := subs[i]
+		sf.offset += v.cost * s.base
+		if s.col >= 0 && s.scale != 0 {
+			sf.costs[s.col] += v.cost * s.scale
+			if sf.recover[i].kind == recSplit {
+				sf.costs[s.col2] -= v.cost
+			}
+		}
+	}
+
+	// Constraint rows.
+	for _, c := range p.cons {
+		row := sfRow{coeffs: make([]float64, sf.ncols), rel: c.rel, rhs: c.rhs}
+		for _, t := range c.terms {
+			s := subs[t.Var]
+			row.rhs -= t.Coeff * s.base
+			if s.col < 0 {
+				continue
+			}
+			row.coeffs[s.col] += t.Coeff * s.scale
+			if sf.recover[t.Var].kind == recSplit {
+				row.coeffs[s.col2] -= t.Coeff
+			}
+		}
+		sf.rows = append(sf.rows, row)
+	}
+
+	// Upper-bound rows (the placeholder coeffs hold the column index).
+	for _, ur := range upperRows {
+		col := int(ur.coeffs[0])
+		row := sfRow{coeffs: make([]float64, sf.ncols), rel: LE, rhs: ur.rhs}
+		row.coeffs[col] = 1
+		sf.rows = append(sf.rows, row)
+	}
+
+	return sf
+}
+
+// recoverValues maps a standard-form solution vector back to original
+// variable values.
+func (sf *standardForm) recoverValues(y []float64) []float64 {
+	out := make([]float64, len(sf.recover))
+	for i, r := range sf.recover {
+		switch r.kind {
+		case recFixed:
+			out[i] = r.base
+		case recShifted:
+			out[i] = r.base + y[r.col]
+		case recFlipped:
+			out[i] = r.base - y[r.col]
+		case recSplit:
+			out[i] = y[r.col] - y[r.col2]
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+// Package metrics provides streaming statistics used by the simulation
+// reports and experiments: Welford mean/variance, extrema and exact
+// quantiles over retained samples. Horizons in this repository are small
+// (hundreds to tens of thousands of slots), so retaining samples for exact
+// quantiles is cheaper than approximate sketches.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Stream accumulates scalar samples with O(1) updates.
+type Stream struct {
+	n        int
+	mean     float64
+	m2       float64
+	min, max float64
+	keep     bool
+	samples  []float64
+}
+
+// NewStream returns an empty stream. When keepSamples is true, samples are
+// retained so that Quantile is available.
+func NewStream(keepSamples bool) *Stream {
+	return &Stream{min: math.Inf(1), max: math.Inf(-1), keep: keepSamples}
+}
+
+// Add records one sample.
+func (s *Stream) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	s.min = math.Min(s.min, x)
+	s.max = math.Max(s.max, x)
+	if s.keep {
+		s.samples = append(s.samples, x)
+	}
+}
+
+// Count returns the number of samples.
+func (s *Stream) Count() int { return s.n }
+
+// Mean returns the running mean (0 when empty).
+func (s *Stream) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Sum returns n·mean.
+func (s *Stream) Sum() float64 { return s.mean * float64(s.n) }
+
+// Variance returns the population variance (0 when empty).
+func (s *Stream) Variance() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest sample (+Inf when empty).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest sample (-Inf when empty).
+func (s *Stream) Max() float64 { return s.max }
+
+// ErrNoSamples is returned by Quantile on an empty or sample-less stream.
+var ErrNoSamples = errors.New("metrics: no retained samples")
+
+// Quantile returns the p-quantile (p in [0, 1]) using linear interpolation
+// between retained samples.
+func (s *Stream) Quantile(p float64) (float64, error) {
+	if !s.keep || len(s.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, errors.New("metrics: quantile p outside [0, 1]")
+	}
+	sorted := make([]float64, len(s.samples))
+	copy(sorted, s.samples)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}

@@ -1,0 +1,164 @@
+// Package pricing generates synthetic two-timescale electricity price
+// traces for the smart-grid markets of SmartDPSS (Sec. II-A.1).
+//
+// The paper uses NYISO locational prices for January 2012 (day-ahead as the
+// long-term-ahead market, real-time as the balancing market). This package
+// substitutes seeded stochastic processes with the properties that drive
+// the algorithm: the long-term price is cheaper in expectation than the
+// real-time price (Sec. II-B.2: E[prt] > E[plt], the contract discount for
+// upfront payment), both lie in [0, Pmax], the real-time series carries a
+// diurnal double peak, mean-reverting noise and occasional heavy-tailed
+// spikes, and day-to-day levels wander slowly.
+package pricing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"github.com/smartdpss/smartdpss/internal/trace"
+)
+
+// Config parameterizes the price generator.
+type Config struct {
+	// Days is the number of simulated days.
+	Days int
+	// SlotMinutes is the trace resolution.
+	SlotMinutes int
+	// BaseLT is the mean long-term-ahead price in USD/MWh.
+	BaseLT float64
+	// RTPremium multiplies the long-term level to set the mean real-time
+	// level (must be > 1 so that E[prt] > E[plt]).
+	RTPremium float64
+	// Pmax is the regulatory price cap (paper: upper bound on both markets).
+	Pmax float64
+	// PFloor is the lowest admissible price.
+	PFloor float64
+	// DiurnalAmp is the relative amplitude of the real-time diurnal shape.
+	DiurnalAmp float64
+	// NoiseSigma is the per-slot mean-reverting noise scale (USD/MWh).
+	NoiseSigma float64
+	// SpikeProb is the per-slot probability of a real-time price spike.
+	SpikeProb float64
+	// SpikeFactor is the mean multiplier applied during a spike.
+	SpikeFactor float64
+	// Seed drives the deterministic random source.
+	Seed int64
+}
+
+// Defaults returns a NYISO-January-like configuration.
+func Defaults() Config {
+	return Config{
+		Days:        31,
+		SlotMinutes: 60,
+		BaseLT:      38,
+		RTPremium:   1.15,
+		Pmax:        150,
+		PFloor:      5,
+		DiurnalAmp:  0.25,
+		NoiseSigma:  4.0,
+		SpikeProb:   0.012,
+		SpikeFactor: 2.2,
+		Seed:        2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Days <= 0:
+		return errors.New("pricing: Days must be positive")
+	case c.SlotMinutes <= 0 || c.SlotMinutes > 24*60:
+		return errors.New("pricing: SlotMinutes out of range")
+	case c.BaseLT <= 0:
+		return errors.New("pricing: BaseLT must be positive")
+	case c.RTPremium <= 1:
+		return errors.New("pricing: RTPremium must exceed 1 (E[prt] > E[plt])")
+	case c.Pmax <= c.BaseLT:
+		return errors.New("pricing: Pmax must exceed BaseLT")
+	case c.PFloor < 0 || c.PFloor >= c.BaseLT:
+		return errors.New("pricing: PFloor must be in [0, BaseLT)")
+	case c.DiurnalAmp < 0 || c.DiurnalAmp > 1:
+		return errors.New("pricing: DiurnalAmp must be in [0, 1]")
+	case c.NoiseSigma < 0:
+		return errors.New("pricing: negative NoiseSigma")
+	case c.SpikeProb < 0 || c.SpikeProb > 1:
+		return errors.New("pricing: SpikeProb must be in [0, 1]")
+	case c.SpikeFactor < 1:
+		return errors.New("pricing: SpikeFactor must be >= 1")
+	}
+	return nil
+}
+
+// Generate produces the long-term and real-time price series in USD/MWh at
+// fine-slot resolution. The long-term series is piecewise smooth so that
+// sampling it at any coarse interval start (any T) is meaningful.
+func Generate(c Config) (lt, rt *trace.Series, err error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	slotsPerDay := 24 * 60 / c.SlotMinutes
+	n := c.Days * slotsPerDay
+	lt = trace.New("price_lt", "USD/MWh", c.SlotMinutes, n)
+	rt = trace.New("price_rt", "USD/MWh", c.SlotMinutes, n)
+
+	slotHours := float64(c.SlotMinutes) / 60.0
+
+	// Daily long-term level: slow AR(1) walk around BaseLT with a weekly
+	// shape (weekdays pricier than weekends).
+	dayLevel := make([]float64, c.Days)
+	level := c.BaseLT
+	for d := range dayLevel {
+		level += 0.3*(c.BaseLT-level) + 0.06*c.BaseLT*rng.NormFloat64()
+		weekly := 1.0
+		switch d % 7 {
+		case 5, 6: // weekend
+			weekly = 0.9
+		}
+		dayLevel[d] = clamp(level*weekly, c.PFloor, 0.9*c.Pmax)
+	}
+
+	noise := 0.0 // mean-reverting real-time deviation
+	spikeLeft := 0
+	spikeMul := 1.0
+	for i := 0; i < n; i++ {
+		day := i / slotsPerDay
+		hour := (float64(i%slotsPerDay) + 0.5) * slotHours
+
+		// Long-term price: the day's level with a faint diurnal tilt so
+		// that intraday coarse intervals (T < 24h) still see structure.
+		ltP := dayLevel[day] * (1 + 0.05*diurnalShape(hour))
+		lt.Values[i] = clamp(ltP, c.PFloor, c.Pmax)
+
+		// Real-time price: premium level, stronger diurnal shape,
+		// mean-reverting noise and occasional multiplicative spikes.
+		noise += -0.5*noise + c.NoiseSigma*rng.NormFloat64()
+		if spikeLeft > 0 {
+			spikeLeft--
+		} else if rng.Float64() < c.SpikeProb {
+			spikeLeft = 1 + rng.Intn(3)
+			spikeMul = 1 + (c.SpikeFactor-1)*(0.5+rng.Float64())
+		}
+		mul := 1.0
+		if spikeLeft > 0 {
+			mul = spikeMul
+		}
+		rtP := dayLevel[day]*c.RTPremium*(1+c.DiurnalAmp*diurnalShape(hour))*mul + noise
+		rt.Values[i] = clamp(rtP, c.PFloor, c.Pmax)
+	}
+	return lt, rt, nil
+}
+
+// diurnalShape returns a smooth [-1, 1] shape with morning and evening
+// peaks typical of winter load-following prices.
+func diurnalShape(hour float64) float64 {
+	morning := math.Exp(-sq(hour-8.5) / (2 * sq(2.0)))
+	evening := math.Exp(-sq(hour-18.5) / (2 * sq(2.5)))
+	night := math.Exp(-sq(hour-3.5) / (2 * sq(3.0)))
+	return clamp(0.9*morning+1.1*evening-0.8*night, -1, 1)
+}
+
+func sq(x float64) float64 { return x * x }
+
+func clamp(x, lo, hi float64) float64 { return math.Min(hi, math.Max(lo, x)) }

@@ -1,0 +1,176 @@
+package pricing
+
+import (
+	"testing"
+)
+
+func mustGenerate(t *testing.T, c Config) (lt, rt []float64) {
+	t.Helper()
+	ltS, rtS, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ltS.Values, rtS.Values
+}
+
+func TestGenerateLengthsAndBounds(t *testing.T) {
+	c := Defaults()
+	lt, rt := mustGenerate(t, c)
+	if len(lt) != 31*24 || len(rt) != 31*24 {
+		t.Fatalf("lengths = %d, %d, want %d", len(lt), len(rt), 31*24)
+	}
+	for i := range lt {
+		if lt[i] < c.PFloor || lt[i] > c.Pmax {
+			t.Fatalf("lt[%d] = %g outside [%g, %g]", i, lt[i], c.PFloor, c.Pmax)
+		}
+		if rt[i] < c.PFloor || rt[i] > c.Pmax {
+			t.Fatalf("rt[%d] = %g outside [%g, %g]", i, rt[i], c.PFloor, c.Pmax)
+		}
+	}
+}
+
+func TestGenerateRealTimePremium(t *testing.T) {
+	ltS, rtS, err := Generate(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtS.Mean() <= ltS.Mean() {
+		t.Fatalf("E[prt] = %g must exceed E[plt] = %g (paper Sec. II-B.2)",
+			rtS.Mean(), ltS.Mean())
+	}
+}
+
+func TestGenerateRealTimeMoreVolatile(t *testing.T) {
+	ltS, rtS, err := Generate(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtS.StdDev() <= ltS.StdDev() {
+		t.Fatalf("real-time std %g must exceed long-term std %g",
+			rtS.StdDev(), ltS.StdDev())
+	}
+}
+
+func TestGenerateSpikesOccur(t *testing.T) {
+	c := Defaults()
+	_, rt := mustGenerate(t, c)
+	base := c.BaseLT * c.RTPremium
+	spikes := 0
+	for _, v := range rt {
+		if v > 1.8*base {
+			spikes++
+		}
+	}
+	if spikes == 0 {
+		t.Fatal("no real-time spikes in a month; spike process broken")
+	}
+}
+
+func TestGenerateNoSpikesWhenDisabled(t *testing.T) {
+	c := Defaults()
+	c.SpikeProb = 0
+	c.NoiseSigma = 0
+	_, rt := mustGenerate(t, c)
+	limit := 0.9*c.Pmax*c.RTPremium*(1+c.DiurnalAmp) + 1e-9
+	for i, v := range rt {
+		if v > limit {
+			t.Fatalf("rt[%d] = %g exceeds spike-free envelope %g", i, v, limit)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	lt1, rt1 := mustGenerate(t, Defaults())
+	lt2, rt2 := mustGenerate(t, Defaults())
+	for i := range lt1 {
+		if lt1[i] != lt2[i] || rt1[i] != rt2[i] {
+			t.Fatalf("same seed diverged at slot %d", i)
+		}
+	}
+	c := Defaults()
+	c.Seed = 77
+	_, rt3 := mustGenerate(t, c)
+	same := true
+	for i := range rt1 {
+		if rt1[i] != rt3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateWeekendDiscount(t *testing.T) {
+	c := Defaults()
+	c.NoiseSigma = 0
+	c.SpikeProb = 0
+	lt, _ := mustGenerate(t, c)
+	weekday, weekend := 0.0, 0.0
+	nWd, nWe := 0, 0
+	for i, v := range lt {
+		day := i / 24
+		if day%7 == 5 || day%7 == 6 {
+			weekend += v
+			nWe++
+		} else {
+			weekday += v
+			nWd++
+		}
+	}
+	if weekend/float64(nWe) >= weekday/float64(nWd) {
+		t.Fatalf("weekend mean %g not below weekday mean %g",
+			weekend/float64(nWe), weekday/float64(nWd))
+	}
+}
+
+func TestGenerateEveningPeak(t *testing.T) {
+	c := Defaults()
+	c.NoiseSigma = 0
+	c.SpikeProb = 0
+	_, rt := mustGenerate(t, c)
+	evening, night := 0.0, 0.0
+	for d := 0; d < c.Days; d++ {
+		evening += rt[d*24+18]
+		night += rt[d*24+3]
+	}
+	if evening <= night {
+		t.Fatalf("evening total %g not above night total %g", evening, night)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	mut := func(f func(*Config)) Config {
+		c := Defaults()
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mut(func(c *Config) { c.Days = 0 }),
+		mut(func(c *Config) { c.SlotMinutes = 0 }),
+		mut(func(c *Config) { c.BaseLT = 0 }),
+		mut(func(c *Config) { c.RTPremium = 1 }),
+		mut(func(c *Config) { c.Pmax = c.BaseLT }),
+		mut(func(c *Config) { c.PFloor = -1 }),
+		mut(func(c *Config) { c.PFloor = c.BaseLT }),
+		mut(func(c *Config) { c.DiurnalAmp = 2 }),
+		mut(func(c *Config) { c.NoiseSigma = -1 }),
+		mut(func(c *Config) { c.SpikeProb = 2 }),
+		mut(func(c *Config) { c.SpikeFactor = 0.5 }),
+	}
+	for i, c := range bad {
+		if _, _, err := Generate(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDiurnalShapeBounded(t *testing.T) {
+	for h := 0.0; h < 24; h += 0.25 {
+		v := diurnalShape(h)
+		if v < -1 || v > 1 {
+			t.Fatalf("diurnalShape(%g) = %g outside [-1, 1]", h, v)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// NoisyController wraps a controller and perturbs the exogenous fields of
+// its observations — demand, renewable production and prices — with
+// uniform multiplicative errors, reproducing the robustness experiment of
+// Sec. VI-C ("uniformly distributed ±50% errors"). Internal state
+// (backlog, battery, market headroom) is left exact: the DPSS always knows
+// its own queues, it is the world it mis-estimates. The engine executes
+// decisions against the true traces, so estimation errors surface as real
+// waste, purchases or shed load.
+type NoisyController struct {
+	inner Controller
+	rng   *rand.Rand
+	frac  float64
+}
+
+var _ Controller = (*NoisyController)(nil)
+
+// WithObservationNoise wraps inner so that every observation's exogenous
+// fields are scaled by independent factors drawn uniformly from
+// [1−frac, 1+frac].
+func WithObservationNoise(inner Controller, seed int64, frac float64) (*NoisyController, error) {
+	if inner == nil {
+		return nil, errors.New("sim: nil inner controller")
+	}
+	if frac < 0 || frac >= 1 {
+		return nil, errors.New("sim: noise fraction must be in [0, 1)")
+	}
+	return &NoisyController{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(seed)),
+		frac:  frac,
+	}, nil
+}
+
+// Name implements Controller.
+func (n *NoisyController) Name() string { return n.inner.Name() + "+noise" }
+
+// CoarseSlots implements Controller.
+func (n *NoisyController) CoarseSlots() int { return n.inner.CoarseSlots() }
+
+// PlanCoarse perturbs the exogenous coarse observations and delegates.
+func (n *NoisyController) PlanCoarse(obs CoarseObs) float64 {
+	obs.PriceLT *= n.factor()
+	obs.DemandDS *= n.factor()
+	obs.DemandDT *= n.factor()
+	obs.Renewable *= n.factor()
+	return n.inner.PlanCoarse(obs)
+}
+
+// PlanFine perturbs the exogenous fine observations, delegates, and clamps
+// the inner decision back to the true admissible set (the inner controller
+// sized its decision against mis-estimated inputs; physical limits still
+// come from the truth).
+func (n *NoisyController) PlanFine(obs FineObs) Decision {
+	noisy := obs
+	noisy.PriceRT *= n.factor()
+	noisy.DemandDS *= n.factor()
+	noisy.DemandDT *= n.factor()
+	noisy.Renewable *= n.factor()
+	dec := n.inner.PlanFine(noisy)
+
+	dec.Grt = clamp(dec.Grt, 0, math.Max(0,
+		math.Min(obs.RTHeadroom, obs.Smax-obs.LongTermDue-obs.Renewable)))
+	dec.ServeDT = clamp(dec.ServeDT, 0, math.Min(obs.Backlog, obs.SdtMax))
+	dec.Charge = clamp(dec.Charge, 0, obs.MaxCharge)
+	dec.Discharge = clamp(dec.Discharge, 0, obs.MaxDischarge)
+	return dec
+}
+
+// RecordOutcome passes outcomes through unperturbed: queue updates use the
+// executed truth (Algorithm 1 step 3 reads the actual queues).
+func (n *NoisyController) RecordOutcome(out Outcome) { n.inner.RecordOutcome(out) }
+
+func (n *NoisyController) factor() float64 {
+	return 1 + n.frac*(2*n.rng.Float64()-1)
+}

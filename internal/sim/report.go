@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/smartdpss/smartdpss/internal/battery"
+	"github.com/smartdpss/smartdpss/internal/market"
+	"github.com/smartdpss/smartdpss/internal/metrics"
+	"github.com/smartdpss/smartdpss/internal/queue"
+)
+
+// slotRecord carries one executed slot into the report.
+type slotRecord struct {
+	slot          int
+	gridDrawMW    float64
+	nearPeak      bool
+	cost          float64
+	ltCost        float64
+	rtCost        float64
+	opCost        float64
+	wasteCost     float64
+	waste         float64
+	unserved      float64
+	emergencyCost float64
+	backlog       float64
+	battery       float64
+	renewable     float64
+	served        float64
+	batteryMoved  bool
+	available     bool
+}
+
+// Report summarizes one simulation run. Cost fields follow the paper's
+// Cost(τ) decomposition: long-term grid, real-time grid, UPS operation and
+// wasted energy. The emergency penalty (unserved delay-sensitive demand) is
+// reported separately because the paper's model assumes it never happens.
+type Report struct {
+	Controller string `json:"controller"`
+	Slots      int    `json:"slots"`
+
+	// Cost totals in USD.
+	TotalCostUSD     float64 `json:"totalCostUSD"`
+	LTCostUSD        float64 `json:"ltCostUSD"`
+	RTCostUSD        float64 `json:"rtCostUSD"`
+	BatteryOpUSD     float64 `json:"batteryOpUSD"`
+	WasteCostUSD     float64 `json:"wasteCostUSD"`
+	EmergencyCostUSD float64 `json:"emergencyCostUSD"`
+
+	// TimeAvgCostUSD is TotalCostUSD / Slots, the paper's Cost_av.
+	TimeAvgCostUSD float64 `json:"timeAvgCostUSD"`
+
+	// Energy totals in MWh.
+	LTEnergyMWh   float64 `json:"ltEnergyMWh"`
+	RTEnergyMWh   float64 `json:"rtEnergyMWh"`
+	RenewableMWh  float64 `json:"renewableMWh"`
+	WasteMWh      float64 `json:"wasteMWh"`
+	UnservedMWh   float64 `json:"unservedMWh"`
+	ServedDTMWh   float64 `json:"servedDTMWh"`
+	BatteryInMWh  float64 `json:"batteryInMWh"`
+	BatteryOutMWh float64 `json:"batteryOutMWh"`
+
+	// Delay statistics over served delay-tolerant energy, in slots.
+	MeanDelaySlots float64 `json:"meanDelaySlots"`
+	MaxDelaySlots  int     `json:"maxDelaySlots"`
+
+	// Queue and battery extremes.
+	BacklogMaxMWh  float64 `json:"backlogMaxMWh"`
+	BacklogMeanMWh float64 `json:"backlogMeanMWh"`
+	BatteryMinMWh  float64 `json:"batteryMinMWh"`
+	BatteryMaxMWh  float64 `json:"batteryMaxMWh"`
+	BatteryOps     int     `json:"batteryOps"`
+
+	// PeakGridMW is the largest observed grid draw in MW; PeakChargeUSD is
+	// the demand charge it incurs (reported separately from Cost(τ), like
+	// the emergency penalty — see Config.PeakChargeUSDPerMW).
+	// NearPeakSlots counts slots drawing above 95% of the Pgrid cap — the
+	// "power peak emergencies" of the paper's Sec. IV-C remark.
+	PeakGridMW    float64 `json:"peakGridMW"`
+	PeakChargeUSD float64 `json:"peakChargeUSD"`
+	NearPeakSlots int     `json:"nearPeakSlots"`
+
+	// Availability is the fraction of slots with full delay-sensitive
+	// service and the battery at or above its reserve.
+	Availability           float64 `json:"availability"`
+	AvailabilityViolations int     `json:"availabilityViolations"`
+
+	// Optional per-slot series (see Config.KeepSeries).
+	CostSeries    []float64 `json:"costSeries,omitempty"`
+	BacklogSeries []float64 `json:"backlogSeries,omitempty"`
+	BatterySeries []float64 `json:"batterySeries,omitempty"`
+
+	costStream    *metrics.Stream
+	backlogStream *metrics.Stream
+	unavailable   int
+}
+
+func newReport(controller string, horizon int, keepSeries bool) *Report {
+	r := &Report{
+		Controller:    controller,
+		costStream:    metrics.NewStream(false),
+		backlogStream: metrics.NewStream(false),
+	}
+	if keepSeries {
+		r.CostSeries = make([]float64, 0, horizon)
+		r.BacklogSeries = make([]float64, 0, horizon)
+		r.BatterySeries = make([]float64, 0, horizon)
+	}
+	return r
+}
+
+func (r *Report) recordSlot(rec slotRecord) {
+	r.Slots++
+	r.TotalCostUSD += rec.cost
+	r.LTCostUSD += rec.ltCost
+	r.RTCostUSD += rec.rtCost
+	r.BatteryOpUSD += rec.opCost
+	r.WasteCostUSD += rec.wasteCost
+	r.EmergencyCostUSD += rec.emergencyCost
+	r.WasteMWh += rec.waste
+	r.UnservedMWh += rec.unserved
+	r.RenewableMWh += rec.renewable
+	r.ServedDTMWh += rec.served
+	r.costStream.Add(rec.cost)
+	r.backlogStream.Add(rec.backlog)
+	if rec.gridDrawMW > r.PeakGridMW {
+		r.PeakGridMW = rec.gridDrawMW
+	}
+	if rec.nearPeak {
+		r.NearPeakSlots++
+	}
+	if !rec.available {
+		r.unavailable++
+	}
+	if r.CostSeries != nil {
+		r.CostSeries = append(r.CostSeries, rec.cost)
+		r.BacklogSeries = append(r.BacklogSeries, rec.backlog)
+		r.BatterySeries = append(r.BatterySeries, rec.battery)
+	}
+}
+
+func (r *Report) finalize(batt *battery.Battery, acct *market.Account, backlog *queue.Backlog) {
+	if r.Slots > 0 {
+		r.TimeAvgCostUSD = r.TotalCostUSD / float64(r.Slots)
+		r.Availability = 1 - float64(r.unavailable)/float64(r.Slots)
+	}
+	r.AvailabilityViolations = r.unavailable
+	r.LTEnergyMWh = acct.LongTermEnergy()
+	r.RTEnergyMWh = acct.RealTimeEnergy()
+	r.BatteryOps = batt.Ops()
+	r.BatteryInMWh = batt.ChargedTotal()
+	r.BatteryOutMWh = batt.DischargedTotal()
+	r.MeanDelaySlots = backlog.MeanDelay()
+	r.MaxDelaySlots = backlog.MaxDelay()
+	r.BacklogMaxMWh = r.backlogStream.Max()
+	r.BacklogMeanMWh = r.backlogStream.Mean()
+	if r.BatterySeries != nil && len(r.BatterySeries) > 0 {
+		min, max := r.BatterySeries[0], r.BatterySeries[0]
+		for _, v := range r.BatterySeries {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		r.BatteryMinMWh, r.BatteryMaxMWh = min, max
+	} else {
+		r.BatteryMinMWh = batt.Level()
+		r.BatteryMaxMWh = batt.Level()
+	}
+}
+
+// String renders a compact multi-line summary for logs and CLI output.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "controller=%s slots=%d\n", r.Controller, r.Slots)
+	fmt.Fprintf(&b, "  cost: total=$%.2f avg=$%.4f/slot (lt=$%.2f rt=$%.2f ups=$%.2f waste=$%.2f)\n",
+		r.TotalCostUSD, r.TimeAvgCostUSD, r.LTCostUSD, r.RTCostUSD, r.BatteryOpUSD, r.WasteCostUSD)
+	fmt.Fprintf(&b, "  energy: lt=%.1f rt=%.1f renewable=%.1f waste=%.2f unserved=%.4f MWh\n",
+		r.LTEnergyMWh, r.RTEnergyMWh, r.RenewableMWh, r.WasteMWh, r.UnservedMWh)
+	fmt.Fprintf(&b, "  delay: mean=%.2f max=%d slots; backlog mean=%.3f max=%.3f MWh\n",
+		r.MeanDelaySlots, r.MaxDelaySlots, r.BacklogMeanMWh, r.BacklogMaxMWh)
+	fmt.Fprintf(&b, "  battery: ops=%d in=%.2f out=%.2f MWh; availability=%.6f (%d violations)\n",
+		r.BatteryOps, r.BatteryInMWh, r.BatteryOutMWh, r.Availability, r.AvailabilityViolations)
+	return b.String()
+}

@@ -1,0 +1,416 @@
+// Package sim is the discrete-time, two-timescale simulation engine of the
+// SmartDPSS evaluation (Sec. VI). It owns the physical state — UPS battery,
+// grid market account, and the delay-tolerant backlog queue — and executes
+// controller decisions under the paper's constraints: the supply/demand
+// balance (Eq. 4), the grid cap (Eq. 5), battery bounds and rate limits
+// (Eqs. 7–8), and the per-slot service cap Sdtmax.
+//
+// Controllers (SmartDPSS, Impatient, the offline benchmarks) implement the
+// Controller interface; because every algorithm runs through the same
+// engine and accounting, their reported costs are directly comparable.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/smartdpss/smartdpss/internal/battery"
+	"github.com/smartdpss/smartdpss/internal/market"
+	"github.com/smartdpss/smartdpss/internal/queue"
+	"github.com/smartdpss/smartdpss/internal/trace"
+)
+
+// CoarseObs is what a controller sees at the start of a coarse slot t = kT
+// (paper Fig. 2): the current fine slot's demand and renewable production,
+// the long-term price for the upcoming interval, and system state.
+type CoarseObs struct {
+	Slot         int     // fine-slot index of the interval start
+	Interval     int     // coarse interval index k
+	Slots        int     // fine slots in this interval (T, shorter at horizon end)
+	PriceLT      float64 // plt(t) in USD/MWh
+	DemandDS     float64 // dds observed during the current fine slot, MWh
+	DemandDT     float64 // ddt observed during the current fine slot, MWh
+	Renewable    float64 // r observed during the current fine slot, MWh
+	Battery      float64 // b(t) in MWh
+	MaxDischarge float64 // deliverable battery energy this slot, MWh
+	Backlog      float64 // Q(t) in MWh
+}
+
+// FineObs is what a controller sees each fine slot τ.
+type FineObs struct {
+	Slot         int
+	PriceRT      float64 // prt(τ) in USD/MWh
+	DemandDS     float64 // dds(τ), must be served now
+	DemandDT     float64 // ddt(τ), joins the queue this slot
+	Renewable    float64 // r(τ)
+	LongTermDue  float64 // gbef(t)/T delivered this slot
+	RTHeadroom   float64 // Pgrid − gbef(t)/T
+	Battery      float64 // b(τ)
+	MaxCharge    float64 // admissible brc(τ) this slot
+	MaxDischarge float64 // admissible bdc(τ) this slot
+	Backlog      float64 // Q(τ) before this slot's arrivals
+	SdtMax       float64 // per-slot service cap Sdtmax
+	Smax         float64 // per-slot supply cap (Eq. 1)
+}
+
+// Decision is a controller's fine-slot action. The engine derives waste and
+// unserved energy from the balance residual, so a Decision can never break
+// Eq. (4) — it can only waste energy or fail demand, both of which are
+// priced and reported.
+type Decision struct {
+	Grt       float64 // real-time purchase grt(τ), MWh
+	ServeDT   float64 // backlog service sdt(τ) = γ(τ)Q(τ), MWh
+	Charge    float64 // battery charge brc(τ), MWh (grid side)
+	Discharge float64 // battery discharge bdc(τ), MWh (load side)
+}
+
+// Outcome reports the executed slot back to the controller so it can update
+// its internal (virtual) queues.
+type Outcome struct {
+	Slot          int
+	ServedDT      float64 // energy actually removed from the backlog
+	BacklogBefore float64 // Q(τ) before serving/arrivals
+	BacklogAfter  float64 // Q(τ+1)
+	Waste         float64 // W(τ)
+	Unserved      float64 // delay-sensitive energy shed (availability event)
+	Battery       float64 // b(τ+1)
+}
+
+// Controller is a DPSS control policy.
+type Controller interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// CoarseSlots returns T, the number of fine slots per coarse slot.
+	CoarseSlots() int
+	// PlanCoarse returns gbef(t), the total long-term-ahead purchase for
+	// the upcoming interval (delivered evenly across its slots).
+	PlanCoarse(obs CoarseObs) float64
+	// PlanFine returns the fine-slot decision.
+	PlanFine(obs FineObs) Decision
+	// RecordOutcome delivers the executed slot for internal bookkeeping.
+	RecordOutcome(out Outcome)
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Battery is the UPS configuration (Sec. VI-A constants by default).
+	Battery battery.Params
+	// Market bounds the grid interface (Pgrid, Pmax).
+	Market market.Params
+	// WasteCostUSD prices wasted energy per MWh (the paper adds W(τ) to
+	// Cost(τ) directly, i.e. an implicit unit price).
+	WasteCostUSD float64
+	// EmergencyCostUSD prices unserved delay-sensitive energy per MWh.
+	// It is reported separately from the paper's Cost(τ).
+	EmergencyCostUSD float64
+	// SdtMaxMWh is Sdtmax, the per-slot cap on delay-tolerant service.
+	SdtMaxMWh float64
+	// SmaxMWh is Smax, the per-slot cap on total supply s(τ) (Eq. 1).
+	SmaxMWh float64
+	// PeakChargeUSDPerMW is an optional demand charge applied once per run
+	// to the peak grid draw (in MW). Peak/demand-charge management is the
+	// paper's declared future work (Sec. IV-C); the engine measures it and
+	// reports the charge separately from the paper's Cost(τ).
+	PeakChargeUSDPerMW float64
+	// KeepSeries retains per-slot series (cost, backlog, battery) in the
+	// report for plotting and robustness analysis.
+	KeepSeries bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Battery.Validate(); err != nil {
+		return err
+	}
+	if err := c.Market.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.WasteCostUSD < 0:
+		return errors.New("sim: negative WasteCostUSD")
+	case c.EmergencyCostUSD < 0:
+		return errors.New("sim: negative EmergencyCostUSD")
+	case c.SdtMaxMWh <= 0:
+		return errors.New("sim: SdtMaxMWh must be positive")
+	case c.SmaxMWh <= 0:
+		return errors.New("sim: SmaxMWh must be positive")
+	case c.PeakChargeUSDPerMW < 0:
+		return errors.New("sim: negative PeakChargeUSDPerMW")
+	}
+	return nil
+}
+
+// decisionTol absorbs controller round-off before decisions are validated;
+// anything beyond it is treated as a controller bug.
+const decisionTol = 1e-6
+
+// Run simulates the controller over the trace set and returns the report.
+func Run(cfg Config, set *trace.Set, ctrl Controller) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if ctrl.CoarseSlots() <= 0 {
+		return nil, fmt.Errorf("sim: controller %q has non-positive T", ctrl.Name())
+	}
+
+	batt, err := battery.New(cfg.Battery)
+	if err != nil {
+		return nil, err
+	}
+	acct, err := market.NewAccount(cfg.Market)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:     cfg,
+		set:     set,
+		ctrl:    ctrl,
+		batt:    batt,
+		acct:    acct,
+		backlog: queue.NewBacklog(),
+		rep:     newReport(ctrl.Name(), set.Horizon(), cfg.KeepSeries),
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.rep, nil
+}
+
+// engine holds the mutable simulation state for one run.
+type engine struct {
+	cfg     Config
+	set     *trace.Set
+	ctrl    Controller
+	batt    *battery.Battery
+	acct    *market.Account
+	backlog *queue.Backlog
+	rep     *Report
+}
+
+func (e *engine) run() error {
+	horizon := e.set.Horizon()
+	T := e.ctrl.CoarseSlots()
+
+	for slot := 0; slot < horizon; slot++ {
+		if slot%T == 0 {
+			if err := e.coarseBoundary(slot, minInt(T, horizon-slot)); err != nil {
+				return err
+			}
+		}
+		if err := e.fineSlot(slot); err != nil {
+			return err
+		}
+	}
+	e.rep.finalize(e.batt, e.acct, e.backlog)
+	e.rep.PeakChargeUSD = e.rep.PeakGridMW * e.cfg.PeakChargeUSDPerMW
+	return nil
+}
+
+func (e *engine) coarseBoundary(slot, slots int) error {
+	obs := CoarseObs{
+		Slot:         slot,
+		Interval:     slot / e.ctrl.CoarseSlots(),
+		Slots:        slots,
+		PriceLT:      e.set.PriceLT.At(slot),
+		DemandDS:     e.set.DemandDS.At(slot),
+		DemandDT:     e.set.DemandDT.At(slot),
+		Renewable:    e.set.Renewable.At(slot),
+		Battery:      e.batt.Level(),
+		MaxDischarge: e.batt.MaxDischargeNow(),
+		Backlog:      e.backlog.Len(),
+	}
+	gbef := e.ctrl.PlanCoarse(obs)
+	if math.IsNaN(gbef) || math.IsInf(gbef, 0) {
+		return fmt.Errorf("sim: controller %q returned non-finite gbef", e.ctrl.Name())
+	}
+	gbef = clamp(gbef, 0, e.cfg.Market.PgridMWh*float64(slots))
+	if err := e.acct.BeginCoarse(gbef, obs.PriceLT, slots); err != nil {
+		return fmt.Errorf("sim: coarse plan at slot %d: %w", slot, err)
+	}
+	return nil
+}
+
+func (e *engine) fineSlot(slot int) error {
+	var (
+		dds = e.set.DemandDS.At(slot)
+		ddt = e.set.DemandDT.At(slot)
+		r   = e.set.Renewable.At(slot)
+		prt = e.set.PriceRT.At(slot)
+	)
+	obs := FineObs{
+		Slot:         slot,
+		PriceRT:      prt,
+		DemandDS:     dds,
+		DemandDT:     ddt,
+		Renewable:    r,
+		LongTermDue:  e.acct.LongTermDue(),
+		RTHeadroom:   e.acct.RealTimeHeadroom(),
+		Battery:      e.batt.Level(),
+		MaxCharge:    e.batt.MaxChargeNow(),
+		MaxDischarge: e.batt.MaxDischargeNow(),
+		Backlog:      e.backlog.Len(),
+		SdtMax:       e.cfg.SdtMaxMWh,
+		Smax:         e.cfg.SmaxMWh,
+	}
+	dec := e.ctrl.PlanFine(obs)
+	if err := e.validateDecision(&dec, obs); err != nil {
+		return fmt.Errorf("sim: slot %d controller %q: %w", slot, e.ctrl.Name(), err)
+	}
+
+	// Execute the slot: the balance residual becomes waste or unserved
+	// delay-sensitive energy, so Eq. (4) holds by construction:
+	//   s(τ) + bdc(τ) − brc(τ) = dds_served + sdt(τ) + W(τ).
+	supply := obs.LongTermDue + dec.Grt + r
+	net := supply + dec.Discharge - dds - dec.ServeDT - dec.Charge
+
+	// Physical rescue chain for residual deficits. A grid-connected
+	// datacenter cannot under-draw by plan: unplanned consumption settles
+	// reactively on the real-time market within the Pgrid cap; deferrable
+	// service is curtailed next (the energy simply stays queued); the
+	// inline UPS bridges what remains; only then is delay-sensitive load
+	// shed (the availability role the paper assigns to the Bmin reserve,
+	// Sec. II-B.4).
+	if net < 0 && dec.Charge > 0 {
+		cancel := math.Min(dec.Charge, -net)
+		dec.Charge -= cancel
+		net += cancel
+	}
+	if net < 0 {
+		headroom := e.acct.RealTimeHeadroom() - dec.Grt
+		smaxRoom := e.cfg.SmaxMWh - (obs.LongTermDue + dec.Grt + r)
+		topup := math.Min(-net, math.Max(0, math.Min(headroom, smaxRoom)))
+		if topup > 0 {
+			dec.Grt += topup
+			supply += topup
+			net += topup
+		}
+	}
+	if net < 0 && dec.ServeDT > 0 {
+		cut := math.Min(dec.ServeDT, -net)
+		dec.ServeDT -= cut
+		net += cut
+	}
+	if net < 0 && dec.Charge <= decisionTol {
+		dec.Charge = 0
+		extra := math.Min(obs.MaxDischarge-dec.Discharge, -net)
+		if extra > 0 {
+			dec.Discharge += extra
+			net += extra
+		}
+	}
+
+	waste, unserved := 0.0, 0.0
+	if net >= 0 {
+		waste = net
+	} else {
+		unserved = -net
+	}
+
+	if err := e.batt.Apply(dec.Charge, dec.Discharge); err != nil {
+		return fmt.Errorf("sim: slot %d battery: %w", slot, err)
+	}
+	ltCost, err := e.acct.SettleLongTermSlot()
+	if err != nil {
+		return fmt.Errorf("sim: slot %d settle: %w", slot, err)
+	}
+	rtCost, err := e.acct.BuyRealTime(dec.Grt, prt)
+	if err != nil {
+		return fmt.Errorf("sim: slot %d real-time buy: %w", slot, err)
+	}
+
+	backlogBefore := e.backlog.Len()
+	served := e.backlog.Serve(slot, dec.ServeDT)
+	if math.Abs(served-dec.ServeDT) > decisionTol {
+		return fmt.Errorf("sim: slot %d served %g != requested %g", slot, served, dec.ServeDT)
+	}
+	e.backlog.Arrive(slot, ddt)
+
+	// Verify the balance identity (engine invariant).
+	lhs := supply + dec.Discharge - dec.Charge
+	rhs := (dds - unserved) + served + waste
+	if math.Abs(lhs-rhs) > 1e-6 {
+		return fmt.Errorf("sim: slot %d energy balance violated: %g != %g", slot, lhs, rhs)
+	}
+
+	opCost := 0.0
+	if dec.Charge > 0 || dec.Discharge > 0 {
+		opCost = e.cfg.Battery.OpCostUSD
+	}
+	wasteCost := waste * e.cfg.WasteCostUSD
+	slotCost := ltCost + rtCost + opCost + wasteCost
+
+	slotHours := float64(e.set.DemandDS.SlotMinutes) / 60
+	gridDraw := obs.LongTermDue + dec.Grt
+	e.rep.recordSlot(slotRecord{
+		slot:          slot,
+		gridDrawMW:    gridDraw / slotHours,
+		nearPeak:      gridDraw > 0.95*e.cfg.Market.PgridMWh,
+		cost:          slotCost,
+		ltCost:        ltCost,
+		rtCost:        rtCost,
+		opCost:        opCost,
+		wasteCost:     wasteCost,
+		waste:         waste,
+		unserved:      unserved,
+		emergencyCost: unserved * e.cfg.EmergencyCostUSD,
+		backlog:       e.backlog.Len(),
+		battery:       e.batt.Level(),
+		renewable:     r,
+		served:        served,
+		batteryMoved:  dec.Charge > 0 || dec.Discharge > 0,
+		available:     e.batt.Available() && unserved <= decisionTol,
+	})
+
+	e.ctrl.RecordOutcome(Outcome{
+		Slot:          slot,
+		ServedDT:      served,
+		BacklogBefore: backlogBefore,
+		BacklogAfter:  e.backlog.Len(),
+		Waste:         waste,
+		Unserved:      unserved,
+		Battery:       e.batt.Level(),
+	})
+	return nil
+}
+
+// validateDecision checks the decision against the slot's admissible set,
+// clamping sub-tolerance overshoot and rejecting anything larger.
+func (e *engine) validateDecision(dec *Decision, obs FineObs) error {
+	fields := []struct {
+		name string
+		val  *float64
+		max  float64
+	}{
+		{"grt", &dec.Grt, math.Min(obs.RTHeadroom, e.cfg.SmaxMWh-obs.LongTermDue-obs.Renewable)},
+		{"serveDT", &dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax)},
+		{"charge", &dec.Charge, obs.MaxCharge},
+		{"discharge", &dec.Discharge, obs.MaxDischarge},
+	}
+	for _, f := range fields {
+		if math.IsNaN(*f.val) || math.IsInf(*f.val, 0) {
+			return fmt.Errorf("non-finite %s", f.name)
+		}
+		limit := math.Max(0, f.max)
+		if *f.val < -decisionTol || *f.val > limit+decisionTol {
+			return fmt.Errorf("%s = %g outside [0, %g]", f.name, *f.val, limit)
+		}
+		*f.val = clamp(*f.val, 0, limit)
+	}
+	if dec.Charge > decisionTol && dec.Discharge > decisionTol {
+		return errors.New("charge and discharge in the same slot")
+	}
+	return nil
+}
+
+func clamp(x, lo, hi float64) float64 { return math.Min(hi, math.Max(lo, x)) }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

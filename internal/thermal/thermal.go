@@ -1,0 +1,149 @@
+// Package thermal models datacenter cooling overhead, the paper's second
+// declared future-work item ("Incorporating cooling cost and power peaks
+// management is part of our future work", Sec. IV-C).
+//
+// The model has two parts. A synthetic outside-temperature trace combines
+// a diurnal cycle with slow weather fronts (mean-reverting noise). A PUE
+// (power usage effectiveness) curve then maps temperature to facility
+// overhead: below the free-cooling threshold the facility runs economizers
+// at a flat base PUE; above it, chiller load grows linearly with
+// temperature. Coupling a demand trace through the curve turns IT power
+// into facility power — raising both the level and the variance of the
+// demand SmartDPSS must serve, since hot afternoons coincide with the
+// interactive peak.
+package thermal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"github.com/smartdpss/smartdpss/internal/trace"
+)
+
+// Config parameterizes the temperature generator and PUE curve.
+type Config struct {
+	// Days is the number of simulated days.
+	Days int
+	// SlotMinutes is the trace resolution.
+	SlotMinutes int
+	// MeanC is the long-run mean outside temperature in °C.
+	MeanC float64
+	// DiurnalAmpC is the half-amplitude of the day/night swing in °C.
+	DiurnalAmpC float64
+	// WeatherStdC scales the slow mean-reverting weather deviation.
+	WeatherStdC float64
+	// FreeCoolingC is the threshold below which economizers carry the
+	// whole cooling load.
+	FreeCoolingC float64
+	// BasePUE is the facility overhead under free cooling (≥ 1).
+	BasePUE float64
+	// PUESlopePerC is the PUE increase per °C above the threshold.
+	PUESlopePerC float64
+	// MaxPUE caps the curve (chillers at full load).
+	MaxPUE float64
+	// Seed drives the deterministic random source.
+	Seed int64
+}
+
+// Defaults returns a continental winter configuration (free cooling
+// dominates; the summer scenario raises MeanC).
+func Defaults() Config {
+	return Config{
+		Days:         31,
+		SlotMinutes:  60,
+		MeanC:        2.0,
+		DiurnalAmpC:  5.0,
+		WeatherStdC:  3.0,
+		FreeCoolingC: 18.0,
+		BasePUE:      1.12,
+		PUESlopePerC: 0.02,
+		MaxPUE:       1.6,
+		Seed:         8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Days <= 0:
+		return errors.New("thermal: Days must be positive")
+	case c.SlotMinutes <= 0 || c.SlotMinutes > 24*60:
+		return errors.New("thermal: SlotMinutes out of range")
+	case c.DiurnalAmpC < 0:
+		return errors.New("thermal: negative DiurnalAmpC")
+	case c.WeatherStdC < 0:
+		return errors.New("thermal: negative WeatherStdC")
+	case c.BasePUE < 1:
+		return errors.New("thermal: BasePUE must be >= 1")
+	case c.PUESlopePerC < 0:
+		return errors.New("thermal: negative PUESlopePerC")
+	case c.MaxPUE < c.BasePUE:
+		return errors.New("thermal: MaxPUE must be >= BasePUE")
+	}
+	return nil
+}
+
+// GenerateTemperature produces the outside-temperature series in °C.
+func GenerateTemperature(c Config) (*trace.Series, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	slotsPerDay := 24 * 60 / c.SlotMinutes
+	n := c.Days * slotsPerDay
+	out := trace.New("temperature", "C", c.SlotMinutes, n)
+	slotHours := float64(c.SlotMinutes) / 60.0
+
+	weather := 0.0
+	for i := 0; i < n; i++ {
+		hour := (float64(i%slotsPerDay) + 0.5) * slotHours
+		// Coldest around 5am, warmest mid-afternoon.
+		diurnal := c.DiurnalAmpC * math.Sin(2*math.Pi*(hour-11)/24)
+		weather += 0.05*(0-weather) + 0.3*c.WeatherStdC*math.Sqrt(slotHours)*rng.NormFloat64()
+		out.Values[i] = c.MeanC + diurnal + weather
+	}
+	return out, nil
+}
+
+// PUE maps an outside temperature to the facility power usage
+// effectiveness under the configured curve.
+func (c Config) PUE(tempC float64) float64 {
+	if tempC <= c.FreeCoolingC {
+		return c.BasePUE
+	}
+	return math.Min(c.MaxPUE, c.BasePUE+c.PUESlopePerC*(tempC-c.FreeCoolingC))
+}
+
+// ApplyCooling scales both demand classes of the set by the PUE of the
+// given temperature trace, slot by slot, clipping the combined demand at
+// pgridMWh (facility power may not exceed the grid connection). It
+// returns the average applied PUE.
+//
+// Note: temperature values below any physically sensible range are used
+// as-is; Validate only guards the generator's own parameters.
+func ApplyCooling(set *trace.Set, temps *trace.Series, c Config, pgridMWh float64) (float64, error) {
+	if err := set.Validate(); err != nil {
+		return 0, err
+	}
+	if temps.Len() != set.Horizon() {
+		return 0, errors.New("thermal: temperature trace length mismatch")
+	}
+	if pgridMWh <= 0 {
+		return 0, errors.New("thermal: pgridMWh must be positive")
+	}
+	sum := 0.0
+	for i := 0; i < set.Horizon(); i++ {
+		pue := c.PUE(temps.At(i))
+		sum += pue
+		set.DemandDS.Values[i] *= pue
+		set.DemandDT.Values[i] *= pue
+		if over := set.DemandDS.Values[i] + set.DemandDT.Values[i] - pgridMWh; over > 0 {
+			set.DemandDT.Values[i] = math.Max(0, set.DemandDT.Values[i]-over)
+			if rem := set.DemandDS.Values[i] + set.DemandDT.Values[i] - pgridMWh; rem > 0 {
+				set.DemandDS.Values[i] -= rem
+			}
+		}
+	}
+	return sum / float64(set.Horizon()), nil
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the series side by side as CSV with a header row of
+// "name (unit)" columns preceded by a slot index column. All series must
+// share the same length.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("trace: no series to write")
+	}
+	n := series[0].Len()
+	for _, s := range series {
+		if s.Len() != n {
+			return fmt.Errorf("trace: series %q length %d, want %d", s.Name, s.Len(), n)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "slot")
+	for _, s := range series {
+		header = append(header, fmt.Sprintf("%s (%s)", s.Name, s.Unit))
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	row := make([]string, len(series)+1)
+	for i := 0; i < n; i++ {
+		row[0] = strconv.Itoa(i)
+		for j, s := range series {
+			row[j+1] = strconv.FormatFloat(s.Values[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses CSV produced by WriteCSV, reconstructing names and units
+// from the header. slotMinutes is supplied by the caller because the CSV
+// format does not carry it.
+func ReadCSV(r io.Reader, slotMinutes int) ([]*Series, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(records) < 1 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "slot" {
+		return nil, fmt.Errorf("trace: malformed header %v", header)
+	}
+	nSeries := len(header) - 1
+	out := make([]*Series, nSeries)
+	for j := 0; j < nSeries; j++ {
+		name, unit := splitHeader(header[j+1])
+		out[j] = New(name, unit, slotMinutes, len(records)-1)
+	}
+	for i, rec := range records[1:] {
+		if len(rec) != nSeries+1 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want %d", i, len(rec), nSeries+1)
+		}
+		for j := 0; j < nSeries; j++ {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d col %d: %w", i, j, err)
+			}
+			out[j].Values[i] = v
+		}
+	}
+	return out, nil
+}
+
+// splitHeader parses "name (unit)" into its parts; a missing unit yields "".
+func splitHeader(h string) (name, unit string) {
+	open := strings.LastIndex(h, " (")
+	if open < 0 || !strings.HasSuffix(h, ")") {
+		return h, ""
+	}
+	return h[:open], h[open+2 : len(h)-1]
+}

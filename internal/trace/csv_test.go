@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	a := FromValues("demand_ds", "MWh", 60, []float64{1.5, 2.25, 0})
+	b := FromValues("price_rt", "USD/MWh", 60, []float64{31.125, 0.001, 150})
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ReadCSV(&buf, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2", len(series))
+	}
+	if series[0].Name != "demand_ds" || series[0].Unit != "MWh" {
+		t.Errorf("series[0] identity = %q (%q)", series[0].Name, series[0].Unit)
+	}
+	if series[1].Name != "price_rt" || series[1].Unit != "USD/MWh" {
+		t.Errorf("series[1] identity = %q (%q)", series[1].Name, series[1].Unit)
+	}
+	for i := range a.Values {
+		if series[0].Values[i] != a.Values[i] {
+			t.Errorf("round trip a[%d] = %g, want %g", i, series[0].Values[i], a.Values[i])
+		}
+		if series[1].Values[i] != b.Values[i] {
+			t.Errorf("round trip b[%d] = %g, want %g", i, series[1].Values[i], b.Values[i])
+		}
+	}
+}
+
+func TestCSVRoundTripPreservesPrecision(t *testing.T) {
+	vals := []float64{math.Pi, 1e-17, 123456789.123456789}
+	s := FromValues("x", "", 60, vals)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if back[0].Values[i] != v {
+			t.Errorf("precision lost at %d: %v != %v", i, back[0].Values[i], v)
+		}
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	if err := WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Error("want error for no series")
+	}
+	a := New("a", "", 60, 2)
+	b := New("b", "", 60, 3)
+	if err := WriteCSV(&bytes.Buffer{}, a, b); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "time,a\n0,1\n"},
+		{"no columns", "slot\n0\n"},
+		{"bad float", "slot,a ()\n0,notanumber\n"},
+		{"ragged", "slot,a (),b ()\n0,1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in), 60); err == nil {
+				t.Errorf("want error for %q", tt.in)
+			}
+		})
+	}
+}
+
+func TestSplitHeader(t *testing.T) {
+	tests := []struct {
+		in, name, unit string
+	}{
+		{"demand (MWh)", "demand", "MWh"},
+		{"price (USD/MWh)", "price", "USD/MWh"},
+		{"plain", "plain", ""},
+		{"odd (x", "odd (x", ""},
+		{"two (a) (b)", "two (a)", "b"},
+	}
+	for _, tt := range tests {
+		name, unit := splitHeader(tt.in)
+		if name != tt.name || unit != tt.unit {
+			t.Errorf("splitHeader(%q) = (%q, %q), want (%q, %q)", tt.in, name, unit, tt.name, tt.unit)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package trace provides the time-series substrate for the SmartDPSS
+// evaluation: slot-indexed series, CSV import/export, resampling and
+// summary statistics. All of the paper's evaluation (Sec. VI) is
+// trace-driven; the synthetic generators in internal/solar,
+// internal/pricing and internal/workload produce Series values defined
+// here.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Series is a fixed-step time series. Index 0 is the first fine-grained
+// slot of the simulation horizon.
+type Series struct {
+	// Name identifies the series (e.g. "demand_ds"); used as a CSV header.
+	Name string
+	// Unit documents the value unit (e.g. "MWh", "USD/MWh").
+	Unit string
+	// SlotMinutes is the duration of one slot in minutes.
+	SlotMinutes int
+	// Values holds one sample per slot.
+	Values []float64
+}
+
+// New returns a zero-filled series of n slots.
+func New(name, unit string, slotMinutes, n int) *Series {
+	return &Series{Name: name, Unit: unit, SlotMinutes: slotMinutes, Values: make([]float64, n)}
+}
+
+// FromValues wraps the given samples (the slice is copied).
+func FromValues(name, unit string, slotMinutes int, values []float64) *Series {
+	v := make([]float64, len(values))
+	copy(v, values)
+	return &Series{Name: name, Unit: unit, SlotMinutes: slotMinutes, Values: v}
+}
+
+// Len reports the number of slots.
+func (s *Series) Len() int { return len(s.Values) }
+
+// At returns the sample at slot i, or 0 when i is out of range. The
+// out-of-range behaviour lets controllers run past trace ends in tests
+// without panicking; the simulator validates horizons up front.
+func (s *Series) At(i int) float64 {
+	if i < 0 || i >= len(s.Values) {
+		return 0
+	}
+	return s.Values[i]
+}
+
+// Clone returns an independent deep copy.
+func (s *Series) Clone() *Series {
+	return FromValues(s.Name, s.Unit, s.SlotMinutes, s.Values)
+}
+
+// Scale multiplies every sample by k in place and returns the receiver.
+func (s *Series) Scale(k float64) *Series {
+	for i := range s.Values {
+		s.Values[i] *= k
+	}
+	return s
+}
+
+// Clip limits every sample to [lo, hi] in place and returns the receiver.
+func (s *Series) Clip(lo, hi float64) *Series {
+	for i, v := range s.Values {
+		s.Values[i] = math.Min(hi, math.Max(lo, v))
+	}
+	return s
+}
+
+// AddSeries adds other element-wise in place and returns the receiver.
+// The series must have equal length.
+func (s *Series) AddSeries(other *Series) (*Series, error) {
+	if other.Len() != s.Len() {
+		return nil, fmt.Errorf("trace: length mismatch %d vs %d", s.Len(), other.Len())
+	}
+	for i := range s.Values {
+		s.Values[i] += other.Values[i]
+	}
+	return s, nil
+}
+
+// Sum returns the total over all slots.
+func (s *Series) Sum() float64 {
+	total := 0.0
+	for _, v := range s.Values {
+		total += v
+	}
+	return total
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.Values))
+}
+
+// Min returns the smallest sample, or +Inf for an empty series.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s.Values {
+		m = math.Min(m, v)
+	}
+	return m
+}
+
+// Max returns the largest sample, or -Inf for an empty series.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.Values {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation. The paper (Fig. 8) uses
+// the same definition with uniform slot probabilities p_d(t) = 1/KT.
+func (s *Series) StdDev() float64 {
+	n := len(s.Values)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	acc := 0.0
+	for _, v := range s.Values {
+		d := v - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// Slice returns a copy of slots [from, to).
+func (s *Series) Slice(from, to int) (*Series, error) {
+	if from < 0 || to > len(s.Values) || from > to {
+		return nil, fmt.Errorf("trace: slice [%d, %d) out of range 0..%d", from, to, len(s.Values))
+	}
+	return FromValues(s.Name, s.Unit, s.SlotMinutes, s.Values[from:to]), nil
+}
+
+// Coarsen aggregates the series into windows of w slots using the given
+// reducer ("mean" or "sum"). The series length must be a multiple of w.
+func (s *Series) Coarsen(w int, reducer string) (*Series, error) {
+	if w <= 0 {
+		return nil, errors.New("trace: window must be positive")
+	}
+	if len(s.Values)%w != 0 {
+		return nil, fmt.Errorf("trace: length %d not a multiple of window %d", len(s.Values), w)
+	}
+	n := len(s.Values) / w
+	out := New(s.Name, s.Unit, s.SlotMinutes*w, n)
+	for i := 0; i < n; i++ {
+		acc := 0.0
+		for j := 0; j < w; j++ {
+			acc += s.Values[i*w+j]
+		}
+		switch reducer {
+		case "sum":
+			out.Values[i] = acc
+		case "mean":
+			out.Values[i] = acc / float64(w)
+		default:
+			return nil, fmt.Errorf("trace: unknown reducer %q", reducer)
+		}
+	}
+	return out, nil
+}
+
+// Validate reports an error for NaN/Inf samples or a non-positive slot size.
+func (s *Series) Validate() error {
+	if s.SlotMinutes <= 0 {
+		return fmt.Errorf("trace: %s has non-positive slot duration", s.Name)
+	}
+	for i, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("trace: %s[%d] is %v", s.Name, i, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := FromValues("demand", "MWh", 60, []float64{1, 2, 3, 4})
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if got := s.At(2); got != 3 {
+		t.Errorf("At(2) = %g, want 3", got)
+	}
+	if got := s.At(-1); got != 0 {
+		t.Errorf("At(-1) = %g, want 0", got)
+	}
+	if got := s.At(4); got != 0 {
+		t.Errorf("At(4) = %g, want 0", got)
+	}
+	if got := s.Sum(); got != 10 {
+		t.Errorf("Sum = %g, want 10", got)
+	}
+	if got := s.Mean(); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %g, want 1", got)
+	}
+	if got := s.Max(); got != 4 {
+		t.Errorf("Max = %g, want 4", got)
+	}
+}
+
+func TestSeriesFromValuesCopies(t *testing.T) {
+	src := []float64{1, 2}
+	s := FromValues("x", "", 60, src)
+	src[0] = 99
+	if s.Values[0] != 1 {
+		t.Error("FromValues must copy the input slice")
+	}
+}
+
+func TestSeriesCloneIndependent(t *testing.T) {
+	s := FromValues("x", "", 60, []float64{1, 2})
+	c := s.Clone()
+	c.Values[0] = 42
+	if s.Values[0] != 1 {
+		t.Error("Clone must not share backing storage")
+	}
+}
+
+func TestSeriesScaleClip(t *testing.T) {
+	s := FromValues("x", "", 60, []float64{1, -2, 5})
+	s.Scale(2)
+	want := []float64{2, -4, 10}
+	for i, w := range want {
+		if s.Values[i] != w {
+			t.Fatalf("after Scale: Values[%d] = %g, want %g", i, s.Values[i], w)
+		}
+	}
+	s.Clip(0, 6)
+	want = []float64{2, 0, 6}
+	for i, w := range want {
+		if s.Values[i] != w {
+			t.Fatalf("after Clip: Values[%d] = %g, want %g", i, s.Values[i], w)
+		}
+	}
+}
+
+func TestSeriesAddSeries(t *testing.T) {
+	a := FromValues("a", "", 60, []float64{1, 2})
+	b := FromValues("b", "", 60, []float64{10, 20})
+	if _, err := a.AddSeries(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Values[0] != 11 || a.Values[1] != 22 {
+		t.Errorf("AddSeries result %v", a.Values)
+	}
+	short := FromValues("c", "", 60, []float64{1})
+	if _, err := a.AddSeries(short); err == nil {
+		t.Error("want length-mismatch error")
+	}
+}
+
+func TestSeriesStdDev(t *testing.T) {
+	s := FromValues("x", "", 60, []float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got := s.StdDev(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	empty := New("e", "", 60, 0)
+	if got := empty.StdDev(); got != 0 {
+		t.Errorf("empty StdDev = %g, want 0", got)
+	}
+}
+
+func TestSeriesSlice(t *testing.T) {
+	s := FromValues("x", "", 60, []float64{0, 1, 2, 3, 4})
+	sub, err := s.Slice(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 || sub.Values[0] != 1 || sub.Values[1] != 2 {
+		t.Errorf("Slice = %v", sub.Values)
+	}
+	if _, err := s.Slice(3, 1); err == nil {
+		t.Error("want error for inverted range")
+	}
+	if _, err := s.Slice(0, 6); err == nil {
+		t.Error("want error for out-of-range")
+	}
+}
+
+func TestSeriesCoarsen(t *testing.T) {
+	s := FromValues("x", "MWh", 60, []float64{1, 3, 5, 7})
+	mean, err := s.Coarsen(2, "mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.Values[0] != 2 || mean.Values[1] != 6 {
+		t.Errorf("mean coarsen = %v", mean.Values)
+	}
+	if mean.SlotMinutes != 120 {
+		t.Errorf("SlotMinutes = %d, want 120", mean.SlotMinutes)
+	}
+	sum, err := s.Coarsen(2, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Values[0] != 4 || sum.Values[1] != 12 {
+		t.Errorf("sum coarsen = %v", sum.Values)
+	}
+	if _, err := s.Coarsen(3, "mean"); err == nil {
+		t.Error("want error for non-divisible window")
+	}
+	if _, err := s.Coarsen(0, "mean"); err == nil {
+		t.Error("want error for zero window")
+	}
+	if _, err := s.Coarsen(2, "median"); err == nil {
+		t.Error("want error for unknown reducer")
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	good := FromValues("x", "", 60, []float64{1})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid series rejected: %v", err)
+	}
+	bad := FromValues("x", "", 60, []float64{math.NaN()})
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for NaN sample")
+	}
+	inf := FromValues("x", "", 60, []float64{math.Inf(1)})
+	if err := inf.Validate(); err == nil {
+		t.Error("want error for Inf sample")
+	}
+	zeroSlot := FromValues("x", "", 0, []float64{1})
+	if err := zeroSlot.Validate(); err == nil {
+		t.Error("want error for zero slot duration")
+	}
+}
+
+func TestPropertyScaleThenSumMatches(t *testing.T) {
+	f := func(raw []float64, k float64) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			vals = append(vals, v)
+		}
+		if math.IsNaN(k) || math.IsInf(k, 0) || math.Abs(k) > 1e6 {
+			k = 2
+		}
+		s := FromValues("x", "", 60, vals)
+		before := s.Sum()
+		s.Scale(k)
+		after := s.Sum()
+		return math.Abs(after-k*before) <= 1e-6*math.Max(1, math.Abs(k*before))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCoarsenPreservesSum(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			vals = append(vals, v)
+		}
+		// Truncate to a multiple of 4.
+		vals = vals[:len(vals)/4*4]
+		if len(vals) == 0 {
+			return true
+		}
+		s := FromValues("x", "", 60, vals)
+		c, err := s.Coarsen(4, "sum")
+		if err != nil {
+			return false
+		}
+		return math.Abs(c.Sum()-s.Sum()) <= 1e-6*math.Max(1, math.Abs(s.Sum()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

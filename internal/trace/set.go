@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Set bundles the five input series a DPSS simulation consumes. All series
+// are at fine-slot resolution; the controller samples PriceLT at
+// coarse-slot starts (the long-term-ahead market of Sec. II-A).
+type Set struct {
+	// DemandDS is the delay-sensitive energy demand dds(τ) in MWh per slot.
+	DemandDS *Series
+	// DemandDT is the delay-tolerant energy demand ddt(τ) in MWh per slot.
+	DemandDT *Series
+	// Renewable is the on-site renewable production r(τ) in MWh per slot.
+	Renewable *Series
+	// PriceLT is the long-term-ahead market price plt in USD/MWh.
+	PriceLT *Series
+	// PriceRT is the real-time market price prt in USD/MWh.
+	PriceRT *Series
+}
+
+// Horizon returns the number of fine slots covered by the set.
+func (s *Set) Horizon() int {
+	if s.DemandDS == nil {
+		return 0
+	}
+	return s.DemandDS.Len()
+}
+
+// all returns the series in a fixed order for uniform processing.
+func (s *Set) all() []*Series {
+	return []*Series{s.DemandDS, s.DemandDT, s.Renewable, s.PriceLT, s.PriceRT}
+}
+
+// Validate checks presence, equal lengths, matching slot sizes,
+// finiteness, and non-negativity of all series.
+func (s *Set) Validate() error {
+	names := []string{"DemandDS", "DemandDT", "Renewable", "PriceLT", "PriceRT"}
+	series := s.all()
+	for i, sr := range series {
+		if sr == nil {
+			return fmt.Errorf("trace: set is missing %s", names[i])
+		}
+	}
+	n := series[0].Len()
+	slot := series[0].SlotMinutes
+	if n == 0 {
+		return errors.New("trace: set has zero horizon")
+	}
+	for i, sr := range series {
+		if err := sr.Validate(); err != nil {
+			return err
+		}
+		if sr.Len() != n {
+			return fmt.Errorf("trace: %s has %d slots, want %d", names[i], sr.Len(), n)
+		}
+		if sr.SlotMinutes != slot {
+			return fmt.Errorf("trace: %s has %d-minute slots, want %d", names[i], sr.SlotMinutes, slot)
+		}
+		if sr.Min() < 0 {
+			return fmt.Errorf("trace: %s has negative samples", names[i])
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the whole set.
+func (s *Set) Clone() *Set {
+	return &Set{
+		DemandDS:  s.DemandDS.Clone(),
+		DemandDT:  s.DemandDT.Clone(),
+		Renewable: s.Renewable.Clone(),
+		PriceLT:   s.PriceLT.Clone(),
+		PriceRT:   s.PriceRT.Clone(),
+	}
+}
+
+// ScaleSystem multiplies demand and renewable by β, modelling the system
+// expansion scenario of Sec. V-C (d(β,t) = βd(t), r(β,t) = βr(t)); prices
+// are left unchanged. It returns the receiver.
+func (s *Set) ScaleSystem(beta float64) *Set {
+	s.DemandDS.Scale(beta)
+	s.DemandDT.Scale(beta)
+	s.Renewable.Scale(beta)
+	return s
+}
+
+// ScaleDemandVariation stretches both demand series around their means by
+// factor k (k > 1 increases the standard deviation, k < 1 flattens),
+// clipping at zero. Used for the demand-variation axis of Fig. 8; the mean
+// is preserved up to clipping.
+func (s *Set) ScaleDemandVariation(k float64) error {
+	if k < 0 {
+		return fmt.Errorf("trace: negative variation factor %g", k)
+	}
+	for _, sr := range []*Series{s.DemandDS, s.DemandDT} {
+		mean := sr.Mean()
+		for i, v := range sr.Values {
+			nv := mean + k*(v-mean)
+			if nv < 0 {
+				nv = 0
+			}
+			sr.Values[i] = nv
+		}
+	}
+	return nil
+}
+
+// TotalDemand returns a new series dds+ddt.
+func (s *Set) TotalDemand() *Series {
+	out := s.DemandDS.Clone()
+	out.Name = "demand_total"
+	if _, err := out.AddSeries(s.DemandDT); err != nil {
+		// Lengths are validated elsewhere; an error here is a programming bug.
+		panic(err)
+	}
+	return out
+}
+
+// RenewablePenetration returns Σr / Σd, the fraction of total demand that
+// the on-site renewable production could cover (Fig. 8's x-axis).
+func (s *Set) RenewablePenetration() float64 {
+	d := s.DemandDS.Sum() + s.DemandDT.Sum()
+	if d == 0 {
+		return 0
+	}
+	return s.Renewable.Sum() / d
+}
+
+// SetPenetration rescales the renewable series so that
+// RenewablePenetration() == target. A zero-sum renewable series cannot be
+// rescaled and produces an error.
+func (s *Set) SetPenetration(target float64) error {
+	if target < 0 {
+		return fmt.Errorf("trace: negative penetration %g", target)
+	}
+	cur := s.RenewablePenetration()
+	if cur == 0 {
+		if target == 0 {
+			return nil
+		}
+		return errors.New("trace: cannot scale an all-zero renewable series")
+	}
+	s.Renewable.Scale(target / cur)
+	return nil
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func testSet(n int) *Set {
+	mk := func(name string, base float64) *Series {
+		s := New(name, "MWh", 60, n)
+		for i := range s.Values {
+			s.Values[i] = base + float64(i%3)
+		}
+		return s
+	}
+	return &Set{
+		DemandDS:  mk("demand_ds", 1),
+		DemandDT:  mk("demand_dt", 0.5),
+		Renewable: mk("renewable", 0.2),
+		PriceLT:   mk("price_lt", 30),
+		PriceRT:   mk("price_rt", 40),
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	s := testSet(10)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	if s.Horizon() != 10 {
+		t.Errorf("Horizon = %d, want 10", s.Horizon())
+	}
+}
+
+func TestSetValidateRejects(t *testing.T) {
+	t.Run("missing series", func(t *testing.T) {
+		s := testSet(5)
+		s.PriceRT = nil
+		if err := s.Validate(); err == nil {
+			t.Error("want error for missing series")
+		}
+	})
+	t.Run("length mismatch", func(t *testing.T) {
+		s := testSet(5)
+		s.Renewable = New("renewable", "MWh", 60, 4)
+		if err := s.Validate(); err == nil {
+			t.Error("want error for length mismatch")
+		}
+	})
+	t.Run("slot mismatch", func(t *testing.T) {
+		s := testSet(5)
+		s.Renewable = New("renewable", "MWh", 30, 5)
+		if err := s.Validate(); err == nil {
+			t.Error("want error for slot-size mismatch")
+		}
+	})
+	t.Run("negative values", func(t *testing.T) {
+		s := testSet(5)
+		s.DemandDS.Values[0] = -1
+		if err := s.Validate(); err == nil {
+			t.Error("want error for negative demand")
+		}
+	})
+	t.Run("zero horizon", func(t *testing.T) {
+		s := testSet(0)
+		if err := s.Validate(); err == nil {
+			t.Error("want error for zero horizon")
+		}
+	})
+	t.Run("nan", func(t *testing.T) {
+		s := testSet(5)
+		s.PriceLT.Values[1] = math.NaN()
+		if err := s.Validate(); err == nil {
+			t.Error("want error for NaN")
+		}
+	})
+}
+
+func TestSetCloneIndependent(t *testing.T) {
+	s := testSet(4)
+	c := s.Clone()
+	c.DemandDS.Values[0] = 99
+	if s.DemandDS.Values[0] == 99 {
+		t.Error("Clone must deep copy")
+	}
+}
+
+func TestSetScaleSystem(t *testing.T) {
+	s := testSet(6)
+	dBefore := s.DemandDS.Sum() + s.DemandDT.Sum()
+	rBefore := s.Renewable.Sum()
+	pBefore := s.PriceRT.Sum()
+	s.ScaleSystem(2)
+	if got := s.DemandDS.Sum() + s.DemandDT.Sum(); math.Abs(got-2*dBefore) > 1e-9 {
+		t.Errorf("demand sum after scale = %g, want %g", got, 2*dBefore)
+	}
+	if got := s.Renewable.Sum(); math.Abs(got-2*rBefore) > 1e-9 {
+		t.Errorf("renewable sum after scale = %g, want %g", got, 2*rBefore)
+	}
+	if got := s.PriceRT.Sum(); got != pBefore {
+		t.Errorf("prices must not scale: %g vs %g", got, pBefore)
+	}
+}
+
+func TestSetTotalDemand(t *testing.T) {
+	s := testSet(4)
+	total := s.TotalDemand()
+	for i := 0; i < 4; i++ {
+		want := s.DemandDS.Values[i] + s.DemandDT.Values[i]
+		if total.Values[i] != want {
+			t.Fatalf("TotalDemand[%d] = %g, want %g", i, total.Values[i], want)
+		}
+	}
+}
+
+func TestSetPenetration(t *testing.T) {
+	s := testSet(9)
+	if err := s.SetPenetration(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RenewablePenetration(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("penetration = %g, want 0.5", got)
+	}
+	if err := s.SetPenetration(-1); err == nil {
+		t.Error("want error for negative target")
+	}
+	zero := testSet(3)
+	zero.Renewable = New("renewable", "MWh", 60, 3)
+	if err := zero.SetPenetration(0.5); err == nil {
+		t.Error("want error for zero renewable")
+	}
+	if err := zero.SetPenetration(0); err != nil {
+		t.Errorf("zero target on zero series should succeed: %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package wind
+
+import (
+	"math"
+	"testing"
+)
+
+func mustGenerate(t *testing.T, c Config) []float64 {
+	t.Helper()
+	s, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Values
+}
+
+func TestGenerateBounds(t *testing.T) {
+	c := Defaults()
+	vals := mustGenerate(t, c)
+	if len(vals) != 31*24 {
+		t.Fatalf("len = %d, want %d", len(vals), 31*24)
+	}
+	capMWh := c.CapacityMW // 1-hour slots
+	for i, v := range vals {
+		if v < 0 || v > capMWh+1e-12 {
+			t.Fatalf("vals[%d] = %g outside [0, %g]", i, v, capMWh)
+		}
+	}
+}
+
+func TestGenerateProducesEnergy(t *testing.T) {
+	c := Defaults()
+	vals := mustGenerate(t, c)
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	// A 7.5 m/s site with a 12 m/s rated turbine should run at a
+	// plausible capacity factor.
+	cf := total / (float64(len(vals)) * c.CapacityMW)
+	if cf < 0.1 || cf > 0.7 {
+		t.Fatalf("capacity factor = %.3f, expected 0.1..0.7", cf)
+	}
+}
+
+func TestGenerateNotDayNightGated(t *testing.T) {
+	// Unlike solar, wind must produce at night on a typical site.
+	vals := mustGenerate(t, Defaults())
+	night := 0.0
+	for day := 0; day < 31; day++ {
+		night += vals[day*24+2]
+	}
+	if night == 0 {
+		t.Fatal("no night production in a month — wind should not be day-gated")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := mustGenerate(t, Defaults())
+	b := mustGenerate(t, Defaults())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at slot %d", i)
+		}
+	}
+	c := Defaults()
+	c.Seed = 99
+	d := mustGenerate(t, c)
+	same := true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestGenerateMeanSpeedEffect(t *testing.T) {
+	calm := Defaults()
+	calm.MeanSpeedMS = 5
+	windy := Defaults()
+	windy.MeanSpeedMS = 10
+	c, err := Generate(calm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Generate(windy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Sum() <= c.Sum() {
+		t.Fatalf("10 m/s site %g not above 5 m/s site %g", w.Sum(), c.Sum())
+	}
+}
+
+func TestPowerCurve(t *testing.T) {
+	tests := []struct {
+		speed float64
+		want  float64
+	}{
+		{0, 0},
+		{2.9, 0}, // below cut-in
+		{3.0, 0}, // at cut-in: cubic starts at zero
+		{12, 1},  // rated
+		{20, 1},  // between rated and cut-out
+		{25, 0},  // cut-out
+		{30, 0},  // storm
+	}
+	for _, tt := range tests {
+		got := powerCurve(tt.speed, 3, 12, 25)
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("powerCurve(%g) = %g, want %g", tt.speed, got, tt.want)
+		}
+	}
+	// Monotone between cut-in and rated.
+	prev := -1.0
+	for s := 3.0; s <= 12.0; s += 0.5 {
+		v := powerCurve(s, 3, 12, 25)
+		if v < prev {
+			t.Fatalf("power curve not monotone at %g m/s", s)
+		}
+		prev = v
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	mut := func(f func(*Config)) Config {
+		c := Defaults()
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mut(func(c *Config) { c.Days = 0 }),
+		mut(func(c *Config) { c.SlotMinutes = 0 }),
+		mut(func(c *Config) { c.CapacityMW = -1 }),
+		mut(func(c *Config) { c.MeanSpeedMS = 0 }),
+		mut(func(c *Config) { c.SpeedStdMS = -1 }),
+		mut(func(c *Config) { c.CutInMS = 0 }),
+		mut(func(c *Config) { c.RatedMS = c.CutInMS }),
+		mut(func(c *Config) { c.CutOutMS = c.RatedMS }),
+		mut(func(c *Config) { c.FrontStdMS = -1 }),
+		mut(func(c *Config) { c.DiurnalAmp = 2 }),
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGenerateFineResolution(t *testing.T) {
+	c := Defaults()
+	c.SlotMinutes = 15
+	c.Days = 2
+	s, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2*24*4 {
+		t.Fatalf("len = %d, want %d", s.Len(), 2*24*4)
+	}
+	capMWh := c.CapacityMW * 0.25
+	for i, v := range s.Values {
+		if v < 0 || v > capMWh+1e-12 {
+			t.Fatalf("15-min vals[%d] = %g outside [0, %g]", i, v, capMWh)
+		}
+	}
+}

