@@ -1,0 +1,29 @@
+# Same targets CI runs (.github/workflows/ci.yml), so humans and CI
+# invoke identical commands.
+
+GO ?= go
+
+.PHONY: build test race bench lint suite
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# Full one-month scenario suite (paper figures + extensions) on all cores.
+suite:
+	$(GO) run ./cmd/experiments -run paper,ext

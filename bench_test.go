@@ -159,3 +159,33 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		}
 	}
 }
+
+// benchSuite runs the full scenario suite (paper figures plus
+// extensions) through the registry at a fixed pool width.
+func benchSuite(b *testing.B, parallel int) {
+	b.Helper()
+	cfg := dpss.SuiteConfig{Days: 7, Seed: 1, SkipOffline: true, Seeds: 3, Parallel: parallel}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := dpss.RunSuite(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// BenchmarkSuiteSequential pins the worker pool to one goroutine — the
+// pre-suite sequential baseline the speedup is measured against.
+func BenchmarkSuiteSequential(b *testing.B) {
+	benchSuite(b, 1)
+}
+
+// BenchmarkSuiteParallel fans scenarios and sweep points across
+// GOMAXPROCS; the ratio to BenchmarkSuiteSequential is the suite
+// engine's speedup on this machine.
+func BenchmarkSuiteParallel(b *testing.B) {
+	benchSuite(b, 0)
+}

@@ -1,22 +1,47 @@
-// Command experiments reproduces the figures of the SmartDPSS evaluation
-// (ICDCS 2013, Sec. VI) and prints each as an aligned text table.
+// Command experiments drives the SmartDPSS scenario suite: it reproduces
+// the figures of the paper's evaluation (ICDCS 2013, Sec. VI) plus the
+// extension studies, running scenarios and their inner sweeps on a
+// worker pool.
 //
 // Usage:
 //
-//	experiments [-days N] [-seed S] [-skip-offline] [-fig name] [-csv path]
+//	experiments [-list] [-run selectors] [-parallel N] [-json]
+//	            [-days N] [-seed S] [-seeds N] [-skip-offline]
+//	            [-csv path] [-out-dir dir]
 //
-// With -fig the run is limited to one figure (fig5, fig6v, fig6t, fig7,
-// fig8, fig9, fig10); otherwise all figures run in paper order. With -csv
-// the Fig. 5 raw traces are also exported to the given file.
+// Flags:
+//
+//	-list          print every registered scenario (name, tags,
+//	               description) and exit
+//	-run           comma-separated scenario names and/or tags to run
+//	               (e.g. "fig6v", "ext", "fig5,ext-cycle"); default is
+//	               the "paper" tag — the seven figures in paper order
+//	-fig           deprecated alias for -run (kept for old scripts)
+//	-parallel      worker-pool width; 0 (default) uses GOMAXPROCS, 1
+//	               forces sequential execution; results are
+//	               byte-identical at every level
+//	-json          emit the tables as a JSON array instead of aligned
+//	               text
+//	-days          trace horizon in days (paper: 31)
+//	-seed          generator seed
+//	-seeds         seed count for the ext-seeds scenario
+//	-skip-offline  skip the clairvoyant offline-LP benchmark columns
+//	               (they dominate the runtime)
+//	-csv           export the Fig. 5 raw traces to this CSV file
+//	-out-dir       also write each table as <scenario>.csv into this
+//	               directory
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"github.com/smartdpss/smartdpss/internal/experiments"
+	"github.com/smartdpss/smartdpss/internal/suite"
 )
 
 func main() {
@@ -31,33 +56,38 @@ func run(args []string) error {
 	days := fs.Int("days", 31, "trace horizon in days")
 	seed := fs.Int64("seed", 1, "generator seed")
 	skipOffline := fs.Bool("skip-offline", false, "skip the clairvoyant benchmark columns")
-	seeds := fs.Int("seeds", 5, "seed count for -fig ext-seeds")
-	fig := fs.String("fig", "", "run a single figure: fig5|fig6v|fig6t|fig7|fig8|fig9|fig10|ext-peak|ext-cycle|ext-mix|ext-est|ext-mpc|ext-seeds|ext-cool")
+	seeds := fs.Int("seeds", 5, "seed count for the ext-seeds scenario")
+	parallel := fs.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
+	list := fs.Bool("list", false, "list registered scenarios and exit")
+	runSel := fs.String("run", "", "comma-separated scenario names and/or tags (default: the paper figures)")
+	fig := fs.String("fig", "", "deprecated alias for -run")
+	asJSON := fs.Bool("json", false, "emit tables as JSON instead of aligned text")
 	csvPath := fs.String("csv", "", "export the Fig. 5 raw traces to this CSV file")
 	outDir := fs.String("out-dir", "", "also write each table as CSV into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := experiments.Config{Days: *days, Seed: *seed, SkipOffline: *skipOffline}
+	if *list {
+		return listScenarios(os.Stdout)
+	}
 
-	runners := map[string]func(experiments.Config) (*experiments.Table, error){
-		"fig5":      experiments.Fig5Traces,
-		"fig6v":     experiments.Fig6VSweep,
-		"fig6t":     experiments.Fig6TSweep,
-		"fig7":      experiments.Fig7Factors,
-		"fig8":      experiments.Fig8Penetration,
-		"fig9":      experiments.Fig9Robustness,
-		"fig10":     experiments.Fig10Scaling,
-		"ext-peak":  experiments.ExtPeakManagement,
-		"ext-cycle": experiments.ExtCycleBudget,
-		"ext-mix":   experiments.ExtRenewableMix,
-		"ext-est":   experiments.ExtEstimatorAblation,
-		"ext-mpc":   experiments.ExtForesight,
-		"ext-seeds": func(c experiments.Config) (*experiments.Table, error) {
-			return experiments.MultiSeedSummary(c, *seeds)
-		},
-		"ext-cool": experiments.ExtCooling,
+	cfg := suite.Config{
+		Days:        *days,
+		Seed:        *seed,
+		SkipOffline: *skipOffline,
+		Seeds:       *seeds,
+		Parallel:    *parallel,
+	}
+
+	selectors := splitSelectors(*runSel)
+	selectors = append(selectors, splitSelectors(*fig)...)
+	if len(selectors) == 0 {
+		selectors = []string{experiments.TagPaper}
+	}
+	scenarios, err := suite.Select(selectors...)
+	if err != nil {
+		return err
 	}
 
 	if *csvPath != "" {
@@ -72,55 +102,98 @@ func run(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote raw traces to %s\n\n", *csvPath)
+		if !*asJSON {
+			fmt.Printf("wrote raw traces to %s\n\n", *csvPath)
+		}
 	}
 
-	emit := func(name string, tbl *experiments.Table) error {
-		if err := tbl.Fprint(os.Stdout); err != nil {
+	results := suite.Run(cfg, scenarios)
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+
+	if *asJSON {
+		if err := emitJSON(os.Stdout, results); err != nil {
 			return err
 		}
-		if *outDir == "" {
-			return nil
+	} else {
+		for _, r := range results {
+			if err := r.Table.Fprint(os.Stdout); err != nil {
+				return err
+			}
 		}
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			return err
-		}
-		f, err := os.Create(filepath.Join(*outDir, name+".csv"))
+	}
+
+	if *outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range results {
+		f, err := os.Create(filepath.Join(*outDir, r.Scenario.Name+".csv"))
 		if err != nil {
 			return err
 		}
-		if err := tbl.WriteCSV(f); err != nil {
+		if err := r.Table.WriteCSV(f); err != nil {
 			f.Close()
 			return err
 		}
-		return f.Close()
-	}
-
-	if *fig != "" {
-		runner, ok := runners[*fig]
-		if !ok {
-			return fmt.Errorf("unknown figure %q", *fig)
-		}
-		tbl, err := runner(cfg)
-		if err != nil {
-			return err
-		}
-		return emit(*fig, tbl)
-	}
-
-	names := []string{"fig5", "fig6v", "fig6t", "fig7", "fig8", "fig9", "fig10"}
-	tables, err := experiments.All(cfg)
-	if err != nil {
-		return err
-	}
-	for i, tbl := range tables {
-		name := fmt.Sprintf("table%d", i)
-		if i < len(names) {
-			name = names[i]
-		}
-		if err := emit(name, tbl); err != nil {
+		if err := f.Close(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// splitSelectors parses a comma-separated selector list.
+func splitSelectors(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// listScenarios prints the registry as an aligned table.
+func listScenarios(w *os.File) error {
+	t := &suite.Table{
+		Title:   "Registered scenarios",
+		Note:    "select by name or tag with -run; the default run is the \"paper\" tag.",
+		Columns: []string{"name", "tags", "description"},
+	}
+	for _, s := range suite.Scenarios() {
+		t.AddRow(s.Name, strings.Join(s.Tags, ","), s.Description)
+	}
+	return t.Fprint(w)
+}
+
+// jsonTable is the -json wire format for one scenario result.
+type jsonTable struct {
+	Name    string     `json:"name"`
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// emitJSON writes the results as one indented JSON array.
+func emitJSON(w *os.File, results []suite.Result) error {
+	out := make([]jsonTable, len(results))
+	for i, r := range results {
+		out[i] = jsonTable{
+			Name:    r.Scenario.Name,
+			Title:   r.Table.Title,
+			Note:    r.Table.Note,
+			Columns: r.Table.Columns,
+			Rows:    r.Table.Rows,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

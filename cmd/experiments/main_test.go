@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +12,63 @@ func TestRunSingleFigure(t *testing.T) {
 	for _, fig := range []string{"fig5", "ext-cycle"} {
 		if err := run([]string{"-days", "2", "-skip-offline", "-fig", fig}); err != nil {
 			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunSelectors(t *testing.T) {
+	// -run accepts names, tags and comma-separated mixes.
+	for _, sel := range []string{"fig5", "ext-cycle,fig5"} {
+		if err := run([]string{"-days", "2", "-skip-offline", "-run", sel}); err != nil {
+			t.Errorf("-run %s: %v", sel, err)
+		}
+	}
+	if err := run([]string{"-days", "2", "-run", "no-such-tag"}); err == nil {
+		t.Error("unknown selector accepted")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	// Capture stdout to validate the JSON envelope.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-days", "2", "-skip-offline", "-run", "fig5", "-json"})
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var tables []struct {
+		Name    string     `json:"name"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.NewDecoder(r).Decode(&tables); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(tables) != 1 || tables[0].Name != "fig5" {
+		t.Fatalf("tables = %+v, want one fig5", tables)
+	}
+	if len(tables[0].Rows) != 5 {
+		t.Errorf("fig5 rows = %d, want 5", len(tables[0].Rows))
+	}
+}
+
+func TestRunParallelLevels(t *testing.T) {
+	for _, p := range []string{"1", "4"} {
+		if err := run([]string{"-days", "2", "-skip-offline", "-run", "fig7", "-parallel", p}); err != nil {
+			t.Errorf("-parallel %s: %v", p, err)
 		}
 	}
 }

@@ -1,0 +1,3 @@
+module github.com/smartdpss/smartdpss
+
+go 1.24

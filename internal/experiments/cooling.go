@@ -3,7 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	dpss "github.com/smartdpss/smartdpss"
+	dpss "github.com/smartdpss/smartdpss/internal/engine"
+	"github.com/smartdpss/smartdpss/internal/suite"
 )
 
 // ExtCooling (EXT-7) exercises the paper's other declared future-work
@@ -13,16 +14,9 @@ import (
 // weather. Because hot afternoons coincide with the interactive peak,
 // summer cooling raises both the level and the variance of facility
 // demand; the experiment measures whether SmartDPSS's advantage over
-// Impatient survives the coupling.
+// Impatient survives the coupling. Each climate is a pool job coupling
+// its own private clone of the cached traces.
 func ExtCooling(cfg Config) (*Table, error) {
-	t := &Table{
-		Title: "EXT-7 — cooling coupling (paper future work, Sec. IV-C)",
-		Note: "facility demand = IT demand × PUE(outside temperature); winter ≈ free cooling,\n" +
-			"summer ≈ chiller regime; expected: demand and cost rise with temperature, the\n" +
-			"SmartDPSS saving over Impatient persists.",
-		Columns: []string{"climate", "avg PUE", "demand MWh", "smart $/slot", "impatient $/slot", "saving"},
-	}
-
 	climates := []struct {
 		label string
 		meanC float64
@@ -32,8 +26,9 @@ func ExtCooling(cfg Config) (*Table, error) {
 		{"mild (16 C)", 16},
 		{"summer (26 C)", 26},
 	}
-	for _, cl := range climates {
-		traces, err := dpss.GenerateTraces(cfg.traceConfig())
+	rows, err := suite.Map(cfg, len(climates), func(i int) ([]string, error) {
+		cl := climates[i]
+		traces, err := baseTraces(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -62,9 +57,21 @@ func ExtCooling(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(cl.label, fmt.Sprintf("%.3f", avgPUE), fmtF(demand),
+		return []string{cl.label, fmt.Sprintf("%.3f", avgPUE), fmtF(demand),
 			fmtUSD(smart.TimeAvgCostUSD), fmtUSD(imp.TimeAvgCostUSD),
-			fmtPct(1-smart.TotalCostUSD/imp.TotalCostUSD))
+			fmtPct(1 - smart.TotalCostUSD/imp.TotalCostUSD)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	t := &Table{
+		Title: "EXT-7 — cooling coupling (paper future work, Sec. IV-C)",
+		Note: "facility demand = IT demand × PUE(outside temperature); winter ≈ free cooling,\n" +
+			"summer ≈ chiller regime; expected: demand and cost rise with temperature, the\n" +
+			"SmartDPSS saving over Impatient persists.",
+		Columns: []string{"climate", "avg PUE", "demand MWh", "smart $/slot", "impatient $/slot", "saving"},
+	}
+	t.Rows = rows
 	return t, nil
 }

@@ -10,111 +10,36 @@
 // differ from the paper (synthetic traces stand in for MIDC/NYISO/Google
 // data), but the shapes — who wins, what is monotone, where benefits
 // order — are the reproduction targets.
+//
+// Every runner registers itself as a suite.Scenario (see registry.go),
+// and every inner sweep loop is fanned out on the suite worker pool via
+// suite.Map with results assembled in index order, so tables are
+// byte-identical at any parallelism level. Trace sets come from the
+// shared suite cache: concurrent scenarios that need the same synthetic
+// month get private clones of one generation instead of regenerating it.
 package experiments
 
 import (
-	"encoding/csv"
 	"fmt"
-	"io"
-	"strings"
 
-	dpss "github.com/smartdpss/smartdpss"
+	dpss "github.com/smartdpss/smartdpss/internal/engine"
+	"github.com/smartdpss/smartdpss/internal/suite"
 )
 
-// Config scopes an experiment run.
-type Config struct {
-	// Days is the trace horizon (paper: 31).
-	Days int
-	// Seed drives the synthetic generators.
-	Seed int64
-	// SkipOffline drops the clairvoyant benchmark columns (useful for
-	// quick runs; the offline LPs dominate the runtime).
-	SkipOffline bool
-}
+// Config scopes an experiment run (an alias of suite.Config, so runners
+// plug straight into the suite registry).
+type Config = suite.Config
 
 // DefaultConfig matches the paper's one-month setup.
-func DefaultConfig() Config {
-	return Config{Days: 31, Seed: 1}
-}
+func DefaultConfig() Config { return suite.DefaultConfig() }
 
-// traceConfig translates the experiment scope into a trace request.
-func (c Config) traceConfig() dpss.TraceConfig {
-	tc := dpss.DefaultTraceConfig()
-	tc.Days = c.Days
-	tc.Seed = c.Seed
-	return tc
-}
+// Table is a printable experiment result (an alias of suite.Table).
+type Table = suite.Table
 
-// Table is a printable experiment result.
-type Table struct {
-	// Title names the reproduced figure.
-	Title string
-	// Note captures the fixed parameters and reading guidance.
-	Note string
-	// Columns are the header cells.
-	Columns []string
-	// Rows are the data cells, already formatted.
-	Rows [][]string
-}
-
-// AddRow appends one formatted row.
-func (t *Table) AddRow(cells ...string) {
-	t.Rows = append(t.Rows, cells)
-}
-
-// Fprint renders the table with aligned columns.
-func (t *Table) Fprint(w io.Writer) error {
-	widths := make([]int, len(t.Columns))
-	for i, c := range t.Columns {
-		widths[i] = len(c)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	if _, err := fmt.Fprintf(w, "## %s\n", t.Title); err != nil {
-		return err
-	}
-	if t.Note != "" {
-		if _, err := fmt.Fprintf(w, "%s\n", t.Note); err != nil {
-			return err
-		}
-	}
-	line := func(cells []string) error {
-		parts := make([]string, len(cells))
-		for i, cell := range cells {
-			parts[i] = pad(cell, widths[i])
-		}
-		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
-		return err
-	}
-	if err := line(t.Columns); err != nil {
-		return err
-	}
-	seps := make([]string, len(t.Columns))
-	for i := range seps {
-		seps[i] = strings.Repeat("-", widths[i])
-	}
-	if err := line(seps); err != nil {
-		return err
-	}
-	for _, row := range t.Rows {
-		if err := line(row); err != nil {
-			return err
-		}
-	}
-	_, err := fmt.Fprintln(w)
-	return err
-}
-
-func pad(s string, w int) string {
-	if len(s) >= w {
-		return s
-	}
-	return s + strings.Repeat(" ", w-len(s))
+// baseTraces fetches the run's base trace set from the shared suite
+// cache.
+func baseTraces(cfg Config) (*dpss.Traces, error) {
+	return suite.Traces(cfg.TraceConfig())
 }
 
 // fmtUSD formats a dollar amount.
@@ -133,20 +58,4 @@ func simulate(policy dpss.Policy, opts dpss.Options, tr *dpss.Traces) (*dpss.Rep
 		return nil, fmt.Errorf("experiments: %s: %w", policy, err)
 	}
 	return rep, nil
-}
-
-// WriteCSV renders the table as CSV (one header row plus data rows), for
-// piping experiment results into plotting tools.
-func (t *Table) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(t.Columns); err != nil {
-		return fmt.Errorf("experiments: write header: %w", err)
-	}
-	for i, row := range t.Rows {
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("experiments: write row %d: %w", i, err)
-		}
-	}
-	cw.Flush()
-	return cw.Error()
 }

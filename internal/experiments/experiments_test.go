@@ -5,8 +5,6 @@ import (
 	"strconv"
 	"strings"
 	"testing"
-
-	dpss "github.com/smartdpss/smartdpss"
 )
 
 // fastConfig keeps experiment tests quick: one week, no offline columns
@@ -325,5 +323,4 @@ func TestDeterminism(t *testing.T) {
 			}
 		}
 	}
-	_ = dpss.DefaultOptions() // keep the import for documentation examples
 }

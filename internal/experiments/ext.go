@@ -3,7 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	dpss "github.com/smartdpss/smartdpss"
+	dpss "github.com/smartdpss/smartdpss/internal/engine"
+	"github.com/smartdpss/smartdpss/internal/suite"
 )
 
 // ExtPeakManagement is an extension beyond the paper's evaluation,
@@ -14,21 +15,14 @@ import (
 // renewable energy and lower electricity price", bounded only by Pgrid.
 // This experiment measures that effect: the peak grid draw and the
 // resulting demand charge for each policy, with and without the UPS.
+// Each policy/battery variant is a pool job.
 func ExtPeakManagement(cfg Config) (*Table, error) {
-	traces, err := dpss.GenerateTraces(cfg.traceConfig())
+	traces, err := baseTraces(cfg)
 	if err != nil {
 		return nil, err
 	}
 
 	const demandChargeUSDPerMW = 8000 // a typical monthly demand charge
-
-	t := &Table{
-		Title: "EXT-1 — power peaks and demand charges (paper future work, Sec. IV-C)",
-		Note: "demand charge $8000/MW-month applied to the peak grid draw, reported\n" +
-			"separately from Cost(τ); paper prediction: SmartDPSS peaks harder than\n" +
-			"Impatient but stays bounded by Pgrid.",
-		Columns: []string{"policy", "battery", "energy $/slot", "peak MW", "near-peak slots", "combined $/slot"},
-	}
 
 	type variant struct {
 		label   string
@@ -41,7 +35,8 @@ func ExtPeakManagement(cfg Config) (*Table, error) {
 		{"Impatient", dpss.PolicyImpatient, 15},
 		{"Impatient", dpss.PolicyImpatient, 0},
 	}
-	for _, v := range variants {
+	rows, err := suite.Map(cfg, len(variants), func(i int) ([]string, error) {
+		v := variants[i]
 		opts := dpss.DefaultOptions()
 		opts.BatteryMinutes = v.minutes
 		opts.PeakChargeUSDPerMW = demandChargeUSDPerMW
@@ -54,9 +49,21 @@ func ExtPeakManagement(cfg Config) (*Table, error) {
 		if v.minutes == 0 {
 			batt = "none"
 		}
-		t.AddRow(v.label, batt, fmtUSD(rep.TimeAvgCostUSD),
-			fmtF(rep.PeakGridMW), fmt.Sprintf("%d", rep.NearPeakSlots), fmtUSD(combined))
+		return []string{v.label, batt, fmtUSD(rep.TimeAvgCostUSD),
+			fmtF(rep.PeakGridMW), fmt.Sprintf("%d", rep.NearPeakSlots), fmtUSD(combined)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	t := &Table{
+		Title: "EXT-1 — power peaks and demand charges (paper future work, Sec. IV-C)",
+		Note: "demand charge $8000/MW-month applied to the peak grid draw, reported\n" +
+			"separately from Cost(τ); paper prediction: SmartDPSS peaks harder than\n" +
+			"Impatient but stays bounded by Pgrid.",
+		Columns: []string{"policy", "battery", "energy $/slot", "peak MW", "near-peak slots", "combined $/slot"},
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -70,19 +77,15 @@ var ExtCycleBudgetValues = []int{0, 300, 150, 75, 30}
 // evaluates it; this experiment sweeps Nmax and shows how the battery's
 // cost benefit decays as the budget tightens, and that the controller
 // degrades gracefully to grid-only operation once the budget is spent.
+// Each Nmax is a pool job.
 func ExtCycleBudget(cfg Config) (*Table, error) {
-	traces, err := dpss.GenerateTraces(cfg.traceConfig())
+	traces, err := baseTraces(cfg)
 	if err != nil {
 		return nil, err
 	}
 
-	t := &Table{
-		Title: "EXT-2 — UPS lifetime budget Nmax (Eq. 9)",
-		Note: "V=1, T=24, Bmax=15 min; Nmax caps total battery operations over the horizon\n" +
-			"(0 = unlimited); expected: cost rises towards the no-battery level as Nmax → 0.",
-		Columns: []string{"Nmax", "cost $/slot", "battery ops", "battery in MWh", "unserved MWh"},
-	}
-	for _, nmax := range ExtCycleBudgetValues {
+	rows, err := suite.Map(cfg, len(ExtCycleBudgetValues), func(i int) ([]string, error) {
+		nmax := ExtCycleBudgetValues[i]
 		opts := dpss.DefaultOptions()
 		opts.BatteryMaxOps = nmax
 		rep, err := simulate(dpss.PolicySmartDPSS, opts, traces)
@@ -93,9 +96,20 @@ func ExtCycleBudget(cfg Config) (*Table, error) {
 		if nmax == 0 {
 			label = "unlimited"
 		}
-		t.AddRow(label, fmtUSD(rep.TimeAvgCostUSD),
-			fmt.Sprintf("%d", rep.BatteryOps), fmtF(rep.BatteryInMWh), fmtF(rep.UnservedMWh))
+		return []string{label, fmtUSD(rep.TimeAvgCostUSD),
+			fmt.Sprintf("%d", rep.BatteryOps), fmtF(rep.BatteryInMWh), fmtF(rep.UnservedMWh)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	t := &Table{
+		Title: "EXT-2 — UPS lifetime budget Nmax (Eq. 9)",
+		Note: "V=1, T=24, Bmax=15 min; Nmax caps total battery operations over the horizon\n" +
+			"(0 = unlimited); expected: cost rises towards the no-battery level as Nmax → 0.",
+		Columns: []string{"Nmax", "cost $/slot", "battery ops", "battery in MWh", "unserved MWh"},
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -103,16 +117,11 @@ func ExtCycleBudget(cfg Config) (*Table, error) {
 // mixed renewable portfolios at equal penetration (the paper names "solar
 // and wind energies" as DPSS sources but evaluates solar only). Mixing
 // smooths intermittency — wind produces at night — which shows up as less
-// curtailment and lower cost at the same penetration.
+// curtailment and lower cost at the same penetration. Each portfolio is a
+// pool job generating its own trace set (distinct TraceConfigs, so they
+// cache independently).
 func ExtRenewableMix(cfg Config) (*Table, error) {
 	const targetPenetration = 0.3
-
-	t := &Table{
-		Title: "EXT-3 — renewable portfolio mix at equal penetration",
-		Note: fmt.Sprintf("penetration fixed at %.0f%%; V=1, T=24, Bmax=15 min;\n"+
-			"expected: the mixed portfolio wastes less and costs least.", 100*targetPenetration),
-		Columns: []string{"portfolio", "cost $/slot", "waste MWh", "night share"},
-	}
 
 	type portfolio struct {
 		label   string
@@ -124,11 +133,12 @@ func ExtRenewableMix(cfg Config) (*Table, error) {
 		{"wind only", 0, 1.5},
 		{"solar + wind", 1.5, 0.75},
 	}
-	for _, pf := range portfolios {
-		tc := cfg.traceConfig()
+	rows, err := suite.Map(cfg, len(portfolios), func(i int) ([]string, error) {
+		pf := portfolios[i]
+		tc := cfg.TraceConfig()
 		tc.SolarCapacityMW = pf.solarMW
 		tc.WindCapacityMW = pf.windMW
-		traces, err := dpss.GenerateTraces(tc)
+		traces, err := suite.Traces(tc)
 		if err != nil {
 			return nil, err
 		}
@@ -139,9 +149,20 @@ func ExtRenewableMix(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(pf.label, fmtUSD(rep.TimeAvgCostUSD), fmtF(rep.WasteMWh),
-			fmt.Sprintf("%.1f%%", 100*nightShare(traces)))
+		return []string{pf.label, fmtUSD(rep.TimeAvgCostUSD), fmtF(rep.WasteMWh),
+			fmt.Sprintf("%.1f%%", 100*nightShare(traces))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	t := &Table{
+		Title: "EXT-3 — renewable portfolio mix at equal penetration",
+		Note: fmt.Sprintf("penetration fixed at %.0f%%; V=1, T=24, Bmax=15 min;\n"+
+			"expected: the mixed portfolio wastes less and costs least.", 100*targetPenetration),
+		Columns: []string{"portfolio", "cost $/slot", "waste MWh", "night share"},
+	}
+	t.Rows = rows
 	return t, nil
 }
 

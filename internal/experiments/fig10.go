@@ -3,7 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	dpss "github.com/smartdpss/smartdpss"
+	dpss "github.com/smartdpss/smartdpss/internal/engine"
+	"github.com/smartdpss/smartdpss/internal/suite"
 )
 
 // Fig10Betas are the system-expansion factors of Fig. 10.
@@ -15,15 +16,12 @@ var Fig10Betas = []float64{1, 2, 5, 10}
 // "cannot be enlarged proportionally and stays fixed due to limits of
 // space and capital cost". The paper's reading: total cost grows almost
 // linearly with β while the per-unit cost falls (the growth rate slows).
+// Each β is a pool job scaling its own private clone of the cached
+// traces.
 func Fig10Scaling(cfg Config) (*Table, error) {
-	t := &Table{
-		Title: "Fig. 10 — time-average total cost under system expansion β",
-		Note: "demand and renewables scaled by β, Pgrid scaled, UPS fixed at the β=1 size;\n" +
-			"expected: total cost near-linear in β, per-unit cost ↓.",
-		Columns: []string{"beta", "cost $/slot", "cost per unit ($/slot/beta)", "mean delay", "unserved MWh"},
-	}
-	for _, beta := range Fig10Betas {
-		traces, err := dpss.GenerateTraces(cfg.traceConfig())
+	rows, err := suite.Map(cfg, len(Fig10Betas), func(i int) ([]string, error) {
+		beta := Fig10Betas[i]
+		traces, err := baseTraces(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -36,28 +34,38 @@ func Fig10Scaling(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("%.0f", beta),
-			fmtUSD(rep.TimeAvgCostUSD), fmtUSD(rep.TimeAvgCostUSD/beta),
-			fmtF(rep.MeanDelaySlots), fmtF(rep.UnservedMWh))
+		return []string{fmt.Sprintf("%.0f", beta),
+			fmtUSD(rep.TimeAvgCostUSD), fmtUSD(rep.TimeAvgCostUSD / beta),
+			fmtF(rep.MeanDelaySlots), fmtF(rep.UnservedMWh)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	t := &Table{
+		Title: "Fig. 10 — time-average total cost under system expansion β",
+		Note: "demand and renewables scaled by β, Pgrid scaled, UPS fixed at the β=1 size;\n" +
+			"expected: total cost near-linear in β, per-unit cost ↓.",
+		Columns: []string{"beta", "cost $/slot", "cost per unit ($/slot/beta)", "mean delay", "unserved MWh"},
+	}
+	t.Rows = rows
 	return t, nil
 }
 
-// All runs every figure's experiment and returns the tables in paper
-// order. SkipOffline in cfg shortens the run considerably.
+// All runs every paper figure's experiment sequentially in this
+// goroutine (each runner still fans its sweep out on the pool) and
+// returns the tables in paper order. The figure list is the registry's
+// TagPaper selection — one source of truth with cmd/experiments and
+// RunSuite. Suite-level fan-out lives in suite.RunSuite; this helper
+// remains for callers that want just the paper figures as a slice.
 func All(cfg Config) ([]*Table, error) {
-	runners := []func(Config) (*Table, error){
-		Fig5Traces,
-		Fig6VSweep,
-		Fig6TSweep,
-		Fig7Factors,
-		Fig8Penetration,
-		Fig9Robustness,
-		Fig10Scaling,
+	scns, err := suite.Select(TagPaper)
+	if err != nil {
+		return nil, err
 	}
-	tables := make([]*Table, 0, len(runners))
-	for _, run := range runners {
-		tbl, err := run(cfg)
+	tables := make([]*Table, 0, len(scns))
+	for _, s := range scns {
+		tbl, err := s.Run(cfg)
 		if err != nil {
 			return tables, err
 		}

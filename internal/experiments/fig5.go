@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	dpss "github.com/smartdpss/smartdpss"
+	dpss "github.com/smartdpss/smartdpss/internal/engine"
 )
 
 // Fig5Traces reproduces Fig. 5: one-month traces of power demand, solar
@@ -13,7 +13,7 @@ import (
 // the figure is meant to convey ("peaks and variances, suggesting that
 // SmartDPSS can help"). Use ExportFig5CSV for the raw series.
 func Fig5Traces(cfg Config) (*Table, error) {
-	traces, err := dpss.GenerateTraces(cfg.traceConfig())
+	traces, err := baseTraces(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -36,7 +36,7 @@ func Fig5Traces(cfg Config) (*Table, error) {
 
 // ExportFig5CSV writes the raw five-series trace set as CSV.
 func ExportFig5CSV(cfg Config, w io.Writer) error {
-	traces, err := dpss.GenerateTraces(cfg.traceConfig())
+	traces, err := baseTraces(cfg)
 	if err != nil {
 		return err
 	}

@@ -3,7 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	dpss "github.com/smartdpss/smartdpss"
+	dpss "github.com/smartdpss/smartdpss/internal/engine"
+	"github.com/smartdpss/smartdpss/internal/suite"
 )
 
 // Fig6VValues are the control-parameter points of Fig. 6(a)(b).
@@ -12,24 +13,38 @@ var Fig6VValues = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
 // Fig6VSweep reproduces Fig. 6(a)(b): time-average operation cost and
 // average service delay as V varies, for SmartDPSS against the Impatient
 // and offline-optimal baselines, with T = 24, ε = 0.5 and a 15-minute UPS.
+// The V-independent baselines and every V point run as independent pool
+// jobs.
 func Fig6VSweep(cfg Config) (*Table, error) {
-	traces, err := dpss.GenerateTraces(cfg.traceConfig())
+	traces, err := baseTraces(cfg)
 	if err != nil {
 		return nil, err
 	}
 	opts := dpss.DefaultOptions()
 
-	impatient, err := simulate(dpss.PolicyImpatient, opts, traces)
+	// Jobs 0..len(V)-1 are the V points; the two trailing jobs are the
+	// V-independent Impatient and (unless skipped) offline baselines.
+	jobs := len(Fig6VValues) + 2
+	reports, err := suite.Map(cfg, jobs, func(i int) (*dpss.Report, error) {
+		switch i {
+		case len(Fig6VValues):
+			return simulate(dpss.PolicyImpatient, opts, traces)
+		case len(Fig6VValues) + 1:
+			if cfg.SkipOffline {
+				return nil, nil
+			}
+			return simulate(dpss.PolicyOfflineOptimal, opts, traces)
+		default:
+			o := opts
+			o.V = Fig6VValues[i]
+			return simulate(dpss.PolicySmartDPSS, o, traces)
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	var offline *dpss.Report
-	if !cfg.SkipOffline {
-		offline, err = simulate(dpss.PolicyOfflineOptimal, opts, traces)
-		if err != nil {
-			return nil, err
-		}
-	}
+	impatient := reports[len(Fig6VValues)]
+	offline := reports[len(Fig6VValues)+1]
 
 	t := &Table{
 		Title: "Fig. 6(a)(b) — time-average cost and mean delay vs V",
@@ -38,13 +53,8 @@ func Fig6VSweep(cfg Config) (*Table, error) {
 		Columns: []string{"V", "smart $/slot", "smart delay", "impatient $/slot", "impatient delay",
 			"offline $/slot", "offline delay"},
 	}
-	for _, v := range Fig6VValues {
-		o := opts
-		o.V = v
-		rep, err := simulate(dpss.PolicySmartDPSS, o, traces)
-		if err != nil {
-			return nil, err
-		}
+	for i, v := range Fig6VValues {
+		rep := reports[i]
 		offCost, offDelay := "n/a", "n/a"
 		if offline != nil {
 			offCost, offDelay = fmtUSD(offline.TimeAvgCostUSD), fmtF(offline.MeanDelaySlots)
@@ -64,39 +74,30 @@ var Fig6TValues = []int{3, 6, 12, 24, 48, 72, 144}
 // Fig6TSweep reproduces Fig. 6(c)(d): cost and delay as the long-term
 // market period T varies, with V = 1 and ε = 0.5. The paper reports cost
 // fluctuating only within [−3.65%, +6.23%] of the T=24 level while delay
-// falls as T grows (queue bounds ∝ V·Pmax/T).
+// falls as T grows (queue bounds ∝ V·Pmax/T). Each T point is a pool job.
 func Fig6TSweep(cfg Config) (*Table, error) {
-	traces, err := dpss.GenerateTraces(cfg.traceConfig())
+	traces, err := baseTraces(cfg)
 	if err != nil {
 		return nil, err
 	}
 	opts := dpss.DefaultOptions()
 
-	type point struct {
-		T        int
-		cost     float64
-		delay    float64
-		maxDelay int
-	}
-	points := make([]point, 0, len(Fig6TValues))
-	var ref float64
-	for _, T := range Fig6TValues {
+	points, err := suite.Map(cfg, len(Fig6TValues), func(i int) (*dpss.Report, error) {
 		o := opts
-		o.T = T
-		rep, err := simulate(dpss.PolicySmartDPSS, o, traces)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, point{
-			T: T, cost: rep.TimeAvgCostUSD,
-			delay: rep.MeanDelaySlots, maxDelay: rep.MaxDelaySlots,
-		})
+		o.T = Fig6TValues[i]
+		return simulate(dpss.PolicySmartDPSS, o, traces)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ref float64
+	for i, T := range Fig6TValues {
 		if T == 24 {
-			ref = rep.TimeAvgCostUSD
+			ref = points[i].TimeAvgCostUSD
 		}
 	}
 	if ref == 0 && len(points) > 0 {
-		ref = points[0].cost
+		ref = points[0].TimeAvgCostUSD
 	}
 
 	t := &Table{
@@ -105,9 +106,10 @@ func Fig6TSweep(cfg Config) (*Table, error) {
 			"expected shape: cost roughly flat in T, delay ↓ as T grows.",
 		Columns: []string{"T (slots)", "cost $/slot", "vs T=24", "mean delay (slots)", "max delay"},
 	}
-	for _, p := range points {
-		t.AddRow(fmt.Sprintf("%d", p.T), fmtUSD(p.cost), fmtPct(p.cost/ref-1),
-			fmtF(p.delay), fmt.Sprintf("%d", p.maxDelay))
+	for i, T := range Fig6TValues {
+		p := points[i]
+		t.AddRow(fmt.Sprintf("%d", T), fmtUSD(p.TimeAvgCostUSD), fmtPct(p.TimeAvgCostUSD/ref-1),
+			fmtF(p.MeanDelaySlots), fmt.Sprintf("%d", p.MaxDelaySlots))
 	}
 	return t, nil
 }

@@ -3,7 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	dpss "github.com/smartdpss/smartdpss"
+	dpss "github.com/smartdpss/smartdpss/internal/engine"
+	"github.com/smartdpss/smartdpss/internal/suite"
 )
 
 // Fig7EpsilonValues are the delay-control parameters of Fig. 7.
@@ -16,46 +17,31 @@ var Fig7BatteryMinutes = []float64{0, 15, 30}
 // (two markets "TM" vs real-time only "RTM") and the battery size Bmax on
 // time-average total cost, with V = 1 and T = 24. The paper's reading:
 // cost ↑ with ε; TM < RTM; cost ↓ with Bmax; and the benefit ordering is
-// battery > market structure > ε.
+// battery > market structure > ε. Each configuration is a pool job.
 func Fig7Factors(cfg Config) (*Table, error) {
-	traces, err := dpss.GenerateTraces(cfg.traceConfig())
+	traces, err := baseTraces(cfg)
 	if err != nil {
 		return nil, err
 	}
 	base := dpss.DefaultOptions()
 
-	t := &Table{
-		Title: "Fig. 7 — impact of ε, market structure and Bmax on time-average total cost",
-		Note: "V=1, T=24; TM = two-timescale markets, RTM = real-time market only, NB = no battery;\n" +
-			"expected: cost ↑ with ε; TM < RTM; cost ↓ with Bmax.",
-		Columns: []string{"configuration", "cost $/slot", "mean delay", "battery ops"},
+	type variant struct {
+		label string
+		opts  dpss.Options
 	}
-
-	addRun := func(label string, o dpss.Options) error {
-		rep, err := simulate(dpss.PolicySmartDPSS, o, traces)
-		if err != nil {
-			return err
-		}
-		t.AddRow(label, fmtUSD(rep.TimeAvgCostUSD), fmtF(rep.MeanDelaySlots),
-			fmt.Sprintf("%d", rep.BatteryOps))
-		return nil
-	}
+	var variants []variant
 
 	// ε sweep (TM, Bmax = 15 min).
 	for _, eps := range Fig7EpsilonValues {
 		o := base
 		o.Epsilon = eps
-		if err := addRun(fmt.Sprintf("eps=%.2f TM Bmax=15", eps), o); err != nil {
-			return nil, err
-		}
+		variants = append(variants, variant{fmt.Sprintf("eps=%.2f TM Bmax=15", eps), o})
 	}
 
 	// Market structure (ε = 0.5, Bmax = 15 min).
 	rtm := base
 	rtm.DisableLongTerm = true
-	if err := addRun("eps=0.50 RTM Bmax=15", rtm); err != nil {
-		return nil, err
-	}
+	variants = append(variants, variant{"eps=0.50 RTM Bmax=15", rtm})
 
 	// Battery sizes (TM, ε = 0.5).
 	for _, minutes := range Fig7BatteryMinutes {
@@ -65,9 +51,26 @@ func Fig7Factors(cfg Config) (*Table, error) {
 		if minutes == 0 {
 			label = "eps=0.50 TM NB (no battery)"
 		}
-		if err := addRun(label, o); err != nil {
-			return nil, err
-		}
+		variants = append(variants, variant{label, o})
+	}
+
+	reports, err := suite.Map(cfg, len(variants), func(i int) (*dpss.Report, error) {
+		return simulate(dpss.PolicySmartDPSS, variants[i].opts, traces)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title: "Fig. 7 — impact of ε, market structure and Bmax on time-average total cost",
+		Note: "V=1, T=24; TM = two-timescale markets, RTM = real-time market only, NB = no battery;\n" +
+			"expected: cost ↑ with ε; TM < RTM; cost ↓ with Bmax.",
+		Columns: []string{"configuration", "cost $/slot", "mean delay", "battery ops"},
+	}
+	for i, v := range variants {
+		rep := reports[i]
+		t.AddRow(v.label, fmtUSD(rep.TimeAvgCostUSD), fmtF(rep.MeanDelaySlots),
+			fmt.Sprintf("%d", rep.BatteryOps))
 	}
 	return t, nil
 }

@@ -3,7 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	dpss "github.com/smartdpss/smartdpss"
+	dpss "github.com/smartdpss/smartdpss/internal/engine"
+	"github.com/smartdpss/smartdpss/internal/suite"
 )
 
 // Fig8PenetrationLevels are the renewable shares of Fig. 8 (fraction of
@@ -18,9 +19,42 @@ var Fig8VariationFactors = []float64{0.5, 0.75, 1.0, 1.25, 1.5}
 // renewable penetration and increasing demand variation. The paper's
 // reading: cost falls sharply with penetration (renewables are free at
 // the margin) and rises mildly with demand variation (approximation
-// errors grow, buffered by the battery and the two markets).
+// errors grow, buffered by the battery and the two markets). Each level
+// is a pool job mutating its own private clone of the cached traces.
 func Fig8Penetration(cfg Config) (*Table, error) {
 	opts := dpss.DefaultOptions()
+
+	nPen := len(Fig8PenetrationLevels)
+	jobs := nPen + len(Fig8VariationFactors)
+	rows, err := suite.Map(cfg, jobs, func(i int) ([]string, error) {
+		traces, err := baseTraces(cfg)
+		if err != nil {
+			return nil, err
+		}
+		axis, level := "penetration", ""
+		if i < nPen {
+			pen := Fig8PenetrationLevels[i]
+			if err := traces.SetPenetration(pen); err != nil {
+				return nil, err
+			}
+			level = fmt.Sprintf("%.0f%%", 100*pen)
+		} else {
+			k := Fig8VariationFactors[i-nPen]
+			if err := traces.ScaleDemandVariation(k); err != nil {
+				return nil, err
+			}
+			axis, level = "variation", fmt.Sprintf("k=%.2f", k)
+		}
+		rep, err := simulate(dpss.PolicySmartDPSS, opts, traces)
+		if err != nil {
+			return nil, err
+		}
+		return []string{axis, level,
+			fmtUSD(rep.TimeAvgCostUSD), fmtF(rep.WasteMWh), fmtF(traces.DemandStdDev())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	t := &Table{
 		Title: "Fig. 8 — cost vs renewable penetration and demand variation",
@@ -28,37 +62,6 @@ func Fig8Penetration(cfg Config) (*Table, error) {
 			"expected: cost ↓ strongly with penetration, ↑ mildly with variation.",
 		Columns: []string{"axis", "level", "cost $/slot", "waste MWh", "demand std MWh"},
 	}
-
-	for _, pen := range Fig8PenetrationLevels {
-		traces, err := dpss.GenerateTraces(cfg.traceConfig())
-		if err != nil {
-			return nil, err
-		}
-		if err := traces.SetPenetration(pen); err != nil {
-			return nil, err
-		}
-		rep, err := simulate(dpss.PolicySmartDPSS, opts, traces)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("penetration", fmt.Sprintf("%.0f%%", 100*pen),
-			fmtUSD(rep.TimeAvgCostUSD), fmtF(rep.WasteMWh), fmtF(traces.DemandStdDev()))
-	}
-
-	for _, k := range Fig8VariationFactors {
-		traces, err := dpss.GenerateTraces(cfg.traceConfig())
-		if err != nil {
-			return nil, err
-		}
-		if err := traces.ScaleDemandVariation(k); err != nil {
-			return nil, err
-		}
-		rep, err := simulate(dpss.PolicySmartDPSS, opts, traces)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("variation", fmt.Sprintf("k=%.2f", k),
-			fmtUSD(rep.TimeAvgCostUSD), fmtF(rep.WasteMWh), fmtF(traces.DemandStdDev()))
-	}
+	t.Rows = rows
 	return t, nil
 }

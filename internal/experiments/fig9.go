@@ -3,7 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	dpss "github.com/smartdpss/smartdpss"
+	dpss "github.com/smartdpss/smartdpss/internal/engine"
+	"github.com/smartdpss/smartdpss/internal/suite"
 )
 
 // Fig9Robustness reproduces Fig. 9: the impact of estimation errors on
@@ -19,8 +20,11 @@ import (
 // while execution uses the true traces (see Options.ObservationNoise);
 // mis-planned slots then settle reactively on the real-time market, so
 // the measured sensitivity is larger. EXPERIMENTS.md discusses both.
+//
+// The two Impatient baselines and each V point (three simulations per
+// point) run as independent pool jobs.
 func Fig9Robustness(cfg Config) (*Table, error) {
-	clean, err := dpss.GenerateTraces(cfg.traceConfig())
+	clean, err := baseTraces(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -30,14 +34,43 @@ func Fig9Robustness(cfg Config) (*Table, error) {
 		return nil, err
 	}
 
-	impClean, err := simulate(dpss.PolicyImpatient, base, clean)
+	// Per-V triples: decisions on the noisy dataset, on the clean one,
+	// and under observation noise.
+	type point struct {
+		clean, noisy, obs *dpss.Report
+	}
+	nV := len(Fig6VValues)
+	jobs := nV + 2 // trailing jobs: Impatient on clean and noisy traces
+	results, err := suite.Map(cfg, jobs, func(i int) (point, error) {
+		switch i {
+		case nV:
+			rep, err := simulate(dpss.PolicyImpatient, base, clean)
+			return point{clean: rep}, err
+		case nV + 1:
+			rep, err := simulate(dpss.PolicyImpatient, base, noisy)
+			return point{noisy: rep}, err
+		}
+		opts := base
+		opts.V = Fig6VValues[i]
+		var p point
+		var err error
+		if p.clean, err = simulate(dpss.PolicySmartDPSS, opts, clean); err != nil {
+			return p, err
+		}
+		if p.noisy, err = simulate(dpss.PolicySmartDPSS, opts, noisy); err != nil {
+			return p, err
+		}
+		obsOpts := opts
+		obsOpts.ObservationNoise = 0.5
+		obsOpts.NoiseSeed = cfg.Seed + 978
+		p.obs, err = simulate(dpss.PolicySmartDPSS, obsOpts, clean)
+		return p, err
+	})
 	if err != nil {
 		return nil, err
 	}
-	impNoisy, err := simulate(dpss.PolicyImpatient, base, noisy)
-	if err != nil {
-		return nil, err
-	}
+	impClean := results[nV].clean
+	impNoisy := results[nV+1].noisy
 
 	t := &Table{
 		Title: "Fig. 9 — impact of ±50% estimation errors on cost reduction",
@@ -46,28 +79,11 @@ func Fig9Robustness(cfg Config) (*Table, error) {
 			"obs-noise = extension protocol where only observations are perturbed.",
 		Columns: []string{"V", "clean reduction", "noisy reduction", "difference (pp)", "obs-noise reduction"},
 	}
-	for _, v := range Fig6VValues {
-		opts := base
-		opts.V = v
-		cleanRep, err := simulate(dpss.PolicySmartDPSS, opts, clean)
-		if err != nil {
-			return nil, err
-		}
-		noisyRep, err := simulate(dpss.PolicySmartDPSS, opts, noisy)
-		if err != nil {
-			return nil, err
-		}
-		obsOpts := opts
-		obsOpts.ObservationNoise = 0.5
-		obsOpts.NoiseSeed = cfg.Seed + 978
-		obsRep, err := simulate(dpss.PolicySmartDPSS, obsOpts, clean)
-		if err != nil {
-			return nil, err
-		}
-
-		cleanRed := 1 - cleanRep.TotalCostUSD/impClean.TotalCostUSD
-		noisyRed := 1 - noisyRep.TotalCostUSD/impNoisy.TotalCostUSD
-		obsRed := 1 - obsRep.TotalCostUSD/impClean.TotalCostUSD
+	for i, v := range Fig6VValues {
+		p := results[i]
+		cleanRed := 1 - p.clean.TotalCostUSD/impClean.TotalCostUSD
+		noisyRed := 1 - p.noisy.TotalCostUSD/impNoisy.TotalCostUSD
+		obsRed := 1 - p.obs.TotalCostUSD/impClean.TotalCostUSD
 		t.AddRow(fmt.Sprintf("%.2f", v),
 			fmtPct(cleanRed), fmtPct(noisyRed), fmtPct(noisyRed-cleanRed), fmtPct(obsRed))
 	}

@@ -4,8 +4,9 @@ import (
 	"fmt"
 	"math"
 
-	dpss "github.com/smartdpss/smartdpss"
+	dpss "github.com/smartdpss/smartdpss/internal/engine"
 	"github.com/smartdpss/smartdpss/internal/metrics"
+	"github.com/smartdpss/smartdpss/internal/suite"
 )
 
 // MultiSeedSummary (EXT-6) re-runs the headline comparison (Fig. 6(a) at
@@ -14,11 +15,43 @@ import (
 // evaluation lacks. The claim under test: the cost ordering
 // Offline < SmartDPSS < Impatient and a double-digit percentage saving
 // hold across scenario draws, not just for one lucky month.
+//
+// Each seed is a pool job with its own derived trace seed
+// (Config.PointSeed); the metric streams accumulate in seed order
+// afterwards, so the summary is identical at every parallelism level.
 func MultiSeedSummary(cfg Config, seeds int) (*Table, error) {
 	if seeds < 2 {
 		return nil, fmt.Errorf("experiments: need at least 2 seeds, got %d", seeds)
 	}
 	opts := dpss.DefaultOptions()
+
+	type seedRun struct {
+		smart, imp, off *dpss.Report
+	}
+	runs, err := suite.Map(cfg, seeds, func(s int) (seedRun, error) {
+		tc := cfg.TraceConfig()
+		tc.Seed = cfg.PointSeed(s)
+		traces, err := suite.Traces(tc)
+		if err != nil {
+			return seedRun{}, err
+		}
+		var r seedRun
+		if r.smart, err = simulate(dpss.PolicySmartDPSS, opts, traces); err != nil {
+			return r, err
+		}
+		if r.imp, err = simulate(dpss.PolicyImpatient, opts, traces); err != nil {
+			return r, err
+		}
+		if !cfg.SkipOffline {
+			if r.off, err = simulate(dpss.PolicyOfflineOptimal, opts, traces); err != nil {
+				return r, err
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	var (
 		smartCost = metrics.NewStream(false)
@@ -29,35 +62,17 @@ func MultiSeedSummary(cfg Config, seeds int) (*Table, error) {
 		delay     = metrics.NewStream(false)
 		orderOK   = 0
 	)
-	for s := 0; s < seeds; s++ {
-		tc := cfg.traceConfig()
-		tc.Seed = cfg.Seed + int64(s)*1000
-		traces, err := dpss.GenerateTraces(tc)
-		if err != nil {
-			return nil, err
-		}
-		smart, err := simulate(dpss.PolicySmartDPSS, opts, traces)
-		if err != nil {
-			return nil, err
-		}
-		imp, err := simulate(dpss.PolicyImpatient, opts, traces)
-		if err != nil {
-			return nil, err
-		}
-		smartCost.Add(smart.TimeAvgCostUSD)
-		impCost.Add(imp.TimeAvgCostUSD)
-		saving.Add(1 - smart.TotalCostUSD/imp.TotalCostUSD)
-		delay.Add(smart.MeanDelaySlots)
-		if smart.TotalCostUSD < imp.TotalCostUSD {
+	for _, r := range runs {
+		smartCost.Add(r.smart.TimeAvgCostUSD)
+		impCost.Add(r.imp.TimeAvgCostUSD)
+		saving.Add(1 - r.smart.TotalCostUSD/r.imp.TotalCostUSD)
+		delay.Add(r.smart.MeanDelaySlots)
+		if r.smart.TotalCostUSD < r.imp.TotalCostUSD {
 			smartWins++
 		}
-		if !cfg.SkipOffline {
-			off, err := simulate(dpss.PolicyOfflineOptimal, opts, traces)
-			if err != nil {
-				return nil, err
-			}
-			offCost.Add(off.TimeAvgCostUSD)
-			if off.TotalCostUSD < smart.TotalCostUSD && smart.TotalCostUSD < imp.TotalCostUSD {
+		if r.off != nil {
+			offCost.Add(r.off.TimeAvgCostUSD)
+			if r.off.TotalCostUSD < r.smart.TotalCostUSD && r.smart.TotalCostUSD < r.imp.TotalCostUSD {
 				orderOK++
 			}
 		}

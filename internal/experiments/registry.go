@@ -1,0 +1,115 @@
+package experiments
+
+import "github.com/smartdpss/smartdpss/internal/suite"
+
+// Scenario tags. Every runner carries exactly one of "paper"/"ext" plus
+// any trait tags that cut across that split.
+const (
+	// TagPaper marks the figures of the paper's own evaluation
+	// (Sec. VI), in paper order.
+	TagPaper = "paper"
+	// TagExt marks the extension studies beyond the paper's evaluation.
+	TagExt = "ext"
+	// TagSweep marks scenarios whose runner fans a multi-point sweep
+	// out on the worker pool.
+	TagSweep = "sweep"
+	// TagSlow marks scenarios dominated by offline-LP benchmarks or
+	// many full simulations; SkipOffline shortens most of them.
+	TagSlow = "slow"
+)
+
+// init registers every experiment runner with the suite registry; the
+// registration order fixes the default run order (paper figures first,
+// then extensions).
+func init() {
+	for _, s := range []suite.Scenario{
+		{
+			Name:        "fig5",
+			Description: "Fig. 5 — one-month input traces: summary statistics of demand, solar and prices",
+			Tags:        []string{TagPaper},
+			Run:         Fig5Traces,
+		},
+		{
+			Name:        "fig6v",
+			Description: "Fig. 6(a)(b) — cost and delay vs the Lyapunov tradeoff parameter V",
+			Tags:        []string{TagPaper, TagSweep, TagSlow},
+			Run:         Fig6VSweep,
+		},
+		{
+			Name:        "fig6t",
+			Description: "Fig. 6(c)(d) — cost and delay vs the long-term market period T",
+			Tags:        []string{TagPaper, TagSweep},
+			Run:         Fig6TSweep,
+		},
+		{
+			Name:        "fig7",
+			Description: "Fig. 7 — impact of ε, market structure and battery size on cost",
+			Tags:        []string{TagPaper, TagSweep},
+			Run:         Fig7Factors,
+		},
+		{
+			Name:        "fig8",
+			Description: "Fig. 8 — cost vs renewable penetration and demand variation",
+			Tags:        []string{TagPaper, TagSweep},
+			Run:         Fig8Penetration,
+		},
+		{
+			Name:        "fig9",
+			Description: "Fig. 9 — robustness of the cost reduction to ±50% estimation errors",
+			Tags:        []string{TagPaper, TagSweep},
+			Run:         Fig9Robustness,
+		},
+		{
+			Name:        "fig10",
+			Description: "Fig. 10 — total cost under system expansion with a fixed UPS",
+			Tags:        []string{TagPaper, TagSweep},
+			Run:         Fig10Scaling,
+		},
+		{
+			Name:        "ext-peak",
+			Description: "EXT-1 — power peaks and demand charges (paper future work, Sec. IV-C)",
+			Tags:        []string{TagExt, TagSweep},
+			Run:         ExtPeakManagement,
+		},
+		{
+			Name:        "ext-cycle",
+			Description: "EXT-2 — UPS lifetime operation budget Nmax (Eq. 9)",
+			Tags:        []string{TagExt, TagSweep},
+			Run:         ExtCycleBudget,
+		},
+		{
+			Name:        "ext-mix",
+			Description: "EXT-3 — solar/wind/mixed renewable portfolios at equal penetration",
+			Tags:        []string{TagExt, TagSweep},
+			Run:         ExtRenewableMix,
+		},
+		{
+			Name:        "ext-est",
+			Description: "EXT-4 — P4 interval estimator ablation (snapshot vs trailing mean)",
+			Tags:        []string{TagExt, TagSweep},
+			Run:         ExtEstimatorAblation,
+		},
+		{
+			Name:        "ext-mpc",
+			Description: "EXT-5 — the value of foresight: SmartDPSS vs T-step lookahead",
+			Tags:        []string{TagExt, TagSweep, TagSlow},
+			Run:         ExtForesight,
+		},
+		{
+			Name:        "ext-seeds",
+			Description: "EXT-6 — headline comparison across independent trace seeds (Config.Seeds)",
+			Tags:        []string{TagExt, TagSweep, TagSlow},
+			Run: func(cfg Config) (*Table, error) {
+				return MultiSeedSummary(cfg, cfg.SeedCount())
+			},
+		},
+		{
+			Name:        "ext-cool",
+			Description: "EXT-7 — cooling coupling through temperature and PUE (paper future work)",
+			Tags:        []string{TagExt, TagSweep},
+			Run:         ExtCooling,
+		},
+	} {
+		suite.Register(s)
+	}
+}

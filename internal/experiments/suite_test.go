@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/smartdpss/smartdpss/internal/suite"
+)
+
+// TestScenariosRegistered: every runner in this package must be in the
+// registry, paper figures first.
+func TestScenariosRegistered(t *testing.T) {
+	want := []string{"fig5", "fig6v", "fig6t", "fig7", "fig8", "fig9", "fig10",
+		"ext-peak", "ext-cycle", "ext-mix", "ext-est", "ext-mpc", "ext-seeds", "ext-cool"}
+	var got []string
+	for _, s := range suite.Scenarios() {
+		if s.HasTag(TagPaper) || s.HasTag(TagExt) {
+			got = append(got, s.Name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("registered = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered[%d] = %q, want %q (order matters)", i, got[i], want[i])
+		}
+	}
+	paper, err := suite.Select(TagPaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paper) != 7 {
+		t.Fatalf("paper scenarios = %d, want 7", len(paper))
+	}
+}
+
+// renderSuite runs every registered experiment scenario and renders all
+// tables into one byte stream.
+func renderSuite(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	tables, err := suite.RunSuite(cfg, TagPaper, TagExt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tbl := range tables {
+		if err := tbl.Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestSuiteParallelDeterminism is the tentpole invariant: the full suite
+// at -parallel 1 and -parallel 8 must produce byte-identical tables at a
+// fixed seed.
+func TestSuiteParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite twice in -short mode")
+	}
+	cfg := Config{Days: 7, Seed: 1, SkipOffline: true, Seeds: 3, Parallel: 1}
+	sequential := renderSuite(t, cfg)
+	if len(sequential) == 0 {
+		t.Fatal("no output")
+	}
+	cfg.Parallel = 8
+	parallel := renderSuite(t, cfg)
+	if !bytes.Equal(sequential, parallel) {
+		t.Fatalf("suite output differs between -parallel 1 and -parallel 8:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s",
+			sequential, parallel)
+	}
+}
+
+// TestSuiteMatchesDirectRunners: a scenario run through the registry and
+// pool must equal the direct function call (the pre-suite code path).
+func TestSuiteMatchesDirectRunners(t *testing.T) {
+	cfg := Config{Days: 7, Seed: 1, SkipOffline: true, Parallel: 4}
+	direct, err := Fig7Factors(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := suite.RunSuite(cfg, "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := direct.Fprint(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tables[0].Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("registry run differs from direct call:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

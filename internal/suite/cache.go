@@ -1,0 +1,74 @@
+package suite
+
+import (
+	"sync"
+
+	"github.com/smartdpss/smartdpss/internal/engine"
+)
+
+// maxCachedTraces bounds the memoized trace sets. Sweeps reuse a
+// handful of configurations (most scenarios share the suite's base
+// TraceConfig); multi-seed runs add one entry per seed. Past the bound
+// the cache resets rather than evicting — simpler, and a full suite
+// never gets close.
+const maxCachedTraces = 128
+
+// traceEntry memoizes one generation. The sync.Once lets concurrent
+// scenarios request the same configuration while it is still being
+// generated: exactly one goroutine generates, the rest wait.
+type traceEntry struct {
+	once sync.Once
+	tr   *engine.Traces
+	err  error
+}
+
+var traceCache = struct {
+	mu     sync.Mutex
+	m      map[engine.TraceConfig]*traceEntry
+	hits   int64
+	misses int64
+}{m: make(map[engine.TraceConfig]*traceEntry)}
+
+// Traces returns the synthetic trace set for tc, generating it at most
+// once per distinct configuration and handing out a private deep copy.
+// The clone is essential: scenarios mutate their traces (SetPenetration,
+// ScaleSystem, ApplyCooling), and a shared set would race and corrupt
+// other scenarios' inputs.
+func Traces(tc engine.TraceConfig) (*engine.Traces, error) {
+	traceCache.mu.Lock()
+	e, ok := traceCache.m[tc]
+	if ok {
+		traceCache.hits++
+	} else {
+		if len(traceCache.m) >= maxCachedTraces {
+			traceCache.m = make(map[engine.TraceConfig]*traceEntry)
+		}
+		e = &traceEntry{}
+		traceCache.m[tc] = e
+		traceCache.misses++
+	}
+	traceCache.mu.Unlock()
+	e.once.Do(func() {
+		e.tr, e.err = engine.GenerateTraces(tc)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.tr.Clone(), nil
+}
+
+// TraceCacheStats reports cumulative cache hits and misses (a miss is a
+// generation).
+func TraceCacheStats() (hits, misses int64) {
+	traceCache.mu.Lock()
+	defer traceCache.mu.Unlock()
+	return traceCache.hits, traceCache.misses
+}
+
+// ResetTraceCache drops every memoized trace set and zeroes the stats.
+func ResetTraceCache() {
+	traceCache.mu.Lock()
+	defer traceCache.mu.Unlock()
+	traceCache.m = make(map[engine.TraceConfig]*traceEntry)
+	traceCache.hits, traceCache.misses = 0, 0
+}

@@ -1,0 +1,119 @@
+package suite
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/smartdpss/smartdpss/internal/engine"
+)
+
+func testTraceConfig(days int) engine.TraceConfig {
+	tc := engine.DefaultTraceConfig()
+	tc.Days = days
+	return tc
+}
+
+func TestTraceCacheHits(t *testing.T) {
+	ResetTraceCache()
+	tc := testTraceConfig(2)
+
+	if _, err := Traces(tc); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := TraceCacheStats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("after first fetch: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	if _, err := Traces(tc); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = TraceCacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("after second fetch: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	// A different configuration generates again.
+	other := tc
+	other.Seed = 99
+	if _, err := Traces(other); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses = TraceCacheStats(); misses != 2 {
+		t.Fatalf("distinct config did not miss: misses=%d", misses)
+	}
+}
+
+func TestTraceCacheHandsOutClones(t *testing.T) {
+	ResetTraceCache()
+	tc := testTraceConfig(2)
+
+	a, err := Traces(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.DemandStdDev()
+	if err := a.ScaleDemandVariation(3); err != nil {
+		t.Fatal(err)
+	}
+	if a.DemandStdDev() == before {
+		t.Fatal("mutation had no effect; test is vacuous")
+	}
+
+	// The cached copy must be unaffected by the caller's mutation.
+	b, err := Traces(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.DemandStdDev(); got != before {
+		t.Fatalf("cache corrupted: std dev %g, want %g", got, before)
+	}
+}
+
+func TestTraceCacheConcurrentSingleGeneration(t *testing.T) {
+	ResetTraceCache()
+	tc := testTraceConfig(2)
+
+	_, err := Map(Config{Parallel: 8}, 16, func(i int) (*engine.Traces, error) {
+		return Traces(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := TraceCacheStats()
+	if misses != 1 || hits != 15 {
+		t.Fatalf("hits=%d misses=%d, want 15/1", hits, misses)
+	}
+}
+
+func TestTraceCacheErrorPropagation(t *testing.T) {
+	ResetTraceCache()
+	bad := engine.TraceConfig{} // Days == 0 is rejected by the generator
+	if _, err := Traces(bad); err == nil {
+		t.Fatal("invalid TraceConfig accepted")
+	} else if !strings.Contains(err.Error(), "Days") {
+		t.Errorf("error %q does not explain the rejection", err)
+	}
+	// The error repeats on a second fetch instead of caching a nil set.
+	if _, err := Traces(bad); err == nil {
+		t.Fatal("second fetch of invalid TraceConfig accepted")
+	}
+}
+
+func TestTraceCacheReset(t *testing.T) {
+	ResetTraceCache()
+	tc := testTraceConfig(2)
+	if _, err := Traces(tc); err != nil {
+		t.Fatal(err)
+	}
+	ResetTraceCache()
+	if hits, misses := TraceCacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("stats after reset: %d/%d", hits, misses)
+	}
+	if _, err := Traces(tc); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := TraceCacheStats(); misses != 1 {
+		t.Fatal("reset did not drop the cached set")
+	}
+}

@@ -1,0 +1,48 @@
+package suite
+
+import "testing"
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Days != 31 || cfg.Seed != 1 {
+		t.Fatalf("DefaultConfig = %+v, want the paper's one-month setup", cfg)
+	}
+}
+
+func TestConfigTraceConfig(t *testing.T) {
+	cfg := Config{Days: 7, Seed: 42}
+	tc := cfg.TraceConfig()
+	if tc.Days != 7 || tc.Seed != 42 {
+		t.Fatalf("TraceConfig = %+v", tc)
+	}
+	// Everything else keeps the engine defaults.
+	def := Config{Days: 31, Seed: 1}.TraceConfig()
+	tc.Days, tc.Seed = def.Days, def.Seed
+	if tc != def {
+		t.Fatalf("TraceConfig diverges from defaults: %+v vs %+v", tc, def)
+	}
+}
+
+func TestConfigPointSeed(t *testing.T) {
+	cfg := Config{Seed: 5}
+	if cfg.PointSeed(0) != 5 {
+		t.Errorf("PointSeed(0) = %d", cfg.PointSeed(0))
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 10; i++ {
+		s := cfg.PointSeed(i)
+		if seen[s] {
+			t.Fatalf("PointSeed collision at %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestConfigSeedCount(t *testing.T) {
+	if got := (Config{}).SeedCount(); got != 5 {
+		t.Errorf("default SeedCount = %d, want 5", got)
+	}
+	if got := (Config{Seeds: 3}).SeedCount(); got != 3 {
+		t.Errorf("SeedCount = %d, want 3", got)
+	}
+}

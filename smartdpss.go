@@ -25,501 +25,116 @@
 // in for the paper's MIDC solar, NYISO price and Google-cluster workload
 // datasets, and an experiment harness reproducing every figure of the
 // paper's evaluation (see internal/experiments and cmd/experiments).
+//
+// # Scenario suite
+//
+// Every experiment registers itself as a named, tagged Scenario in a
+// registry; RunSuite fans the selected scenarios out across a worker
+// pool and returns their tables in deterministic registration order:
+//
+//	tables, err := smartdpss.RunSuite(smartdpss.DefaultSuiteConfig(), "paper")
+//
+// The package is a facade: the implementation lives in internal/engine,
+// the registry and executor in internal/suite, and the scenarios in
+// internal/experiments.
 package smartdpss
 
 import (
-	"errors"
-	"fmt"
-	"io"
-	"math/rand"
-
-	"github.com/smartdpss/smartdpss/internal/baseline"
-	"github.com/smartdpss/smartdpss/internal/battery"
-	"github.com/smartdpss/smartdpss/internal/core"
-	"github.com/smartdpss/smartdpss/internal/market"
-	"github.com/smartdpss/smartdpss/internal/pricing"
-	"github.com/smartdpss/smartdpss/internal/sim"
-	"github.com/smartdpss/smartdpss/internal/solar"
-	"github.com/smartdpss/smartdpss/internal/thermal"
-	"github.com/smartdpss/smartdpss/internal/trace"
-	"github.com/smartdpss/smartdpss/internal/wind"
-	"github.com/smartdpss/smartdpss/internal/workload"
+	"github.com/smartdpss/smartdpss/internal/engine"
+	_ "github.com/smartdpss/smartdpss/internal/experiments" // register suite scenarios
+	"github.com/smartdpss/smartdpss/internal/suite"
 )
 
 // Policy selects a control algorithm.
-type Policy string
+type Policy = engine.Policy
 
 // Available policies.
 const (
 	// PolicySmartDPSS is the paper's online Lyapunov controller.
-	PolicySmartDPSS Policy = "smartdpss"
+	PolicySmartDPSS = engine.PolicySmartDPSS
 	// PolicyImpatient serves all demand immediately (Sec. VI-A strawman).
-	PolicyImpatient Policy = "impatient"
+	PolicyImpatient = engine.PolicyImpatient
 	// PolicyOfflineOptimal is the clairvoyant per-interval benchmark
 	// (paper Sec. II-D).
-	PolicyOfflineOptimal Policy = "offline"
+	PolicyOfflineOptimal = engine.PolicyOfflineOptimal
 	// PolicyOfflineHorizon is a single clairvoyant LP over the whole
 	// horizon; use only on short horizons.
-	PolicyOfflineHorizon Policy = "offline-horizon"
+	PolicyOfflineHorizon = engine.PolicyOfflineHorizon
 	// PolicyLookahead is a receding-horizon (MPC) controller with
-	// Options.LookaheadWindow fine slots of perfect foresight — the
-	// "T-Step Lookahead" family of the paper's related work.
-	PolicyLookahead Policy = "lookahead"
+	// Options.LookaheadWindow fine slots of perfect foresight.
+	PolicyLookahead = engine.PolicyLookahead
 )
 
 // Report is the simulation outcome: cost decomposition, energy totals,
 // delay statistics, battery and availability accounting.
-type Report = sim.Report
+type Report = engine.Report
 
 // Options tunes the controller and the simulated plant.
-type Options struct {
-	// V is the Lyapunov cost–delay tradeoff parameter (paper Fig. 6(a,b)).
-	V float64
-	// Epsilon is the delay-queue growth parameter ε (paper Fig. 7).
-	Epsilon float64
-	// T is the number of fine slots per coarse slot (paper Fig. 6(c,d)).
-	T int
-	// SlotMinutes is the fine-slot length; the paper uses 15 or 60 minutes
-	// (Sec. II). Zero means 60. It must match the traces' resolution.
-	SlotMinutes int
-	// PeakMW sizes the datacenter (grid cap Pgrid and battery sizing).
-	PeakMW float64
-	// BatteryMinutes sizes Bmax as minutes of peak demand (0 disables the
-	// battery; the paper uses 0, 15 and 30).
-	BatteryMinutes float64
-	// BatteryMinMinutes sizes the availability reserve Bmin.
-	BatteryMinMinutes float64
-	// BatteryReferenceMW, when positive, sizes the battery against this
-	// peak instead of PeakMW. The scaling experiment (Fig. 10) grows the
-	// datacenter while the UPS "stays fixed due to limits of space and
-	// capital cost" (Sec. V-C).
-	BatteryReferenceMW float64
-	// PmaxUSD is the market price cap.
-	PmaxUSD float64
-	// DisableLongTerm removes the long-term-ahead market ("RTM" in Fig. 7).
-	DisableLongTerm bool
-	// UseLP selects the simplex-based subproblem solver over the
-	// closed-form one (identical decisions, slower; for validation).
-	UseLP bool
-	// BatteryMaxOps is Nmax, the UPS operation budget over the horizon
-	// (Eq. 9); zero means unlimited. Once exhausted the battery freezes
-	// and the controller falls back to grid-only operation.
-	BatteryMaxOps int
-	// PeakChargeUSDPerMW applies an optional demand charge to the peak
-	// grid draw (the paper's declared future work on peak management,
-	// Sec. IV-C); reported separately from Cost(τ).
-	PeakChargeUSDPerMW float64
-	// SnapshotPlanning makes SmartDPSS plan each coarse interval from the
-	// boundary-slot snapshot (the paper's literal Algorithm 1) instead of
-	// the previous interval's trailing means — an ablation switch.
-	SnapshotPlanning bool
-	// LookaheadWindow is the foresight length (fine slots) of
-	// PolicyLookahead; zero defaults to one coarse interval (T).
-	LookaheadWindow int
-	// ObservationNoise adds uniform ±frac multiplicative errors to the
-	// controller's view of demand, renewables and prices (Fig. 9).
-	ObservationNoise float64
-	// NoiseSeed seeds the observation noise stream.
-	NoiseSeed int64
-	// KeepSeries retains per-slot cost/backlog/battery series in the
-	// report.
-	KeepSeries bool
-}
+type Options = engine.Options
 
 // DefaultOptions mirrors the paper's Sec. VI-A defaults: V = 1, ε = 0.5,
 // T = 24 hourly slots, a 2 MW datacenter and a 15-minute UPS.
-func DefaultOptions() Options {
-	return Options{
-		V:                 1.0,
-		Epsilon:           0.5,
-		T:                 24,
-		PeakMW:            2.0,
-		BatteryMinutes:    15,
-		BatteryMinMinutes: 1,
-		PmaxUSD:           150,
-	}
-}
-
-// slotHours returns the fine-slot duration in hours (default 1).
-func (o Options) slotHours() float64 {
-	if o.SlotMinutes <= 0 {
-		return 1
-	}
-	return float64(o.SlotMinutes) / 60
-}
-
-// coreParams translates Options into the controller configuration.
-func (o Options) coreParams() core.Params {
-	h := o.slotHours()
-	p := core.DefaultParams()
-	p.V = o.V
-	p.Epsilon = o.Epsilon
-	p.T = o.T
-	p.PmaxUSD = o.PmaxUSD
-	p.PgridMWh = o.PeakMW * h
-	p.SmaxMWh = 2 * o.PeakMW * h
-	// Service and arrival caps are datacenter capabilities: they scale
-	// with the installation (Fig. 10 grows the system while the UPS
-	// stays fixed).
-	p.SdtMaxMWh = o.PeakMW / 2 * h
-	p.DdtMaxMWh = o.PeakMW / 2 * h
-	p.Battery = batteryParams(o)
-	p.DisableLongTerm = o.DisableLongTerm
-	p.UseLP = o.UseLP
-	p.SnapshotPlanning = o.SnapshotPlanning
-	return p
-}
-
-// baselineConfig translates Options into the baseline configuration.
-func (o Options) baselineConfig() baseline.Config {
-	h := o.slotHours()
-	c := baseline.DefaultConfig()
-	c.T = o.T
-	c.PgridMWh = o.PeakMW * h
-	c.PmaxUSD = o.PmaxUSD
-	c.SmaxMWh = 2 * o.PeakMW * h
-	c.SdtMaxMWh = o.PeakMW / 2 * h
-	c.Battery = batteryParams(o)
-	return c
-}
-
-func batteryParams(o Options) battery.Params {
-	ref := o.PeakMW
-	if o.BatteryReferenceMW > 0 {
-		ref = o.BatteryReferenceMW
-	}
-	slotMinutes := o.SlotMinutes
-	if slotMinutes <= 0 {
-		slotMinutes = 60
-	}
-	p := battery.SizedSlot(ref, o.BatteryMinutes, o.BatteryMinMinutes, slotMinutes)
-	p.MaxOps = o.BatteryMaxOps
-	return p
-}
-
-// simConfig translates Options into the engine configuration.
-func (o Options) simConfig() sim.Config {
-	p := o.coreParams()
-	return sim.Config{
-		Battery:            p.Battery,
-		Market:             market.Params{PgridMWh: p.PgridMWh, PmaxUSD: p.PmaxUSD},
-		WasteCostUSD:       p.WasteCostUSD,
-		EmergencyCostUSD:   p.EmergencyCostUSD,
-		SdtMaxMWh:          p.SdtMaxMWh,
-		SmaxMWh:            p.SmaxMWh,
-		PeakChargeUSDPerMW: o.PeakChargeUSDPerMW,
-		KeepSeries:         o.KeepSeries,
-	}
-}
+func DefaultOptions() Options { return engine.DefaultOptions() }
 
 // TraceConfig parameterizes the synthetic January scenario standing in for
 // the paper's MIDC solar, NYISO price and Google-cluster workload traces.
-type TraceConfig struct {
-	// Days is the horizon length (the paper uses 31).
-	Days int
-	// Seed drives all generators (each gets a derived sub-seed).
-	Seed int64
-	// SolarCapacityMW is the solar plant size.
-	SolarCapacityMW float64
-	// WindCapacityMW is the wind farm size (0 disables wind; the paper
-	// names both "solar and wind energies" as DPSS renewable sources).
-	WindCapacityMW float64
-	// PeakMW is the datacenter peak (grid cap for clipping).
-	PeakMW float64
-	// SlotMinutes is the trace resolution (0 means 60; the paper uses 15
-	// or 60 minutes).
-	SlotMinutes int
-	// StartDayOfYear shifts the season (0 means Jan 1, the paper's month;
-	// 172 is late June for summer solar studies).
-	StartDayOfYear int
-}
+type TraceConfig = engine.TraceConfig
 
-// DefaultTraceConfig returns the one-month default scenario. The solar
-// plant is sized so that winter-January production covers roughly 15% of
-// demand, in line with the visible solar share of the paper's Fig. 5.
-func DefaultTraceConfig() TraceConfig {
-	return TraceConfig{Days: 31, Seed: 1, SolarCapacityMW: 3.0, PeakMW: 2.0}
-}
+// DefaultTraceConfig returns the one-month default scenario.
+func DefaultTraceConfig() TraceConfig { return engine.DefaultTraceConfig() }
 
 // Traces bundles the five input series of a simulation.
-type Traces struct {
-	set *trace.Set
-}
+type Traces = engine.Traces
 
 // GenerateTraces builds the synthetic trace set: interactive plus batch
 // demand, solar production, and two-timescale prices.
-func GenerateTraces(tc TraceConfig) (*Traces, error) {
-	if tc.Days <= 0 {
-		return nil, errors.New("smartdpss: Days must be positive")
-	}
-	slotMinutes := tc.SlotMinutes
-	if slotMinutes <= 0 {
-		slotMinutes = 60
-	}
-	rng := rand.New(rand.NewSource(tc.Seed))
-	wc := workload.Defaults()
-	wc.Days = tc.Days
-	wc.SlotMinutes = slotMinutes
-	wc.PgridMW = tc.PeakMW
-	wc.Seed = rng.Int63()
-	ds, dt, err := workload.Generate(wc)
-	if err != nil {
-		return nil, fmt.Errorf("smartdpss: workload: %w", err)
-	}
-	sc := solar.Defaults()
-	sc.Days = tc.Days
-	sc.SlotMinutes = slotMinutes
-	sc.CapacityMW = tc.SolarCapacityMW
-	if tc.StartDayOfYear > 0 {
-		sc.StartDayOfYear = tc.StartDayOfYear
-	}
-	sc.Seed = rng.Int63()
-	sun, err := solar.Generate(sc)
-	if err != nil {
-		return nil, fmt.Errorf("smartdpss: solar: %w", err)
-	}
-	renewable := sun
-	renewable.Name = "renewable"
-	if tc.WindCapacityMW > 0 {
-		wcfg := wind.Defaults()
-		wcfg.Days = tc.Days
-		wcfg.SlotMinutes = slotMinutes
-		wcfg.CapacityMW = tc.WindCapacityMW
-		wcfg.Seed = rng.Int63()
-		gusts, err := wind.Generate(wcfg)
-		if err != nil {
-			return nil, fmt.Errorf("smartdpss: wind: %w", err)
-		}
-		if _, err := renewable.AddSeries(gusts); err != nil {
-			return nil, fmt.Errorf("smartdpss: renewable mix: %w", err)
-		}
-	}
-	pc := pricing.Defaults()
-	pc.Days = tc.Days
-	pc.SlotMinutes = slotMinutes
-	pc.Seed = rng.Int63()
-	lt, rt, err := pricing.Generate(pc)
-	if err != nil {
-		return nil, fmt.Errorf("smartdpss: pricing: %w", err)
-	}
-	set := &trace.Set{DemandDS: ds, DemandDT: dt, Renewable: renewable, PriceLT: lt, PriceRT: rt}
-	if err := set.Validate(); err != nil {
-		return nil, fmt.Errorf("smartdpss: traces: %w", err)
-	}
-	return &Traces{set: set}, nil
-}
+func GenerateTraces(tc TraceConfig) (*Traces, error) { return engine.GenerateTraces(tc) }
 
-// Horizon returns the number of fine slots.
-func (t *Traces) Horizon() int { return t.set.Horizon() }
-
-// Clone deep-copies the traces.
-func (t *Traces) Clone() *Traces { return &Traces{set: t.set.Clone()} }
-
-// ScaleSystem multiplies demand and renewables by β (the system expansion
-// of Sec. V-C / Fig. 10); prices are unchanged.
-func (t *Traces) ScaleSystem(beta float64) *Traces {
-	t.set.ScaleSystem(beta)
-	return t
-}
-
-// RenewablePenetration returns Σrenewable / Σdemand (Fig. 8's x-axis).
-func (t *Traces) RenewablePenetration() float64 { return t.set.RenewablePenetration() }
-
-// SetPenetration rescales the renewable series to the target penetration.
-func (t *Traces) SetPenetration(p float64) error { return t.set.SetPenetration(p) }
-
-// ScaleDemandVariation stretches demand around its mean by factor k
-// (Fig. 8's demand-variation axis); the mean is preserved up to clipping.
-func (t *Traces) ScaleDemandVariation(k float64) error { return t.set.ScaleDemandVariation(k) }
-
-// PerturbUniform returns a copy of the traces with every sample of every
-// series multiplied by an independent factor drawn uniformly from
-// [1−frac, 1+frac], clipping prices to [0, pmax] and energy to
-// non-negative. This is the paper's Fig. 9 protocol: the controller makes
-// all decisions on (and is evaluated against) the erroneous dataset.
-func (t *Traces) PerturbUniform(seed int64, frac, pmax float64) (*Traces, error) {
-	if frac < 0 || frac >= 1 {
-		return nil, errors.New("smartdpss: perturbation fraction must be in [0, 1)")
-	}
-	rng := rand.New(rand.NewSource(seed))
-	out := t.Clone()
-	perturb := func(sr *trace.Series, hi float64) {
-		for i, v := range sr.Values {
-			nv := v * (1 + frac*(2*rng.Float64()-1))
-			if nv < 0 {
-				nv = 0
-			}
-			if hi > 0 && nv > hi {
-				nv = hi
-			}
-			sr.Values[i] = nv
-		}
-	}
-	perturb(out.set.DemandDS, 0)
-	perturb(out.set.DemandDT, 0)
-	perturb(out.set.Renewable, 0)
-	perturb(out.set.PriceLT, pmax)
-	perturb(out.set.PriceRT, pmax)
-	return out, nil
-}
-
-// DemandStdDev returns the standard deviation of total demand per slot
-// (Fig. 8's demand-variation axis).
-func (t *Traces) DemandStdDev() float64 { return t.set.TotalDemand().StdDev() }
-
-// CoolingConfig parameterizes the cooling coupling of ApplyCooling.
-type CoolingConfig struct {
-	// MeanTempC is the long-run outside temperature (2 = winter site,
-	// ~26 = summer chiller regime).
-	MeanTempC float64
-	// Seed drives the temperature generator.
-	Seed int64
-	// PgridMW caps the coupled facility demand (0 uses 2 MW).
-	PgridMW float64
-}
-
-// ApplyCooling couples the demand traces through an outside-temperature
-// trace and a PUE curve (the paper's declared cooling-cost future work,
-// Sec. IV-C): below the free-cooling threshold the facility runs at the
-// base PUE, above it chiller load grows with temperature. It returns the
-// average applied PUE.
-func (t *Traces) ApplyCooling(cc CoolingConfig) (float64, error) {
-	tc := thermal.Defaults()
-	tc.Days = t.set.Horizon() * t.set.DemandDS.SlotMinutes / (24 * 60)
-	if tc.Days <= 0 {
-		return 0, errors.New("smartdpss: horizon shorter than one day")
-	}
-	tc.SlotMinutes = t.set.DemandDS.SlotMinutes
-	tc.MeanC = cc.MeanTempC
-	if cc.Seed != 0 {
-		tc.Seed = cc.Seed
-	}
-	pgrid := cc.PgridMW
-	if pgrid <= 0 {
-		pgrid = 2.0
-	}
-	temps, err := thermal.GenerateTemperature(tc)
-	if err != nil {
-		return 0, fmt.Errorf("smartdpss: temperature: %w", err)
-	}
-	slotHours := float64(t.set.DemandDS.SlotMinutes) / 60
-	return thermal.ApplyCooling(t.set, temps, tc, pgrid*slotHours)
-}
-
-// RenewableNightSplit returns the renewable energy produced at night
-// (22:00–06:00) and in total, in MWh — an intermittency-smoothing
-// indicator for mixed solar/wind portfolios.
-func (t *Traces) RenewableNightSplit() (night, total float64) {
-	r := t.set.Renewable
-	slotsPerDay := 24 * 60 / r.SlotMinutes
-	for i, v := range r.Values {
-		total += v
-		hour := float64(i%slotsPerDay) * float64(r.SlotMinutes) / 60
-		if hour >= 22 || hour < 6 {
-			night += v
-		}
-	}
-	return night, total
-}
-
-// WriteCSV exports all five series as CSV.
-func (t *Traces) WriteCSV(w io.Writer) error {
-	s := t.set
-	return trace.WriteCSV(w, s.DemandDS, s.DemandDT, s.Renewable, s.PriceLT, s.PriceRT)
-}
+// CoolingConfig parameterizes the cooling coupling of Traces.ApplyCooling.
+type CoolingConfig = engine.CoolingConfig
 
 // SeriesStats summarizes one input series.
-type SeriesStats struct {
-	Name string
-	Unit string
-	Mean float64
-	Std  float64
-	Min  float64
-	Max  float64
-	Sum  float64
-}
+type SeriesStats = engine.SeriesStats
 
 // TraceStatistics returns summary statistics for all five input series in
 // a fixed order (demand_ds, demand_dt, renewable, price_lt, price_rt).
-func TraceStatistics(t *Traces) ([]SeriesStats, error) {
-	if t == nil {
-		return nil, errors.New("smartdpss: nil traces")
-	}
-	s := t.set
-	out := make([]SeriesStats, 0, 5)
-	for _, sr := range []*trace.Series{s.DemandDS, s.DemandDT, s.Renewable, s.PriceLT, s.PriceRT} {
-		out = append(out, SeriesStats{
-			Name: sr.Name,
-			Unit: sr.Unit,
-			Mean: sr.Mean(),
-			Std:  sr.StdDev(),
-			Min:  sr.Min(),
-			Max:  sr.Max(),
-			Sum:  sr.Sum(),
-		})
-	}
-	return out, nil
-}
+func TraceStatistics(t *Traces) ([]SeriesStats, error) { return engine.TraceStatistics(t) }
 
 // Simulate runs the selected policy over the traces and returns its report.
 func Simulate(policy Policy, opts Options, traces *Traces) (*Report, error) {
-	if traces == nil {
-		return nil, errors.New("smartdpss: nil traces")
-	}
-	ctrl, err := newController(policy, opts, traces)
-	if err != nil {
-		return nil, err
-	}
-	if opts.ObservationNoise > 0 {
-		ctrl, err = sim.WithObservationNoise(ctrl, opts.NoiseSeed, opts.ObservationNoise)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return sim.Run(opts.simConfig(), traces.set, ctrl)
+	return engine.Simulate(policy, opts, traces)
 }
 
-// newController instantiates the requested policy.
-func newController(policy Policy, opts Options, traces *Traces) (sim.Controller, error) {
-	switch policy {
-	case PolicySmartDPSS:
-		return core.New(opts.coreParams())
-	case PolicyImpatient:
-		return baseline.NewImpatient(opts.baselineConfig())
-	case PolicyOfflineOptimal:
-		return baseline.NewOfflineOptimal(opts.baselineConfig(), traces.set)
-	case PolicyOfflineHorizon:
-		return baseline.NewOfflineHorizon(opts.baselineConfig(), traces.set)
-	case PolicyLookahead:
-		window := opts.LookaheadWindow
-		if window <= 0 {
-			window = opts.T
-		}
-		return baseline.NewLookahead(opts.baselineConfig(), traces.set, window)
-	default:
-		return nil, fmt.Errorf("smartdpss: unknown policy %q", policy)
-	}
-}
-
-// TheoremBounds reports the deterministic bounds of Theorem 2 for the
-// given options: the backlog bound Qmax, delay-queue bound Ymax, their sum
-// Umax, the worst-case delay λmax (slots) and Vmax.
-type TheoremBounds struct {
-	QMax      float64
-	YMax      float64
-	UMax      float64
-	LambdaMax int
-	VMax      float64
-}
+// TheoremBounds reports the deterministic bounds of Theorem 2.
+type TheoremBounds = engine.TheoremBounds
 
 // Bounds computes the Theorem 2 bounds for the options.
-func Bounds(opts Options) TheoremBounds {
-	p := opts.coreParams()
-	return TheoremBounds{
-		QMax:      p.QMax(),
-		YMax:      p.YMax(),
-		UMax:      p.UMax(),
-		LambdaMax: p.LambdaMax(),
-		VMax:      p.VMax(),
-	}
+func Bounds(opts Options) TheoremBounds { return engine.Bounds(opts) }
+
+// SuiteConfig scopes a scenario-suite run: trace horizon, seed, and the
+// worker-pool parallelism (Parallel == 0 uses GOMAXPROCS).
+type SuiteConfig = suite.Config
+
+// DefaultSuiteConfig matches the paper's one-month setup.
+func DefaultSuiteConfig() SuiteConfig { return suite.DefaultConfig() }
+
+// SuiteTable is a printable scenario result.
+type SuiteTable = suite.Table
+
+// Scenario is a registered experiment: a named, tagged runner producing
+// one table.
+type Scenario = suite.Scenario
+
+// Scenarios lists every registered scenario in registration (paper)
+// order.
+func Scenarios() []Scenario { return suite.Scenarios() }
+
+// RunSuite resolves each selector (a scenario name or tag; none selects
+// everything) and runs the matching scenarios on a worker pool, fanning
+// both scenarios and their inner sweep points out across cfg.Parallel
+// goroutines (GOMAXPROCS when zero). Tables come back in registration
+// order and are byte-identical across parallelism levels at a fixed
+// seed.
+func RunSuite(cfg SuiteConfig, selectors ...string) ([]*SuiteTable, error) {
+	return suite.RunSuite(cfg, selectors...)
 }
