@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint suite
+.PHONY: build test race bench lint docs suite
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,8 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Benchmark smoke: one iteration of every benchmark, including the
+# provision-family point (BenchmarkProvisionGrid).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
@@ -24,6 +26,12 @@ lint:
 	fi
 	$(GO) vet ./...
 
-# Full one-month scenario suite (paper figures + extensions) on all cores.
+# Documentation surface: every godoc Example must pass (output lines are
+# checked verbatim), on top of the lint gate.
+docs: lint
+	$(GO) test -run Example ./...
+
+# Full one-month scenario suite (paper + extensions + provisioning) on
+# all cores.
 suite:
-	$(GO) run ./cmd/experiments -run paper,ext
+	$(GO) run ./cmd/experiments -run paper,ext,provision

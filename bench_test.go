@@ -160,6 +160,13 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkProvisionGrid regenerates the PROV-1 generator × battery
+// provisioning grid — the bench-smoke point of the provision family, so
+// `make bench` (and CI) exercises the on-site generation dispatch path.
+func BenchmarkProvisionGrid(b *testing.B) {
+	benchTable(b, experiments.ProvisionGrid, benchConfig())
+}
+
 // benchSuite runs the full scenario suite (paper figures plus
 // extensions) through the registry at a fixed pool width.
 func benchSuite(b *testing.B, parallel int) {

@@ -6,6 +6,7 @@
 //	         [-days N] [-seed S] [-v V] [-epsilon E] [-t T]
 //	         [-battery-minutes M] [-peak-mw P] [-solar-mw S]
 //	         [-penetration F] [-noise F] [-rtm] [-use-lp]
+//	         [-gen-mw G] [-gen-min-load F] [-fuel C] [-gen-startup U]
 //
 // Examples:
 //
@@ -13,6 +14,7 @@
 //	dpss-sim -policy impatient                # the strawman baseline
 //	dpss-sim -v 5                             # cheaper, slower service
 //	dpss-sim -penetration 0.6 -battery-minutes 30
+//	dpss-sim -gen-mw 0.5 -fuel 45             # with on-site generation
 package main
 
 import (
@@ -44,6 +46,10 @@ func run(args []string) error {
 		solarMW     = fs.Float64("solar-mw", 3.0, "solar plant capacity in MW")
 		penetration = fs.Float64("penetration", -1, "override renewable penetration (0..1, negative keeps the generated level)")
 		noise       = fs.Float64("noise", 0, "uniform observation error fraction (Fig. 9 uses 0.5)")
+		genMW       = fs.Float64("gen-mw", 0, "dispatchable on-site generator capacity in MW (0 disables)")
+		genMinLoad  = fs.Float64("gen-min-load", 0.2, "generator minimum stable load as a fraction of capacity")
+		fuel        = fs.Float64("fuel", 0, "generator fuel price in USD/MWh (0 uses the 85 default)")
+		genStartup  = fs.Float64("gen-startup", 10, "generator cold-start cost in USD")
 		rtm         = fs.Bool("rtm", false, "disable the long-term-ahead market (real-time only)")
 		useLP       = fs.Bool("use-lp", false, "use the simplex P5 solver instead of the closed form")
 		showBounds  = fs.Bool("bounds", false, "print the Theorem 2 bounds for these options")
@@ -73,6 +79,10 @@ func run(args []string) error {
 	opts.UseLP = *useLP
 	opts.ObservationNoise = *noise
 	opts.NoiseSeed = *seed + 1
+	opts.GeneratorMW = *genMW
+	opts.GeneratorMinLoadFrac = *genMinLoad
+	opts.FuelUSDPerMWh = *fuel
+	opts.GeneratorStartupUSD = *genStartup
 
 	if *showBounds {
 		b := dpss.Bounds(opts)

@@ -1,6 +1,7 @@
 // Command experiments drives the SmartDPSS scenario suite: it reproduces
-// the figures of the paper's evaluation (ICDCS 2013, Sec. VI) plus the
-// extension studies, running scenarios and their inner sweeps on a
+// the figures of the paper's evaluation (ICDCS 2013, Sec. VI), the
+// extension studies, and the on-site power provisioning family
+// (arXiv:1303.6775), running scenarios and their inner sweeps on a
 // worker pool.
 //
 // Usage:
@@ -14,8 +15,9 @@
 //	-list          print every registered scenario (name, tags,
 //	               description) and exit
 //	-run           comma-separated scenario names and/or tags to run
-//	               (e.g. "fig6v", "ext", "fig5,ext-cycle"); default is
-//	               the "paper" tag — the seven figures in paper order
+//	               (e.g. "fig6v", "ext", "provision", "fig5,ext-cycle");
+//	               default is the "paper" tag — the seven figures in
+//	               paper order
 //	-fig           deprecated alias for -run (kept for old scripts)
 //	-parallel      worker-pool width; 0 (default) uses GOMAXPROCS, 1
 //	               forces sequential execution; results are

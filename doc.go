@@ -1,0 +1,80 @@
+// Package smartdpss is a Go implementation of SmartDPSS, the
+// cost-minimizing multi-source datacenter power supply controller of
+// Deng, Liu, Jin and Wu (ICDCS 2013).
+//
+// A datacenter power supply system (DPSS) draws energy from a two-market
+// smart grid (long-term-ahead and real-time), on-site renewable
+// production, a UPS battery, and — beyond the paper — a dispatchable
+// on-site generator (the provisioning setting of arXiv:1303.6775),
+// serving a mix of delay-sensitive and delay-tolerant demand. SmartDPSS
+// is an online two-timescale Lyapunov controller that minimizes long-run
+// operation cost without any knowledge of future demand, renewable
+// output or prices, trading cost against service delay through a single
+// parameter V (Theorem 2's [O(1/V), O(V)] tradeoff).
+//
+// # Quickstart
+//
+//	traces, err := smartdpss.GenerateTraces(smartdpss.DefaultTraceConfig())
+//	if err != nil { ... }
+//	report, err := smartdpss.Simulate(smartdpss.PolicySmartDPSS,
+//		smartdpss.DefaultOptions(), traces)
+//	if err != nil { ... }
+//	fmt.Println(report)
+//
+// The library also ships the paper's comparison policies (Impatient, two
+// clairvoyant offline benchmarks and a receding-horizon lookahead),
+// synthetic trace generators standing in for the paper's MIDC solar,
+// NYISO price and Google-cluster workload datasets, and an experiment
+// harness reproducing every figure of the paper's evaluation.
+//
+// # On-site generation
+//
+// Options carries a generator block (GeneratorMW, GeneratorMinLoadFrac,
+// GeneratorRampMW, FuelUSDPerMWh, FuelQuadUSD, GeneratorStartupUSD,
+// GeneratorStartupLagSlots). With GeneratorMW > 0 every optimizing
+// policy — SmartDPSS, the two offline benchmarks and the lookahead
+// controller — gains a fourth dispatch arm: fuel-priced output competing
+// with the two markets and the battery; Report gains the generator cost
+// and energy lines. The Impatient strawman ignores the unit by design
+// (it models an operator with no cost optimization at all). With
+// GeneratorMW == 0 the subsystem is inert and results are identical to
+// generator-free builds.
+//
+// # Scenario suite
+//
+// Every experiment registers itself as a named, tagged Scenario in a
+// registry; RunSuite fans the selected scenarios out across a worker
+// pool and returns their tables in deterministic registration order:
+//
+//	tables, err := smartdpss.RunSuite(smartdpss.DefaultSuiteConfig(), "paper")
+//
+// Selectors are scenario names ("fig6v", "prov-grid") or tags ("paper",
+// "ext", "provision"); output is byte-identical at every parallelism
+// level for a fixed seed.
+//
+// # Architecture: a facade over internal packages
+//
+// This package contains no logic of its own — it re-exports, via type
+// aliases and thin wrappers, the layers below:
+//
+//	smartdpss (public facade: aliases + wrappers, this package)
+//	  ├── internal/engine       Options/TraceConfig/Simulate — wires the
+//	  │     │                   pieces together behind the facade
+//	  │     ├── internal/core       the SmartDPSS controller (P4/P5)
+//	  │     ├── internal/baseline   Impatient, offline LPs, lookahead
+//	  │     ├── internal/sim        the slot-by-slot execution engine
+//	  │     ├── internal/battery    the UPS model (Eq. 3, Nmax budget)
+//	  │     ├── internal/generator  dispatchable on-site generation
+//	  │     ├── internal/market     the two-timescale grid account
+//	  │     └── internal/{workload,solar,wind,pricing,thermal,trace}
+//	  │                           synthetic input generators
+//	  ├── internal/suite        scenario registry, deterministic worker
+//	  │                         pool (Map), memoized trace cache
+//	  └── internal/experiments  one registered runner per reproduced
+//	                            figure / extension / provisioning study
+//
+// Keeping the implementation internal means the public surface is the
+// stable, documented subset: policies, options, traces, reports, bounds
+// and the suite entry points. cmd/dpss-sim, cmd/trace-gen and
+// cmd/experiments are thin CLIs over the same facade.
+package smartdpss

@@ -62,6 +62,36 @@ func ExampleTraces_SetPenetration() {
 	// penetration = 50%
 }
 
+// ExampleSimulate_generator equips the datacenter with a dispatchable
+// on-site generator (arXiv:1303.6775) whose fuel undercuts the grid and
+// shows that SmartDPSS dispatches it to cut cost.
+func ExampleSimulate_generator() {
+	tc := dpss.DefaultTraceConfig()
+	tc.Days = 7
+	traces, err := dpss.GenerateTraces(tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, err := dpss.Simulate(dpss.PolicySmartDPSS, dpss.DefaultOptions(), traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := dpss.DefaultOptions()
+	opts.GeneratorMW = 0.5          // half a megawatt of on-site capacity
+	opts.GeneratorMinLoadFrac = 0.2 // cannot run below 20% of nameplate
+	opts.GeneratorStartupUSD = 10
+	opts.FuelUSDPerMWh = 30 // cheaper than the grid: near-baseload duty
+	withGen, err := dpss.Simulate(dpss.PolicySmartDPSS, opts, traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("generator dispatched:", withGen.GenEnergyMWh > 0)
+	fmt.Println("on-site generation cheaper:", withGen.TotalCostUSD < plain.TotalCostUSD)
+	// Output:
+	// generator dispatched: true
+	// on-site generation cheaper: true
+}
+
 // ExampleSimulate_lookahead compares SmartDPSS with an MPC controller
 // holding six hours of perfect foresight.
 func ExampleSimulate_lookahead() {

@@ -1,0 +1,61 @@
+// Provisioning: should a datacenter buy an on-site generator, and how
+// big? The example equips the one-month scenario with a dispatchable
+// unit (capacity, 20% minimum stable load, startup cost and fuel curve —
+// the on-site production model of arXiv:1303.6775) and walks the
+// capacity axis at two fuel prices: one below the long-term grid price
+// (baseload-cheap) and one between the long-term level and the
+// real-time mean (a substitute for real-time purchases and peaks). The
+// monthly operating saving per capacity step is the number an operator
+// sets against the generator's amortized capital cost.
+//
+// The full two-dimensional grid (capacity × battery size), the fuel
+// break-even sweep and the V×T cross sweep run as the "provision"
+// scenario family of the suite CLI:
+//
+//	go run ./cmd/experiments -run provision
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dpss "github.com/smartdpss/smartdpss"
+)
+
+func main() {
+	traces, err := dpss.GenerateTraces(dpss.DefaultTraceConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, fuel := range []float64{30, 45} {
+		fmt.Printf("fuel %g $/MWh:\n", fuel)
+		fmt.Printf("  %-8s  %-12s  %-16s  %-10s  %-8s  %s\n",
+			"gen MW", "cost $/slot", "monthly saving $", "gen MWh", "starts", "gen slots")
+
+		var base float64
+		for _, capacity := range []float64{0, 0.25, 0.5, 1.0} {
+			opts := dpss.DefaultOptions()
+			opts.GeneratorMW = capacity
+			opts.GeneratorMinLoadFrac = 0.2
+			opts.GeneratorStartupUSD = 10
+			opts.FuelUSDPerMWh = fuel
+			rep, err := dpss.Simulate(dpss.PolicySmartDPSS, opts, traces)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if capacity == 0 {
+				base = rep.TotalCostUSD
+			}
+			fmt.Printf("  %-8g  %-12.2f  %-16.2f  %-10.1f  %-8d  %d\n",
+				capacity, rep.TimeAvgCostUSD, base-rep.TotalCostUSD,
+				rep.GenEnergyMWh, rep.GenStarts, rep.GenSlots)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading: below the long-term grid price the unit runs as baseload and")
+	fmt.Println("every MW pays; between the long-term level and the real-time spikes it")
+	fmt.Println("only shaves peaks, savings are thin, and capacity beyond the spiky")
+	fmt.Println("share of demand is idle capital — the provisioning knee of 1303.6775.")
+}

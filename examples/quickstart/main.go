@@ -1,5 +1,10 @@
 // Quickstart: simulate one month of SmartDPSS with the paper's default
 // parameters and compare it against the Impatient baseline.
+//
+// For the full reproduction of the paper's figures (and the extension
+// and provisioning studies) use the scenario-suite CLI instead:
+//
+//	go run ./cmd/experiments -list
 package main
 
 import (

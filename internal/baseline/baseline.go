@@ -20,12 +20,23 @@
 // the true operation cost. The offline benchmarks therefore report a cost
 // at or slightly below what any physical schedule could achieve — the
 // right direction for a lower-bound benchmark.
+//
+// When an on-site generator is configured (Config.Generator), the LPs
+// plan its dispatch as relaxed per-slot variables over the convex fuel
+// curve (piecewise-linear segments), ignoring the non-convex minimum
+// stable load, ramp limit and startup charge — the same relax-and-replay
+// treatment the battery proxy receives. The engine enforces the physical
+// constraints during replay, so the reported cost is the executed truth;
+// only the plan itself is optimistic.
 package baseline
 
 import (
 	"errors"
+	"fmt"
 
 	"github.com/smartdpss/smartdpss/internal/battery"
+	"github.com/smartdpss/smartdpss/internal/generator"
+	"github.com/smartdpss/smartdpss/internal/lp"
 )
 
 // Config holds the system constants shared by the baseline policies.
@@ -48,6 +59,9 @@ type Config struct {
 	EmergencyCostUSD float64
 	// Battery is the UPS configuration.
 	Battery battery.Params
+	// Generator is the optional dispatchable on-site generation unit
+	// (zero value: none).
+	Generator generator.Params
 }
 
 // DefaultConfig mirrors core.DefaultParams for the shared constants.
@@ -82,5 +96,39 @@ func (c Config) Validate() error {
 	case c.EmergencyCostUSD <= c.PmaxUSD:
 		return errors.New("baseline: EmergencyCostUSD must dwarf PmaxUSD")
 	}
+	if err := c.Generator.Validate(); err != nil {
+		return err
+	}
 	return c.Battery.Validate()
+}
+
+// genSegments returns the relaxed fuel-curve segmentation of the
+// configured generator's full output band (nil when no generator).
+func (c Config) genSegments() []generator.Segment {
+	if !c.Generator.Enabled() {
+		return nil
+	}
+	return c.Generator.Segments(0, c.Generator.CapacityMWh)
+}
+
+// addGenVars adds one relaxed dispatch variable per fuel-curve segment
+// for slot i and returns them (nil when no generator is configured).
+func addGenVars(prob *lp.Problem, segs []generator.Segment, i int) []lp.VarID {
+	if len(segs) == 0 {
+		return nil
+	}
+	vars := make([]lp.VarID, len(segs))
+	for k, s := range segs {
+		vars[k] = prob.AddVariable(fmt.Sprintf("g%d_%d", i, k), 0, s.Cap, s.USDPerMWh)
+	}
+	return vars
+}
+
+// genPlan sums the solved segment outputs for one slot.
+func genPlan(sol *lp.Solution, vars []lp.VarID) float64 {
+	total := 0.0
+	for _, v := range vars {
+		total += sol.Value(v)
+	}
+	return total
 }

@@ -63,6 +63,7 @@ func (o *OfflineHorizon) PlanFine(obs sim.FineObs) sim.Decision {
 	dec.ServeDT = math.Min(dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax))
 	dec.Charge = math.Min(dec.Charge, obs.MaxCharge)
 	dec.Discharge = math.Min(dec.Discharge, obs.MaxDischarge)
+	dec.Generate = math.Min(dec.Generate, obs.GenRequest)
 	return dec
 }
 
@@ -101,6 +102,8 @@ func (o *OfflineHorizon) solve() error {
 	d := make([]lp.VarID, H)
 	w := make([]lp.VarID, H)
 	e := make([]lp.VarID, H)
+	segs := cfg.genSegments()
+	g := make([][]lp.VarID, H)
 	proxy := 0.0
 	if bat.MaxChargeMWh > 0 {
 		proxy = bat.OpCostUSD / math.Max(bat.MaxChargeMWh, bat.MaxDischargeMWh)
@@ -113,6 +116,7 @@ func (o *OfflineHorizon) solve() error {
 		d[i] = prob.AddVariable(fmt.Sprintf("d%d", i), 0, bat.MaxDischargeMWh, proxy)
 		w[i] = prob.AddVariable(fmt.Sprintf("w%d", i), 0, inf, cfg.WasteCostUSD)
 		e[i] = prob.AddVariable(fmt.Sprintf("e%d", i), 0, inf, cfg.EmergencyCostUSD)
+		g[i] = addGenVars(prob, segs, i)
 	}
 
 	b0 := bat.InitialMWh
@@ -122,23 +126,31 @@ func (o *OfflineHorizon) solve() error {
 		dds := set.DemandDS.At(i)
 		r := set.Renewable.At(i)
 
-		prob.AddConstraint(lp.EQ, dds-r,
-			lp.Term{Var: gbef[k], Coeff: invN},
-			lp.Term{Var: grt[i], Coeff: 1},
-			lp.Term{Var: d[i], Coeff: 1},
-			lp.Term{Var: e[i], Coeff: 1},
-			lp.Term{Var: u[i], Coeff: -1},
-			lp.Term{Var: c[i], Coeff: -1},
-			lp.Term{Var: w[i], Coeff: -1},
-		)
+		balance := []lp.Term{
+			{Var: gbef[k], Coeff: invN},
+			{Var: grt[i], Coeff: 1},
+			{Var: d[i], Coeff: 1},
+			{Var: e[i], Coeff: 1},
+			{Var: u[i], Coeff: -1},
+			{Var: c[i], Coeff: -1},
+			{Var: w[i], Coeff: -1},
+		}
+		for _, gv := range g[i] {
+			balance = append(balance, lp.Term{Var: gv, Coeff: 1})
+		}
+		prob.AddConstraint(lp.EQ, dds-r, balance...)
 		prob.AddConstraint(lp.LE, cfg.PgridMWh,
 			lp.Term{Var: gbef[k], Coeff: invN},
 			lp.Term{Var: grt[i], Coeff: 1},
 		)
-		prob.AddConstraint(lp.LE, cfg.SmaxMWh-r,
-			lp.Term{Var: gbef[k], Coeff: invN},
-			lp.Term{Var: grt[i], Coeff: 1},
-		)
+		smax := []lp.Term{
+			{Var: gbef[k], Coeff: invN},
+			{Var: grt[i], Coeff: 1},
+		}
+		for _, gv := range g[i] {
+			smax = append(smax, lp.Term{Var: gv, Coeff: 1})
+		}
+		prob.AddConstraint(lp.LE, cfg.SmaxMWh-r, smax...)
 
 		levelTerms := make([]lp.Term, 0, 2*(i+1))
 		for j := 0; j <= i; j++ {
@@ -193,6 +205,7 @@ func (o *OfflineHorizon) solve() error {
 			ServeDT:   sol.Value(u[i]),
 			Charge:    sol.Value(c[i]),
 			Discharge: sol.Value(d[i]),
+			Generate:  genPlan(sol, g[i]),
 		}
 		netPlanChargeDischarge(&dec, bat.ChargeEff, bat.DischargeEff)
 		o.plan[i] = dec

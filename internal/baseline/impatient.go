@@ -8,7 +8,9 @@ import (
 
 // Impatient is the paper's online strawman: it serves every unit of demand
 // as soon as it appears, at whatever the market charges, with no strategic
-// deferral and no price-aware storage. The UPS is used only passively —
+// deferral, no price-aware storage and no on-site generator dispatch (a
+// cost-optimization asset an impatient operator never touches). The UPS
+// is used only passively —
 // surplus energy is absorbed rather than wasted, and the battery covers
 // deficits only when the grid cannot (last resort), which is how an inline
 // UPS behaves in the absence of a control policy.

@@ -99,6 +99,8 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 	d := make([]lp.VarID, n)
 	w := make([]lp.VarID, n)
 	e := make([]lp.VarID, n)
+	segs := l.cfg.genSegments()
+	g := make([][]lp.VarID, n)
 	proxy := 0.0
 	if bat.MaxChargeMWh > 0 {
 		proxy = bat.OpCostUSD / math.Max(bat.MaxChargeMWh, bat.MaxDischargeMWh)
@@ -112,6 +114,7 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 		d[i] = prob.AddVariable(fmt.Sprintf("d%d", i), 0, bat.MaxDischargeMWh, proxy)
 		w[i] = prob.AddVariable(fmt.Sprintf("w%d", i), 0, inf, l.cfg.WasteCostUSD)
 		e[i] = prob.AddVariable(fmt.Sprintf("e%d", i), 0, inf, l.cfg.EmergencyCostUSD)
+		g[i] = addGenVars(prob, segs, i)
 	}
 
 	for i := 0; i < n; i++ {
@@ -120,17 +123,24 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 		r := l.set.Renewable.At(slot)
 
 		// Balance with the committed flat delivery as a constant.
-		prob.AddConstraint(lp.EQ, dds-r-obs.LongTermDue,
-			lp.Term{Var: grt[i], Coeff: 1},
-			lp.Term{Var: d[i], Coeff: 1},
-			lp.Term{Var: e[i], Coeff: 1},
-			lp.Term{Var: u[i], Coeff: -1},
-			lp.Term{Var: c[i], Coeff: -1},
-			lp.Term{Var: w[i], Coeff: -1},
-		)
+		balance := []lp.Term{
+			{Var: grt[i], Coeff: 1},
+			{Var: d[i], Coeff: 1},
+			{Var: e[i], Coeff: 1},
+			{Var: u[i], Coeff: -1},
+			{Var: c[i], Coeff: -1},
+			{Var: w[i], Coeff: -1},
+		}
+		for _, gv := range g[i] {
+			balance = append(balance, lp.Term{Var: gv, Coeff: 1})
+		}
+		prob.AddConstraint(lp.EQ, dds-r-obs.LongTermDue, balance...)
 		// Supply cap.
-		prob.AddConstraint(lp.LE, l.cfg.SmaxMWh-r-obs.LongTermDue,
-			lp.Term{Var: grt[i], Coeff: 1})
+		smax := []lp.Term{{Var: grt[i], Coeff: 1}}
+		for _, gv := range g[i] {
+			smax = append(smax, lp.Term{Var: gv, Coeff: 1})
+		}
+		prob.AddConstraint(lp.LE, l.cfg.SmaxMWh-r-obs.LongTermDue, smax...)
 
 		// Battery trajectory bounds from the live level.
 		levelTerms := make([]lp.Term, 0, 2*(i+1))
@@ -182,6 +192,7 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 		ServeDT:   math.Min(sol.Value(u[0]), math.Min(obs.Backlog, obs.SdtMax)),
 		Charge:    math.Min(sol.Value(c[0]), obs.MaxCharge),
 		Discharge: math.Min(sol.Value(d[0]), obs.MaxDischarge),
+		Generate:  math.Min(genPlan(sol, g[0]), obs.GenRequest),
 	}
 	netPlanChargeDischarge(&dec, bat.ChargeEff, bat.DischargeEff)
 	return dec, nil

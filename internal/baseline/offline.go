@@ -66,10 +66,13 @@ func (o *OfflineOptimal) PlanFine(obs sim.FineObs) sim.Decision {
 		return sim.Decision{}
 	}
 	dec := o.plan[idx]
-	// Guard against drift between the planned and actual backlog.
+	// Guard against drift between the planned and actual backlog, and
+	// clamp the relaxed generator plan to the unit's admissible request
+	// (the engine enforces min-load and startup physics on execution).
 	dec.ServeDT = math.Min(dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax))
 	dec.Charge = math.Min(dec.Charge, obs.MaxCharge)
 	dec.Discharge = math.Min(dec.Discharge, obs.MaxDischarge)
+	dec.Generate = math.Min(dec.Generate, obs.GenRequest)
 	return dec
 }
 
@@ -100,6 +103,8 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 	d := make([]lp.VarID, n)
 	w := make([]lp.VarID, n)
 	e := make([]lp.VarID, n)
+	segs := cfg.genSegments()
+	g := make([][]lp.VarID, n)
 
 	// The linear battery-operation proxy (see package docs).
 	proxy := 0.0
@@ -117,6 +122,7 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 		d[i] = prob.AddVariable(fmt.Sprintf("d%d", i), 0, bat.MaxDischargeMWh, proxy)
 		w[i] = prob.AddVariable(fmt.Sprintf("w%d", i), 0, inf, cfg.WasteCostUSD)
 		e[i] = prob.AddVariable(fmt.Sprintf("e%d", i), 0, inf, cfg.EmergencyCostUSD)
+		g[i] = addGenVars(prob, segs, i)
 		totalArrivals += set.DemandDT.At(slot)
 	}
 
@@ -126,27 +132,35 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 		dds := set.DemandDS.At(slot)
 		r := set.Renewable.At(slot)
 
-		// Balance: gbef/n + r + grt + d + e = dds + u + c + w.
-		prob.AddConstraint(lp.EQ, dds-r,
-			lp.Term{Var: gbef, Coeff: invN},
-			lp.Term{Var: grt[i], Coeff: 1},
-			lp.Term{Var: d[i], Coeff: 1},
-			lp.Term{Var: e[i], Coeff: 1},
-			lp.Term{Var: u[i], Coeff: -1},
-			lp.Term{Var: c[i], Coeff: -1},
-			lp.Term{Var: w[i], Coeff: -1},
-		)
+		// Balance: gbef/n + r + grt + d + g + e = dds + u + c + w.
+		balance := []lp.Term{
+			{Var: gbef, Coeff: invN},
+			{Var: grt[i], Coeff: 1},
+			{Var: d[i], Coeff: 1},
+			{Var: e[i], Coeff: 1},
+			{Var: u[i], Coeff: -1},
+			{Var: c[i], Coeff: -1},
+			{Var: w[i], Coeff: -1},
+		}
+		for _, gv := range g[i] {
+			balance = append(balance, lp.Term{Var: gv, Coeff: 1})
+		}
+		prob.AddConstraint(lp.EQ, dds-r, balance...)
 
 		// Grid cap: gbef/n + grt_i ≤ Pgrid.
 		prob.AddConstraint(lp.LE, cfg.PgridMWh,
 			lp.Term{Var: gbef, Coeff: invN},
 			lp.Term{Var: grt[i], Coeff: 1},
 		)
-		// Supply cap: gbef/n + grt_i + r_i ≤ Smax.
-		prob.AddConstraint(lp.LE, cfg.SmaxMWh-r,
-			lp.Term{Var: gbef, Coeff: invN},
-			lp.Term{Var: grt[i], Coeff: 1},
-		)
+		// Supply cap: gbef/n + grt_i + r_i + g_i ≤ Smax.
+		smax := []lp.Term{
+			{Var: gbef, Coeff: invN},
+			{Var: grt[i], Coeff: 1},
+		}
+		for _, gv := range g[i] {
+			smax = append(smax, lp.Term{Var: gv, Coeff: 1})
+		}
+		prob.AddConstraint(lp.LE, cfg.SmaxMWh-r, smax...)
 
 		// Battery level bounds: Bmin ≤ b0 + Σ(ηc·c − ηd·d) ≤ Bmax.
 		levelTerms := make([]lp.Term, 0, 2*(i+1))
@@ -194,6 +208,7 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 			ServeDT:   sol.Value(u[i]),
 			Charge:    sol.Value(c[i]),
 			Discharge: sol.Value(d[i]),
+			Generate:  genPlan(sol, g[i]),
 		}
 		netPlanChargeDischarge(&plan[i], bat.ChargeEff, bat.DischargeEff)
 	}

@@ -86,6 +86,19 @@ func (c *Controller) PlanCoarse(obs sim.CoarseObs) float64 {
 	if p.DisableLongTerm {
 		return 0
 	}
+	// On-site generation arm: when the unit's base fuel price undercuts
+	// the offered long-term price — by enough that a full interval of
+	// self-generation also recovers a cold start — P5 will prefer
+	// self-generation, so the ahead-purchase should not cover the share
+	// the generator can carry. The startup condition keeps P4 from
+	// planning around a unit whose startup economics P5 will veto.
+	selfGen := 0.0
+	if gp := p.Generator; gp.Enabled() {
+		margin := obs.PriceLT - gp.MarginalAt(0)
+		if margin > 0 && margin*gp.CapacityMWh*float64(p.T) > gp.StartupUSD {
+			selfGen = gp.CapacityMWh
+		}
+	}
 	weight := p.V*obs.PriceLT - (c.qT + c.yT)
 	slots := float64(obs.Slots)
 	if weight < 0 {
@@ -104,7 +117,7 @@ func (c *Controller) PlanCoarse(obs sim.CoarseObs) float64 {
 	// the per-slot discharge cap.
 	avail := math.Max(0, (obs.Battery-p.Battery.MinLevelMWh)/p.Battery.DischargeEff)
 	battPerSlot := math.Min(p.Battery.MaxDischargeMWh, avail/slots)
-	deficit := dds - ren - battPerSlot
+	deficit := dds - ren - battPerSlot - selfGen
 	return slots * clamp(deficit, 0, p.PgridMWh)
 }
 
@@ -137,15 +150,98 @@ func (c *Controller) PlanFine(obs sim.FineObs) sim.Decision {
 	if free.batteryUsed() {
 		freeTotal += p.V * p.Battery.OpCostUSD
 	}
-	best := frozen
+	best, bestTotal := frozen, frozen.obj
 	if freeTotal < frozen.obj-1e-12 {
-		best = free
+		best, bestTotal = free, freeTotal
 	}
-	return sim.Decision{
+	dec := sim.Decision{
 		Grt:       best.grt,
 		ServeDT:   best.sdt,
 		Charge:    best.charge,
 		Discharge: best.discharge,
+	}
+	if gp := p.Generator; gp.Enabled() {
+		c.planGenerator(&dec, obs, in, qy, bestTotal)
+	}
+	return dec
+}
+
+// planGenerator evaluates the on-site generation arm of P5 against the
+// generator-free optimum bestTotal and overwrites dec when dispatching
+// wins. The unit's admissible set {0} ∪ [min, max] is semi-continuous,
+// so the arm commits the minimum stable load into the balance (paying
+// its exact fuel cost and collecting its queue relief), exposes the band
+// above it as convex fuel-curve segments, and re-solves. A cold start
+// adds the startup cost amortized over one coarse interval
+// (V·StartupUSD/T): startup is an inter-temporal cost a single-slot
+// subproblem cannot attribute exactly, and a started unit typically runs
+// for the remainder of the price regime that justified it — charging the
+// full amount against one slot's gain would keep small units off while
+// P4 has already planned around their output. When the unit is off
+// behind a synchronization lag it cannot deliver this slot, so the arm
+// instead pre-starts it whenever its base marginal fuel price undercuts
+// the current real-time price.
+func (c *Controller) planGenerator(dec *sim.Decision, obs sim.FineObs, in p5Input, qy, bestTotal float64) {
+	p := c.params
+	gp := p.Generator
+	// Amortized startup with hysteresis: starting charges StartupUSD/T,
+	// and a running unit receives the same amount as a keep-warm credit —
+	// shutting down during a short price dip forfeits the paid start and
+	// likely triggers a fresh one when the spike returns. The band keeps
+	// the unit from flapping around its fuel/grid break-even (each real
+	// flap is billed the full StartupUSD by the engine).
+	amortized := p.V * gp.StartupUSD / float64(p.T)
+	if obs.GenMaxMWh <= 0 {
+		// Off behind a synchronization lag: pre-start when a slot of
+		// full output at the current real-time price would beat both
+		// the fuel bill and the amortized startup — the same economics
+		// the lag-free arm applies through its offset.
+		if obs.GenRequest > 0 && !obs.GenRunning &&
+			p.V*(obs.PriceRT-gp.MarginalAt(0))*gp.CapacityMWh > amortized {
+			dec.Generate = obs.GenRequest // start signal; delivers after the lag
+		}
+		return
+	}
+
+	inG := in
+	inG.base = in.base + obs.GenMinMWh
+	inG.genSegs = make([]genSeg, 0, 2)
+	for _, s := range gp.Segments(obs.GenMinMWh, obs.GenMaxMWh) {
+		inG.genSegs = append(inG.genSegs, genSeg{cap: s.Cap, w: p.V*s.USDPerMWh - qy})
+	}
+	offset := p.V*gp.FuelCost(obs.GenMinMWh) - obs.GenMinMWh*qy
+	if obs.GenRunning {
+		offset -= amortized
+	} else {
+		offset += amortized
+	}
+
+	freeG := c.solve(inG)
+	frozenG := c.solve(inG.frozen())
+	freeGTotal := freeG.obj
+	if freeG.batteryUsed() {
+		freeGTotal += p.V * p.Battery.OpCostUSD
+	}
+	bestG, bestGTotal := frozenG, frozenG.obj
+	if freeGTotal < frozenG.obj-1e-12 {
+		bestG, bestGTotal = freeG, freeGTotal
+	}
+	if bestGTotal+offset < bestTotal-1e-12 {
+		gen := obs.GenMinMWh + bestG.gen
+		// The merit-order legs cap grt and the generator independently;
+		// the supply cap Smax (Eq. 1) binds their sum. Give the
+		// committed unit priority and trim the flexible real-time
+		// purchase so executed supply stays inside the same feasible
+		// set the offline benchmarks optimize over.
+		grt := math.Min(bestG.grt,
+			math.Max(0, p.SmaxMWh-obs.LongTermDue-obs.Renewable-gen))
+		*dec = sim.Decision{
+			Grt:       grt,
+			ServeDT:   bestG.sdt,
+			Charge:    bestG.charge,
+			Discharge: bestG.discharge,
+			Generate:  gen,
+		}
 	}
 }
 

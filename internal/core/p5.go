@@ -10,7 +10,8 @@ import (
 // units per MWh.
 type p5Input struct {
 	dds  float64 // delay-sensitive demand that must be covered
-	base float64 // already-committed supply: gbef(t)/T + r(τ)
+	base float64 // already-committed supply: gbef(t)/T + r(τ) (+ any
+	// committed generator minimum load, see controller.go)
 
 	grtMax       float64 // real-time purchase cap (headroom ∧ Smax)
 	sdtMax       float64 // service cap (backlog ∧ Sdtmax)
@@ -25,11 +26,26 @@ type p5Input struct {
 	wCharge    float64 // +(Q+X+Y); discharge weight is its negation
 	wWaste     float64 // V·wW + (Q+Y)  (see doc.go: waste serves no queue)
 	wEmergency float64 // V·EmergencyCost, dwarfs every other weight
+
+	// genSegs are optional extra source legs for the dispatchable
+	// on-site generator above its committed minimum load: the convex
+	// fuel curve decomposed into pieces with non-decreasing weights
+	// V·marginal − (Q+Y). Empty when no generator dispatch is being
+	// considered, in which case the solve is identical to the
+	// generator-free subproblem.
+	genSegs []genSeg
+}
+
+// genSeg is one piecewise-linear slice of the generator's dispatch band.
+type genSeg struct {
+	cap float64 // MWh available at this marginal price
+	w   float64 // V·marginal − (Q+Y)
 }
 
 // p5Result is the solved slot decision with its drift objective value.
 type p5Result struct {
 	grt, sdt, charge, discharge, waste, unserved float64
+	gen                                          float64 // generator output above the committed minimum
 	obj                                          float64
 }
 
@@ -56,20 +72,26 @@ type leg struct {
 // solveP5Analytic solves P5 exactly by merit order. P5 is a single balance
 // node with per-leg linear costs:
 //
-//	sources: grt (wGrt), bdc (−wCharge), emergency (wEmergency)
+//	sources: grt (wGrt), bdc (−wCharge), emergency (wEmergency),
+//	         plus one leg per generator fuel-curve segment (genSegs)
 //	sinks:   sdt (wSdt), brc (wCharge), waste (wWaste)
 //	balance: base + Σsources = dds + Σsinks
 //
 // The mandatory net (dds − base) is routed through the cheapest legs, then
 // every (source, sink) pair with negative combined cost is saturated in
 // ascending cost order. Because each leg's marginal cost is constant, the
-// greedy exchange argument makes this optimal; TestPropertyAnalyticMatchesLP
-// cross-checks it against the simplex solver.
+// greedy exchange argument makes this optimal (the generator's convex fuel
+// curve yields non-decreasing segment costs, so merit order fills its
+// segments in curve order); TestPropertyAnalyticMatchesLP cross-checks it
+// against the simplex solver.
 func solveP5Analytic(in p5Input) p5Result {
 	sources := []leg{
 		{cost: in.wGrt, cap: in.grtMax},
 		{cost: -in.wCharge, cap: in.dischargeMax},
 		{cost: in.wEmergency, cap: math.Inf(1)},
+	}
+	for _, s := range in.genSegs {
+		sources = append(sources, leg{cost: s.w, cap: s.cap})
 	}
 	sinks := []leg{
 		{cost: in.wSdt, cap: in.sdtMax},
@@ -119,6 +141,9 @@ func solveP5Analytic(in p5Input) p5Result {
 		charge:    sinks[1].flow,
 		waste:     sinks[2].flow,
 		obj:       obj,
+	}
+	for _, src := range sources[3:] {
+		res.gen += src.flow
 	}
 	netChargeDischarge(&res, in.etaC, in.etaD)
 	return res

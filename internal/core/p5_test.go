@@ -26,10 +26,14 @@ func baseInput() p5Input {
 
 func checkBalance(t *testing.T, in p5Input, r p5Result) {
 	t.Helper()
-	lhs := in.base + r.grt + r.discharge + r.unserved
+	lhs := in.base + r.grt + r.discharge + r.gen + r.unserved
 	rhs := in.dds + r.sdt + r.charge + r.waste
 	if math.Abs(lhs-rhs) > 1e-9 {
 		t.Fatalf("balance violated: %g != %g (in=%+v res=%+v)", lhs, rhs, in, r)
+	}
+	genCap := 0.0
+	for _, s := range in.genSegs {
+		genCap += s.cap
 	}
 	caps := []struct {
 		name string
@@ -40,6 +44,7 @@ func checkBalance(t *testing.T, in p5Input, r p5Result) {
 		{"sdt", r.sdt, in.sdtMax},
 		{"charge", r.charge, in.chargeMax},
 		{"discharge", r.discharge, in.dischargeMax},
+		{"gen", r.gen, genCap},
 	}
 	for _, c := range caps {
 		if c.v < -1e-12 || c.v > c.cap+1e-9 {
@@ -210,7 +215,7 @@ func TestLPMatchesAnalyticOnUnitCases(t *testing.T) {
 func genP5(r *rand.Rand) p5Input {
 	qy := r.Float64() * 10
 	x := -10 + r.Float64()*12
-	return p5Input{
+	in := p5Input{
 		dds:          r.Float64() * 2,
 		base:         r.Float64() * 3,
 		grtMax:       r.Float64() * 2,
@@ -223,6 +228,16 @@ func genP5(r *rand.Rand) p5Input {
 		wWaste:       1 + qy,
 		wEmergency:   1e6,
 	}
+	// Half the instances carry an on-site generator arm: one or two
+	// fuel-curve segments with non-decreasing marginals.
+	if r.Intn(2) == 0 {
+		marginal := r.Float64()*150 - qy
+		for n := 1 + r.Intn(2); n > 0; n-- {
+			in.genSegs = append(in.genSegs, genSeg{cap: r.Float64() * 0.8, w: marginal})
+			marginal += r.Float64() * 40
+		}
+	}
+	return in
 }
 
 // TestPropertyAnalyticMatchesLP is the central solver cross-check: both P5

@@ -19,16 +19,26 @@ func solveP5LP(in p5Input) (p5Result, error) {
 	bdc := prob.AddVariable("bdc", 0, math.Max(0, in.dischargeMax), -in.wCharge)
 	waste := prob.AddVariable("waste", 0, math.Inf(1), in.wWaste)
 	emerg := prob.AddVariable("unserved", 0, math.Inf(1), in.wEmergency)
+	// One variable per generator fuel-curve segment, mirroring the
+	// analytic path's extra source legs.
+	gen := make([]lp.VarID, len(in.genSegs))
+	for i, s := range in.genSegs {
+		gen[i] = prob.AddVariable(fmt.Sprintf("gen%d", i), 0, math.Max(0, s.cap), s.w)
+	}
 
-	// Balance (Eq. 4): base + grt + bdc + unserved = dds + sdt + brc + W.
-	prob.AddConstraint(lp.EQ, in.dds-in.base,
-		lp.Term{Var: grt, Coeff: 1},
-		lp.Term{Var: bdc, Coeff: 1},
-		lp.Term{Var: emerg, Coeff: 1},
-		lp.Term{Var: sdt, Coeff: -1},
-		lp.Term{Var: brc, Coeff: -1},
-		lp.Term{Var: waste, Coeff: -1},
-	)
+	// Balance (Eq. 4): base + grt + bdc + g + unserved = dds + sdt + brc + W.
+	terms := []lp.Term{
+		{Var: grt, Coeff: 1},
+		{Var: bdc, Coeff: 1},
+		{Var: emerg, Coeff: 1},
+		{Var: sdt, Coeff: -1},
+		{Var: brc, Coeff: -1},
+		{Var: waste, Coeff: -1},
+	}
+	for _, g := range gen {
+		terms = append(terms, lp.Term{Var: g, Coeff: 1})
+	}
+	prob.AddConstraint(lp.EQ, in.dds-in.base, terms...)
 
 	sol, err := prob.Minimize()
 	if err != nil {
@@ -45,6 +55,9 @@ func solveP5LP(in p5Input) (p5Result, error) {
 		waste:     sol.Value(waste),
 		unserved:  sol.Value(emerg),
 		obj:       sol.Objective,
+	}
+	for _, g := range gen {
+		res.gen += sol.Value(g)
 	}
 	netChargeDischarge(&res, in.etaC, in.etaD)
 	return res, nil

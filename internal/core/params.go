@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/smartdpss/smartdpss/internal/battery"
+	"github.com/smartdpss/smartdpss/internal/generator"
 )
 
 // Params configures a SmartDPSS controller. Energy is in MWh per fine
@@ -38,6 +39,11 @@ type Params struct {
 	EmergencyCostUSD float64
 	// Battery is the UPS configuration.
 	Battery battery.Params
+	// Generator is the optional dispatchable on-site generation unit
+	// (zero value: none). When enabled, P5 gains a fourth source —
+	// fuel-priced segments of the unit's dispatch window — and P4's
+	// deficit estimate accounts for cheap self-generation.
+	Generator generator.Params
 	// DisableLongTerm removes the long-term-ahead market, leaving only
 	// real-time purchases (the "RTM" configuration of Fig. 7).
 	DisableLongTerm bool
@@ -94,6 +100,9 @@ func (p Params) Validate() error {
 		return errors.New("core: negative WasteCostUSD")
 	case p.EmergencyCostUSD <= p.PmaxUSD:
 		return errors.New("core: EmergencyCostUSD must dwarf PmaxUSD")
+	}
+	if err := p.Generator.Validate(); err != nil {
+		return err
 	}
 	return p.Battery.Validate()
 }

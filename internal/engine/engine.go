@@ -15,6 +15,7 @@ import (
 	"github.com/smartdpss/smartdpss/internal/baseline"
 	"github.com/smartdpss/smartdpss/internal/battery"
 	"github.com/smartdpss/smartdpss/internal/core"
+	"github.com/smartdpss/smartdpss/internal/generator"
 	"github.com/smartdpss/smartdpss/internal/market"
 	"github.com/smartdpss/smartdpss/internal/pricing"
 	"github.com/smartdpss/smartdpss/internal/sim"
@@ -95,6 +96,27 @@ type Options struct {
 	// LookaheadWindow is the foresight length (fine slots) of
 	// PolicyLookahead; zero defaults to one coarse interval (T).
 	LookaheadWindow int
+	// GeneratorMW is the dispatchable on-site generation capacity in MW
+	// (arXiv:1303.6775's self-generation source). Zero disables the
+	// generator entirely, reproducing generator-free results exactly;
+	// every other Generator*/Fuel* field is then ignored.
+	GeneratorMW float64
+	// GeneratorMinLoadFrac is the minimum stable load as a fraction of
+	// GeneratorMW: a running unit cannot be dispatched below it.
+	GeneratorMinLoadFrac float64
+	// GeneratorRampMW bounds the unit's output increase in MW per hour
+	// while synchronized (0 means unconstrained).
+	GeneratorRampMW float64
+	// FuelUSDPerMWh is the linear fuel price of the generator's cost
+	// curve Fuel(g) = b·g + c·g². Zero means the 85 USD/MWh default.
+	FuelUSDPerMWh float64
+	// FuelQuadUSD is the quadratic fuel-curve coefficient c (USD/MWh²).
+	FuelQuadUSD float64
+	// GeneratorStartupUSD is the fixed cost per cold start.
+	GeneratorStartupUSD float64
+	// GeneratorStartupLagSlots is the synchronization delay in fine
+	// slots between a start request and the first delivered energy.
+	GeneratorStartupLagSlots int
 	// ObservationNoise adds uniform ±frac multiplicative errors to the
 	// controller's view of demand, renewables and prices (Fig. 9).
 	ObservationNoise float64
@@ -143,6 +165,7 @@ func (o Options) coreParams() core.Params {
 	p.SdtMaxMWh = o.PeakMW / 2 * h
 	p.DdtMaxMWh = o.PeakMW / 2 * h
 	p.Battery = batteryParams(o)
+	p.Generator = generatorParams(o)
 	p.DisableLongTerm = o.DisableLongTerm
 	p.UseLP = o.UseLP
 	p.SnapshotPlanning = o.SnapshotPlanning
@@ -159,6 +182,7 @@ func (o Options) baselineConfig() baseline.Config {
 	c.SmaxMWh = 2 * o.PeakMW * h
 	c.SdtMaxMWh = o.PeakMW / 2 * h
 	c.Battery = batteryParams(o)
+	c.Generator = generatorParams(o)
 	return c
 }
 
@@ -176,11 +200,39 @@ func batteryParams(o Options) battery.Params {
 	return p
 }
 
+// generatorParams translates the generator options into slot-scaled unit
+// parameters. A zero GeneratorMW returns the zero value — no generator —
+// regardless of the other fields, so generator-free configurations are
+// reproduced exactly.
+func generatorParams(o Options) generator.Params {
+	if o.GeneratorMW <= 0 {
+		return generator.Params{}
+	}
+	h := o.slotHours()
+	fuel := o.FuelUSDPerMWh
+	if fuel <= 0 {
+		fuel = 85
+	}
+	p := generator.Params{
+		CapacityMWh: o.GeneratorMW * h,
+		MinLoadMWh:  o.GeneratorMinLoadFrac * o.GeneratorMW * h,
+		// MW/h → MWh per slot: the per-slot power step is RampMW·h,
+		// and that power sustained for one slot is another factor h.
+		RampMWh:         o.GeneratorRampMW * h * h,
+		FuelUSDPerMWh:   fuel,
+		FuelQuadUSD:     o.FuelQuadUSD,
+		StartupUSD:      o.GeneratorStartupUSD,
+		StartupLagSlots: o.GeneratorStartupLagSlots,
+	}
+	return p
+}
+
 // simConfig translates Options into the engine configuration.
 func (o Options) simConfig() sim.Config {
 	p := o.coreParams()
 	return sim.Config{
 		Battery:            p.Battery,
+		Generator:          p.Generator,
 		Market:             market.Params{PgridMWh: p.PgridMWh, PmaxUSD: p.PmaxUSD},
 		WasteCostUSD:       p.WasteCostUSD,
 		EmergencyCostUSD:   p.EmergencyCostUSD,
@@ -211,6 +263,13 @@ type TraceConfig struct {
 	// StartDayOfYear shifts the season (0 means Jan 1, the paper's month;
 	// 172 is late June for summer solar studies).
 	StartDayOfYear int
+	// PriceScale multiplies both generated price series (long-term and
+	// real-time) after generation; 0 or 1 leaves them unchanged. It moves
+	// the grid-price level against fixed fuel prices, the axis of the
+	// on-site provisioning economics (arXiv:1303.6775): at PriceScale
+	// below the fuel/grid break-even the generator is idle capital, above
+	// it self-generation displaces the markets.
+	PriceScale float64
 }
 
 // DefaultTraceConfig returns the one-month default scenario. The solar
@@ -280,6 +339,16 @@ func GenerateTraces(tc TraceConfig) (*Traces, error) {
 	lt, rt, err := pricing.Generate(pc)
 	if err != nil {
 		return nil, fmt.Errorf("smartdpss: pricing: %w", err)
+	}
+	if tc.PriceScale < 0 {
+		return nil, errors.New("smartdpss: PriceScale must be non-negative")
+	}
+	if tc.PriceScale > 0 && tc.PriceScale != 1 {
+		for _, sr := range []*trace.Series{lt, rt} {
+			for i, v := range sr.Values {
+				sr.Values[i] = v * tc.PriceScale
+			}
+		}
 	}
 	set := &trace.Set{DemandDS: ds, DemandDT: dt, Renewable: renewable, PriceLT: lt, PriceRT: rt}
 	if err := set.Validate(); err != nil {

@@ -3,6 +3,10 @@
 // sweeps (Fig. 6), the ε/market-structure/battery-size factors (Fig. 7),
 // renewable penetration and demand variation (Fig. 8), robustness to
 // estimation errors (Fig. 9), and system-expansion scalability (Fig. 10).
+// Beyond the paper it adds the extension studies (TagExt, ext-*) and the
+// on-site power provisioning family (TagProvision, prov-*): the
+// generator/battery sizing grid and fuel break-even of arXiv:1303.6775
+// plus the full V×T cross sweep.
 //
 // Each runner returns a Table whose rows mirror the series the paper
 // plots; cmd/experiments prints them and EXPERIMENTS.md records measured

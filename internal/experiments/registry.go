@@ -10,6 +10,10 @@ const (
 	TagPaper = "paper"
 	// TagExt marks the extension studies beyond the paper's evaluation.
 	TagExt = "ext"
+	// TagProvision marks the on-site power provisioning family
+	// (arXiv:1303.6775): generator/battery sizing, fuel sensitivity and
+	// the wide V×T cross sweep.
+	TagProvision = "provision"
 	// TagSweep marks scenarios whose runner fans a multi-point sweep
 	// out on the worker pool.
 	TagSweep = "sweep"
@@ -108,6 +112,24 @@ func init() {
 			Description: "EXT-7 — cooling coupling through temperature and PUE (paper future work)",
 			Tags:        []string{TagExt, TagSweep},
 			Run:         ExtCooling,
+		},
+		{
+			Name:        "prov-grid",
+			Description: "PROV-1 — generator capacity × battery size provisioning grid (arXiv:1303.6775)",
+			Tags:        []string{TagProvision, TagSweep},
+			Run:         ProvisionGrid,
+		},
+		{
+			Name:        "prov-fuel",
+			Description: "PROV-2 — fuel-price and grid-price sensitivity of on-site generation",
+			Tags:        []string{TagProvision, TagSweep},
+			Run:         ProvisionFuel,
+		},
+		{
+			Name:        "prov-vt",
+			Description: "PROV-3 — V × T cross sweep over the full parameter grid",
+			Tags:        []string{TagProvision, TagSweep},
+			Run:         ProvisionVT,
 		},
 	} {
 		suite.Register(s)

@@ -11,10 +11,11 @@ import (
 // registry, paper figures first.
 func TestScenariosRegistered(t *testing.T) {
 	want := []string{"fig5", "fig6v", "fig6t", "fig7", "fig8", "fig9", "fig10",
-		"ext-peak", "ext-cycle", "ext-mix", "ext-est", "ext-mpc", "ext-seeds", "ext-cool"}
+		"ext-peak", "ext-cycle", "ext-mix", "ext-est", "ext-mpc", "ext-seeds", "ext-cool",
+		"prov-grid", "prov-fuel", "prov-vt"}
 	var got []string
 	for _, s := range suite.Scenarios() {
-		if s.HasTag(TagPaper) || s.HasTag(TagExt) {
+		if s.HasTag(TagPaper) || s.HasTag(TagExt) || s.HasTag(TagProvision) {
 			got = append(got, s.Name)
 		}
 	}
@@ -33,13 +34,21 @@ func TestScenariosRegistered(t *testing.T) {
 	if len(paper) != 7 {
 		t.Fatalf("paper scenarios = %d, want 7", len(paper))
 	}
+	prov, err := suite.Select(TagProvision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prov) != 3 {
+		t.Fatalf("provision scenarios = %d, want 3", len(prov))
+	}
 }
 
-// renderSuite runs every registered experiment scenario and renders all
+// renderSuite runs every registered experiment scenario — the paper
+// figures, the extensions and the provisioning family — and renders all
 // tables into one byte stream.
 func renderSuite(t *testing.T, cfg Config) []byte {
 	t.Helper()
-	tables, err := suite.RunSuite(cfg, TagPaper, TagExt)
+	tables, err := suite.RunSuite(cfg, TagPaper, TagExt, TagProvision)
 	if err != nil {
 		t.Fatal(err)
 	}

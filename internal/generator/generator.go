@@ -1,0 +1,294 @@
+// Package generator models dispatchable on-site power production — the
+// diesel/gas-turbine "self-generation" source of "Dynamic Provisioning
+// in Next-Generation Data Centers with On-site Power Production"
+// (arXiv:1303.6775) — as a fourth supply source next to the two grid
+// markets, the renewables and the UPS battery.
+//
+// The model captures the constraints that make on-site generation a
+// genuinely different asset from a grid purchase:
+//
+//   - a nameplate capacity per fine slot (CapacityMWh);
+//   - a minimum stable load (MinLoadMWh): a running unit cannot be
+//     dispatched below it — the admissible output set is {0} ∪
+//     [MinLoadMWh, max];
+//   - an up-ramp limit (RampMWh) while synchronized: output may rise by
+//     at most RampMWh per slot (shutdown is instantaneous);
+//   - a convex fuel cost curve Fuel(g) = FuelUSDPerMWh·g +
+//     FuelQuadUSD·g², the classical linear-plus-quadratic heat-rate
+//     approximation;
+//   - a fixed startup cost and a startup lag: a cold start costs
+//     StartupUSD and delivers its first energy StartupLagSlots slots
+//     after the start request (synchronization time).
+//
+// A Generator with CapacityMWh == 0 is disabled: every method reports a
+// closed dispatch window and Dispatch is a no-op, so configurations
+// without on-site generation reproduce generator-free results exactly.
+package generator
+
+import (
+	"errors"
+	"math"
+)
+
+// tol absorbs round-off in dispatch requests.
+const tol = 1e-9
+
+// Params describes one dispatchable on-site generation unit.
+type Params struct {
+	// CapacityMWh is the nameplate output per fine slot (0 disables the
+	// generator entirely).
+	CapacityMWh float64
+	// MinLoadMWh is the minimum stable load: a running unit produces at
+	// least this much. Requests below it shut the unit down.
+	MinLoadMWh float64
+	// RampMWh bounds the per-slot output increase while synchronized
+	// (0 means unconstrained). Shutdown is instantaneous, and the first
+	// producing slot after a start may sit anywhere in
+	// [MinLoadMWh, CapacityMWh] (synchronization brings the unit to its
+	// dispatch point).
+	RampMWh float64
+	// FuelUSDPerMWh is the linear fuel price b of the cost curve
+	// Fuel(g) = b·g + c·g².
+	FuelUSDPerMWh float64
+	// FuelQuadUSD is the quadratic coefficient c (USD/MWh²) of the fuel
+	// cost curve; 0 gives a flat marginal price.
+	FuelQuadUSD float64
+	// StartupUSD is the fixed cost charged once per cold start.
+	StartupUSD float64
+	// StartupLagSlots is the synchronization delay: a start requested at
+	// slot τ delivers its first energy at slot τ + StartupLagSlots.
+	StartupLagSlots int
+}
+
+// Enabled reports whether the unit exists at all.
+func (p Params) Enabled() bool { return p.CapacityMWh > 0 }
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.CapacityMWh < 0:
+		return errors.New("generator: negative capacity")
+	case p.MinLoadMWh < 0 || p.MinLoadMWh > p.CapacityMWh:
+		return errors.New("generator: MinLoadMWh outside [0, CapacityMWh]")
+	case p.RampMWh < 0:
+		return errors.New("generator: negative ramp limit")
+	case p.FuelUSDPerMWh < 0:
+		return errors.New("generator: negative fuel price")
+	case p.FuelQuadUSD < 0:
+		return errors.New("generator: negative quadratic fuel coefficient (non-convex curve)")
+	case p.StartupUSD < 0:
+		return errors.New("generator: negative startup cost")
+	case p.StartupLagSlots < 0:
+		return errors.New("generator: negative startup lag")
+	}
+	return nil
+}
+
+// FuelCost returns the fuel cost of producing g MWh in one slot.
+func (p Params) FuelCost(g float64) float64 {
+	if g <= 0 {
+		return 0
+	}
+	return p.FuelUSDPerMWh*g + p.FuelQuadUSD*g*g
+}
+
+// MarginalAt returns the marginal fuel price dFuel/dg at output g.
+func (p Params) MarginalAt(g float64) float64 {
+	return p.FuelUSDPerMWh + 2*p.FuelQuadUSD*g
+}
+
+// Segment is one piece of a piecewise-linear view of the fuel curve:
+// Cap MWh of output available at constant marginal price USDPerMWh.
+// Because the curve is convex, marginals are non-decreasing across
+// consecutive segments, which is exactly what a merit-order (or LP)
+// dispatch needs.
+type Segment struct {
+	Cap       float64
+	USDPerMWh float64
+}
+
+// Segments decomposes the output band (lo, hi] into pieces with constant
+// marginal prices: one exact piece for a flat curve, two equal pieces
+// priced at their exact average marginal for a quadratic curve (the
+// piecewise approximation is cost-exact at the segment boundaries).
+func (p Params) Segments(lo, hi float64) []Segment {
+	if hi <= lo+tol {
+		return nil
+	}
+	if p.FuelQuadUSD == 0 {
+		return []Segment{{Cap: hi - lo, USDPerMWh: p.FuelUSDPerMWh}}
+	}
+	mid := lo + (hi-lo)/2
+	// Average marginal over (a, b] is (Fuel(b)−Fuel(a))/(b−a).
+	avg := func(a, b float64) float64 { return (p.FuelCost(b) - p.FuelCost(a)) / (b - a) }
+	return []Segment{
+		{Cap: mid - lo, USDPerMWh: avg(lo, mid)},
+		{Cap: hi - mid, USDPerMWh: avg(mid, hi)},
+	}
+}
+
+// Generator is a stateful on-site generation unit.
+type Generator struct {
+	params Params
+
+	running   bool
+	output    float64 // energy delivered in the previous slot
+	countdown int     // startup-lag slots remaining
+	fresh     bool    // first slot after synchronization: ramp-free
+
+	// lifetime accounting
+	energyMWh  float64
+	fuelUSD    float64
+	startupUSD float64
+	starts     int
+	opSlots    int
+}
+
+// New returns a cold (off) generator.
+func New(p Params) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{params: p}, nil
+}
+
+// Params returns the unit's configuration.
+func (g *Generator) Params() Params { return g.params }
+
+// Running reports whether the unit is synchronized and producing-capable.
+func (g *Generator) Running() bool { return g.running }
+
+// Starting reports whether a start is pending (lag not yet elapsed).
+func (g *Generator) Starting() bool { return g.countdown > 0 }
+
+// Output returns the energy delivered in the previous slot.
+func (g *Generator) Output() float64 { return g.output }
+
+// EnergyTotal returns lifetime delivered energy in MWh.
+func (g *Generator) EnergyTotal() float64 { return g.energyMWh }
+
+// FuelCostTotal returns lifetime fuel cost in USD.
+func (g *Generator) FuelCostTotal() float64 { return g.fuelUSD }
+
+// StartupCostTotal returns lifetime startup cost in USD.
+func (g *Generator) StartupCostTotal() float64 { return g.startupUSD }
+
+// Starts returns the number of cold starts.
+func (g *Generator) Starts() int { return g.starts }
+
+// OpSlots returns the number of slots with positive output.
+func (g *Generator) OpSlots() int { return g.opSlots }
+
+// Window returns the deliverable output band for the current slot:
+// (0, 0) when the unit is disabled, still synchronizing, or off behind
+// a startup lag (a start requested now delivers nothing this slot);
+// otherwise [MinLoadMWh, max] where max respects the nameplate and,
+// while synchronized, the up-ramp limit. Zero output (shutdown / stay
+// off) is always admissible in addition to the band.
+func (g *Generator) Window() (min, max float64) {
+	p := g.params
+	if !p.Enabled() || g.countdown > 0 || (!g.running && p.StartupLagSlots > 0) {
+		return 0, 0
+	}
+	max = p.CapacityMWh
+	if g.running && p.RampMWh > 0 && !g.fresh {
+		max = math.Min(max, g.output+p.RampMWh)
+		// A synchronized unit can always hold its minimum stable load.
+		max = math.Max(max, p.MinLoadMWh)
+	}
+	return p.MinLoadMWh, max
+}
+
+// RequestMax returns the largest meaningful dispatch request this slot:
+// the deliverable maximum while running or startable without lag, the
+// nameplate capacity when off with a pending synchronization lag (the
+// request then signals a start and delivers nothing yet), and 0 while a
+// start is already in progress or the unit is disabled.
+func (g *Generator) RequestMax() float64 {
+	p := g.params
+	if !p.Enabled() || g.countdown > 0 {
+		return 0
+	}
+	if !g.running && p.StartupLagSlots > 0 {
+		return p.CapacityMWh
+	}
+	_, max := g.Window()
+	return max
+}
+
+// Outcome reports one executed dispatch slot.
+type Outcome struct {
+	// DeliveredMWh is the energy actually produced this slot.
+	DeliveredMWh float64
+	// FuelUSD is the fuel cost of the delivered energy.
+	FuelUSD float64
+	// StartupUSD is the startup cost charged this slot (on cold starts).
+	StartupUSD float64
+}
+
+// Tick advances the synchronization countdown at the start of a slot,
+// BEFORE the controller observes the unit: a start requested at slot τ
+// with lag L becomes visible (and dispatchable) at slot τ+L. Callers
+// drive one Tick per fine slot, then read Window/RequestMax, then
+// Dispatch.
+func (g *Generator) Tick() {
+	if g.countdown == 0 {
+		return
+	}
+	g.countdown--
+	if g.countdown == 0 {
+		g.running = true
+		g.output = 0
+		g.fresh = true
+	}
+}
+
+// Dispatch executes one slot with the requested output and returns what
+// was delivered and charged. Requests are clamped to the admissible set:
+// below the minimum stable load the unit shuts down (or stays off), and
+// a positive request while off triggers a cold start — paying StartupUSD
+// once and, with a synchronization lag, delivering its first energy
+// StartupLagSlots slots later. Requests during an in-progress start are
+// ignored (the start is already committed).
+func (g *Generator) Dispatch(request float64) Outcome {
+	p := g.params
+	if !p.Enabled() {
+		return Outcome{}
+	}
+	if g.countdown > 0 {
+		// Still synchronizing: no output yet, no further charges.
+		return Outcome{}
+	}
+	// The minimum-stable-load guard uses the configured parameter, not
+	// the window minimum: an off unit behind a startup lag has a closed
+	// (0, 0) window, and a sub-min request must mean "stay off" there
+	// too — not a billed cold start that can never hold its load.
+	if request <= tol || request < p.MinLoadMWh-tol {
+		// Below minimum stable load: shut down (or stay off).
+		g.running = false
+		g.output = 0
+		g.fresh = false
+		return Outcome{}
+	}
+	_, max := g.Window()
+	var out Outcome
+	if !g.running {
+		out.StartupUSD = p.StartupUSD
+		g.startupUSD += p.StartupUSD
+		g.starts++
+		if p.StartupLagSlots > 0 {
+			g.countdown = p.StartupLagSlots
+			return out
+		}
+		g.running = true
+	}
+	delivered := math.Min(request, max)
+	out.DeliveredMWh = delivered
+	out.FuelUSD = p.FuelCost(delivered)
+	g.output = delivered
+	g.fresh = false
+	g.energyMWh += delivered
+	g.fuelUSD += out.FuelUSD
+	g.opSlots++
+	return out
+}

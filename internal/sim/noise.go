@@ -71,6 +71,7 @@ func (n *NoisyController) PlanFine(obs FineObs) Decision {
 	dec.ServeDT = clamp(dec.ServeDT, 0, math.Min(obs.Backlog, obs.SdtMax))
 	dec.Charge = clamp(dec.Charge, 0, obs.MaxCharge)
 	dec.Discharge = clamp(dec.Discharge, 0, obs.MaxDischarge)
+	dec.Generate = clamp(dec.Generate, 0, obs.GenRequest)
 	return dec
 }
 

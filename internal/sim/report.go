@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/smartdpss/smartdpss/internal/battery"
+	"github.com/smartdpss/smartdpss/internal/generator"
 	"github.com/smartdpss/smartdpss/internal/market"
 	"github.com/smartdpss/smartdpss/internal/metrics"
 	"github.com/smartdpss/smartdpss/internal/queue"
@@ -27,6 +28,9 @@ type slotRecord struct {
 	battery       float64
 	renewable     float64
 	served        float64
+	genMWh        float64
+	genFuelUSD    float64
+	genStartUSD   float64
 	batteryMoved  bool
 	available     bool
 }
@@ -39,12 +43,16 @@ type Report struct {
 	Controller string `json:"controller"`
 	Slots      int    `json:"slots"`
 
-	// Cost totals in USD.
+	// Cost totals in USD. The two generator lines (fuel and startup) are
+	// part of TotalCostUSD, extending the paper's Cost(τ) decomposition
+	// with the on-site generation source of arXiv:1303.6775.
 	TotalCostUSD     float64 `json:"totalCostUSD"`
 	LTCostUSD        float64 `json:"ltCostUSD"`
 	RTCostUSD        float64 `json:"rtCostUSD"`
 	BatteryOpUSD     float64 `json:"batteryOpUSD"`
 	WasteCostUSD     float64 `json:"wasteCostUSD"`
+	GenFuelUSD       float64 `json:"genFuelUSD,omitempty"`
+	GenStartupUSD    float64 `json:"genStartupUSD,omitempty"`
 	EmergencyCostUSD float64 `json:"emergencyCostUSD"`
 
 	// TimeAvgCostUSD is TotalCostUSD / Slots, the paper's Cost_av.
@@ -54,11 +62,17 @@ type Report struct {
 	LTEnergyMWh   float64 `json:"ltEnergyMWh"`
 	RTEnergyMWh   float64 `json:"rtEnergyMWh"`
 	RenewableMWh  float64 `json:"renewableMWh"`
+	GenEnergyMWh  float64 `json:"genEnergyMWh,omitempty"`
 	WasteMWh      float64 `json:"wasteMWh"`
 	UnservedMWh   float64 `json:"unservedMWh"`
 	ServedDTMWh   float64 `json:"servedDTMWh"`
 	BatteryInMWh  float64 `json:"batteryInMWh"`
 	BatteryOutMWh float64 `json:"batteryOutMWh"`
+
+	// On-site generator accounting: cold starts and slots with positive
+	// output (zero when no generator is configured).
+	GenStarts int `json:"genStarts,omitempty"`
+	GenSlots  int `json:"genSlots,omitempty"`
 
 	// Delay statistics over served delay-tolerant energy, in slots.
 	MeanDelaySlots float64 `json:"meanDelaySlots"`
@@ -117,6 +131,9 @@ func (r *Report) recordSlot(rec slotRecord) {
 	r.BatteryOpUSD += rec.opCost
 	r.WasteCostUSD += rec.wasteCost
 	r.EmergencyCostUSD += rec.emergencyCost
+	r.GenFuelUSD += rec.genFuelUSD
+	r.GenStartupUSD += rec.genStartUSD
+	r.GenEnergyMWh += rec.genMWh
 	r.WasteMWh += rec.waste
 	r.UnservedMWh += rec.unserved
 	r.RenewableMWh += rec.renewable
@@ -139,7 +156,7 @@ func (r *Report) recordSlot(rec slotRecord) {
 	}
 }
 
-func (r *Report) finalize(batt *battery.Battery, acct *market.Account, backlog *queue.Backlog) {
+func (r *Report) finalize(batt *battery.Battery, gen *generator.Generator, acct *market.Account, backlog *queue.Backlog) {
 	if r.Slots > 0 {
 		r.TimeAvgCostUSD = r.TotalCostUSD / float64(r.Slots)
 		r.Availability = 1 - float64(r.unavailable)/float64(r.Slots)
@@ -147,6 +164,8 @@ func (r *Report) finalize(batt *battery.Battery, acct *market.Account, backlog *
 	r.AvailabilityViolations = r.unavailable
 	r.LTEnergyMWh = acct.LongTermEnergy()
 	r.RTEnergyMWh = acct.RealTimeEnergy()
+	r.GenStarts = gen.Starts()
+	r.GenSlots = gen.OpSlots()
 	r.BatteryOps = batt.Ops()
 	r.BatteryInMWh = batt.ChargedTotal()
 	r.BatteryOutMWh = batt.DischargedTotal()
@@ -183,5 +202,11 @@ func (r *Report) String() string {
 		r.MeanDelaySlots, r.MaxDelaySlots, r.BacklogMeanMWh, r.BacklogMaxMWh)
 	fmt.Fprintf(&b, "  battery: ops=%d in=%.2f out=%.2f MWh; availability=%.6f (%d violations)\n",
 		r.BatteryOps, r.BatteryInMWh, r.BatteryOutMWh, r.Availability, r.AvailabilityViolations)
+	// The generator line appears only when on-site generation was used,
+	// keeping generator-free reports byte-identical to earlier versions.
+	if r.GenStarts > 0 || r.GenEnergyMWh > 0 || r.GenFuelUSD > 0 {
+		fmt.Fprintf(&b, "  generator: starts=%d slots=%d energy=%.2f MWh; fuel=$%.2f startup=$%.2f\n",
+			r.GenStarts, r.GenSlots, r.GenEnergyMWh, r.GenFuelUSD, r.GenStartupUSD)
+	}
 	return b.String()
 }

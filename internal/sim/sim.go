@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"github.com/smartdpss/smartdpss/internal/battery"
+	"github.com/smartdpss/smartdpss/internal/generator"
 	"github.com/smartdpss/smartdpss/internal/market"
 	"github.com/smartdpss/smartdpss/internal/queue"
 	"github.com/smartdpss/smartdpss/internal/trace"
@@ -52,6 +53,14 @@ type FineObs struct {
 	Backlog      float64 // Q(τ) before this slot's arrivals
 	SdtMax       float64 // per-slot service cap Sdtmax
 	Smax         float64 // per-slot supply cap (Eq. 1)
+
+	// On-site generator state (all zero when no generator is configured).
+	GenRunning bool    // the unit is synchronized and producing-capable
+	GenMinMWh  float64 // minimum stable load of the dispatch window
+	GenMaxMWh  float64 // max deliverable output this slot (0: cannot produce now)
+	GenRequest float64 // largest admissible Decision.Generate; exceeds
+	// GenMaxMWh only when the unit is off with a synchronization lag, where
+	// a positive request signals a cold start that delivers nothing yet
 }
 
 // Decision is a controller's fine-slot action. The engine derives waste and
@@ -63,6 +72,12 @@ type Decision struct {
 	ServeDT   float64 // backlog service sdt(τ) = γ(τ)Q(τ), MWh
 	Charge    float64 // battery charge brc(τ), MWh (grid side)
 	Discharge float64 // battery discharge bdc(τ), MWh (load side)
+	// Generate is the requested on-site generator output g(τ), MWh. The
+	// engine clamps it to the unit's admissible set: requests below the
+	// minimum stable load shut the unit down, and a positive request
+	// while the unit is off triggers a cold start (see FineObs.GenRequest
+	// and package generator). Ignored when no generator is configured.
+	Generate float64
 }
 
 // Outcome reports the executed slot back to the controller so it can update
@@ -96,6 +111,10 @@ type Controller interface {
 type Config struct {
 	// Battery is the UPS configuration (Sec. VI-A constants by default).
 	Battery battery.Params
+	// Generator is the optional dispatchable on-site generation unit
+	// (zero value: no generator, reproducing generator-free results
+	// exactly).
+	Generator generator.Params
 	// Market bounds the grid interface (Pgrid, Pmax).
 	Market market.Params
 	// WasteCostUSD prices wasted energy per MWh (the paper adds W(τ) to
@@ -121,6 +140,9 @@ type Config struct {
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if err := c.Battery.Validate(); err != nil {
+		return err
+	}
+	if err := c.Generator.Validate(); err != nil {
 		return err
 	}
 	if err := c.Market.Validate(); err != nil {
@@ -161,6 +183,10 @@ func Run(cfg Config, set *trace.Set, ctrl Controller) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	gen, err := generator.New(cfg.Generator)
+	if err != nil {
+		return nil, err
+	}
 	acct, err := market.NewAccount(cfg.Market)
 	if err != nil {
 		return nil, err
@@ -170,6 +196,7 @@ func Run(cfg Config, set *trace.Set, ctrl Controller) (*Report, error) {
 		set:     set,
 		ctrl:    ctrl,
 		batt:    batt,
+		gen:     gen,
 		acct:    acct,
 		backlog: queue.NewBacklog(),
 		rep:     newReport(ctrl.Name(), set.Horizon(), cfg.KeepSeries),
@@ -186,6 +213,7 @@ type engine struct {
 	set     *trace.Set
 	ctrl    Controller
 	batt    *battery.Battery
+	gen     *generator.Generator
 	acct    *market.Account
 	backlog *queue.Backlog
 	rep     *Report
@@ -205,7 +233,7 @@ func (e *engine) run() error {
 			return err
 		}
 	}
-	e.rep.finalize(e.batt, e.acct, e.backlog)
+	e.rep.finalize(e.batt, e.gen, e.acct, e.backlog)
 	e.rep.PeakChargeUSD = e.rep.PeakGridMW * e.cfg.PeakChargeUSDPerMW
 	return nil
 }
@@ -241,6 +269,11 @@ func (e *engine) fineSlot(slot int) error {
 		r   = e.set.Renewable.At(slot)
 		prt = e.set.PriceRT.At(slot)
 	)
+	// Advance the generator's synchronization countdown before the
+	// controller observes it, so a unit coming online this slot is
+	// visible (and dispatchable) rather than silently shut down.
+	e.gen.Tick()
+	genMin, genMax := e.gen.Window()
 	obs := FineObs{
 		Slot:         slot,
 		PriceRT:      prt,
@@ -255,16 +288,25 @@ func (e *engine) fineSlot(slot int) error {
 		Backlog:      e.backlog.Len(),
 		SdtMax:       e.cfg.SdtMaxMWh,
 		Smax:         e.cfg.SmaxMWh,
+		GenRunning:   e.gen.Running(),
+		GenMinMWh:    genMin,
+		GenMaxMWh:    genMax,
+		GenRequest:   e.gen.RequestMax(),
 	}
 	dec := e.ctrl.PlanFine(obs)
 	if err := e.validateDecision(&dec, obs); err != nil {
 		return fmt.Errorf("sim: slot %d controller %q: %w", slot, e.ctrl.Name(), err)
 	}
 
+	// Dispatch the on-site generator first: its delivered energy is
+	// committed supply for the balance below (a no-op when no generator
+	// is configured).
+	gen := e.gen.Dispatch(dec.Generate)
+
 	// Execute the slot: the balance residual becomes waste or unserved
 	// delay-sensitive energy, so Eq. (4) holds by construction:
 	//   s(τ) + bdc(τ) − brc(τ) = dds_served + sdt(τ) + W(τ).
-	supply := obs.LongTermDue + dec.Grt + r
+	supply := obs.LongTermDue + dec.Grt + r + gen.DeliveredMWh
 	net := supply + dec.Discharge - dds - dec.ServeDT - dec.Charge
 
 	// Physical rescue chain for residual deficits. A grid-connected
@@ -281,7 +323,7 @@ func (e *engine) fineSlot(slot int) error {
 	}
 	if net < 0 {
 		headroom := e.acct.RealTimeHeadroom() - dec.Grt
-		smaxRoom := e.cfg.SmaxMWh - (obs.LongTermDue + dec.Grt + r)
+		smaxRoom := e.cfg.SmaxMWh - (obs.LongTermDue + dec.Grt + r + gen.DeliveredMWh)
 		topup := math.Min(-net, math.Max(0, math.Min(headroom, smaxRoom)))
 		if topup > 0 {
 			dec.Grt += topup
@@ -341,7 +383,7 @@ func (e *engine) fineSlot(slot int) error {
 		opCost = e.cfg.Battery.OpCostUSD
 	}
 	wasteCost := waste * e.cfg.WasteCostUSD
-	slotCost := ltCost + rtCost + opCost + wasteCost
+	slotCost := ltCost + rtCost + opCost + wasteCost + gen.FuelUSD + gen.StartupUSD
 
 	slotHours := float64(e.set.DemandDS.SlotMinutes) / 60
 	gridDraw := obs.LongTermDue + dec.Grt
@@ -361,6 +403,9 @@ func (e *engine) fineSlot(slot int) error {
 		battery:       e.batt.Level(),
 		renewable:     r,
 		served:        served,
+		genMWh:        gen.DeliveredMWh,
+		genFuelUSD:    gen.FuelUSD,
+		genStartUSD:   gen.StartupUSD,
 		batteryMoved:  dec.Charge > 0 || dec.Discharge > 0,
 		available:     e.batt.Available() && unserved <= decisionTol,
 	})
@@ -389,6 +434,7 @@ func (e *engine) validateDecision(dec *Decision, obs FineObs) error {
 		{"serveDT", &dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax)},
 		{"charge", &dec.Charge, obs.MaxCharge},
 		{"discharge", &dec.Discharge, obs.MaxDischarge},
+		{"generate", &dec.Generate, obs.GenRequest},
 	}
 	for _, f := range fields {
 		if math.IsNaN(*f.val) || math.IsInf(*f.val, 0) {

@@ -1,42 +1,3 @@
-// Package smartdpss is a Go implementation of SmartDPSS, the
-// cost-minimizing multi-source datacenter power supply controller of
-// Deng, Liu, Jin and Wu (ICDCS 2013).
-//
-// A datacenter power supply system (DPSS) draws energy from a two-market
-// smart grid (long-term-ahead and real-time), on-site renewable
-// production, and a UPS battery, serving a mix of delay-sensitive and
-// delay-tolerant demand. SmartDPSS is an online two-timescale Lyapunov
-// controller that minimizes long-run operation cost without any knowledge
-// of future demand, renewable output or prices, trading cost against
-// service delay through a single parameter V (Theorem 2's
-// [O(1/V), O(V)] tradeoff).
-//
-// # Quickstart
-//
-//	traces, err := smartdpss.GenerateTraces(smartdpss.DefaultTraceConfig())
-//	if err != nil { ... }
-//	report, err := smartdpss.Simulate(smartdpss.PolicySmartDPSS,
-//		smartdpss.DefaultOptions(), traces)
-//	if err != nil { ... }
-//	fmt.Println(report)
-//
-// The library also ships the paper's comparison policies (Impatient and
-// two clairvoyant offline benchmarks), synthetic trace generators standing
-// in for the paper's MIDC solar, NYISO price and Google-cluster workload
-// datasets, and an experiment harness reproducing every figure of the
-// paper's evaluation (see internal/experiments and cmd/experiments).
-//
-// # Scenario suite
-//
-// Every experiment registers itself as a named, tagged Scenario in a
-// registry; RunSuite fans the selected scenarios out across a worker
-// pool and returns their tables in deterministic registration order:
-//
-//	tables, err := smartdpss.RunSuite(smartdpss.DefaultSuiteConfig(), "paper")
-//
-// The package is a facade: the implementation lives in internal/engine,
-// the registry and executor in internal/suite, and the scenarios in
-// internal/experiments.
 package smartdpss
 
 import (
