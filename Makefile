@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint docs suite
+.PHONY: build test race bench lint docs suite golden cover
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,17 @@ lint:
 docs: lint
 	$(GO) test -run Example ./...
 
-# Full one-month scenario suite (paper + extensions + provisioning) on
-# all cores.
+# Full one-month scenario suite (paper + extensions + provisioning +
+# fleet) on all cores.
 suite:
-	$(GO) run ./cmd/experiments -run paper,ext,provision
+	$(GO) run ./cmd/experiments -run paper,ext,provision,fleet
+
+# Golden-file regression gate: diff the paper suite against the
+# committed snapshots. Regenerate intentionally with:
+#   go test ./internal/experiments -run TestSuiteGolden -update
+golden:
+	$(GO) test ./internal/experiments -run 'TestSuiteGolden|TestGoldenFilesComplete' -v
+
+# Per-package coverage, mirroring the CI floors (suite 70%, generator 85%).
+cover:
+	$(GO) test -cover ./internal/suite ./internal/generator

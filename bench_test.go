@@ -167,6 +167,35 @@ func BenchmarkProvisionGrid(b *testing.B) {
 	benchTable(b, experiments.ProvisionGrid, benchConfig())
 }
 
+// BenchmarkFleetDispatch measures a week of SmartDPSS dispatching a
+// four-unit heterogeneous fleet under the commitment lookahead — the
+// hot path the fleet tentpole added (per-unit windows, merit-order P5
+// source legs, window commitment) — so `make bench` and the CI bench
+// smoke watch its cost.
+func BenchmarkFleetDispatch(b *testing.B) {
+	tc := dpss.DefaultTraceConfig()
+	tc.Days = 7
+	traces, err := dpss.GenerateTraces(tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := dpss.DefaultOptions()
+	opts.CommitWindow = 12
+	opts.Fleet = []dpss.UnitSpec{
+		{CapacityMW: 0.5, MinLoadFrac: 0.3, FuelUSDPerMWh: 38, StartupUSD: 20, CO2KgPerMWh: 700},
+		{CapacityMW: 0.25, MinLoadFrac: 0.2, FuelUSDPerMWh: 45, StartupUSD: 10, CO2KgPerMWh: 500},
+		{CapacityMW: 0.25, MinLoadFrac: 0.2, FuelUSDPerMWh: 52, FuelQuadUSD: 4, CO2KgPerMWh: 400},
+		{CapacityMW: 0.1, FuelUSDPerMWh: 60, StartupLagSlots: 1, CO2KgPerMWh: 300},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpss.Simulate(dpss.PolicySmartDPSS, opts, traces); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchSuite runs the full scenario suite (paper figures plus
 // extensions) through the registry at a fixed pool width.
 func benchSuite(b *testing.B, parallel int) {

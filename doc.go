@@ -40,6 +40,33 @@
 // GeneratorMW == 0 the subsystem is inert and results are identical to
 // generator-free builds.
 //
+// # Generator fleets, unit commitment and emissions
+//
+// Options.Fleet generalizes the single unit to N heterogeneous units
+// (UnitSpec: capacity, minimum stable load, ramp, fuel curve, startup
+// cost/lag, CO₂ intensity), dispatched in merit order; the legacy
+// GeneratorMW options are exactly a one-unit fleet. Options.CommitWindow
+// W > 1 replaces the per-slot amortized-startup hysteresis with a
+// rolling unit-commitment lookahead: starts and stops weigh the
+// projected margin over the next W slots (forecast price × the demand
+// envelope) against the full startup cost, holding units through the
+// short price dips the myopic W ≤ 1 arm flaps on. Report carries
+// per-unit accounting (GenUnits) and fleet emissions (GenCO2Kg);
+// Options.CarbonUSDPerTon folds each unit's emission intensity into its
+// marginal fuel price so dispatch internalizes the carbon bill.
+//
+// # Price scaling: grid vs fuel
+//
+// TraceConfig.PriceScale multiplies the two GRID price series
+// (long-term and real-time) only — fuel costs never move with it. The
+// fuel side has its own axis: TraceConfig.FuelPriceScale sets the mean
+// level of a per-slot fuel-price multiplier series applied to every
+// unit's fuel curve, and TraceConfig.FuelVolatility adds a seeded
+// mean-reverting walk around that level, so fuel can vary over time
+// like the gas markets of arXiv:1308.0585. Leaving both at their zero
+// values generates no fuel series and reproduces static-fuel runs
+// exactly.
+//
 // # Scenario suite
 //
 // Every experiment registers itself as a named, tagged Scenario in a
@@ -48,9 +75,11 @@
 //
 //	tables, err := smartdpss.RunSuite(smartdpss.DefaultSuiteConfig(), "paper")
 //
-// Selectors are scenario names ("fig6v", "prov-grid") or tags ("paper",
-// "ext", "provision"); output is byte-identical at every parallelism
-// level for a fixed seed.
+// Selectors are scenario names ("fig6v", "prov-grid", "fleet-uc") or
+// tags ("paper", "ext", "provision", "fleet"); output is byte-identical
+// at every parallelism level for a fixed seed, and the paper figures
+// are additionally pinned against committed golden snapshots
+// (internal/experiments/testdata/golden, enforced by TestSuiteGolden).
 //
 // # Architecture: a facade over internal packages
 //

@@ -58,6 +58,23 @@ func TestGeneratorZeroCapacityInert(t *testing.T) {
 		if gated.GenEnergyMWh != 0 || gated.GenFuelUSD != 0 || gated.GenStarts != 0 {
 			t.Errorf("%s: zero-capacity generator accumulated output: %+v", policy, gated)
 		}
+
+		// An empty fleet — even with the fleet knobs set — must be just
+		// as inert: the empty-fleet byte-identity acceptance invariant.
+		empty := dpss.DefaultOptions()
+		empty.Fleet = []dpss.UnitSpec{}
+		empty.CommitWindow = 24
+		empty.CarbonUSDPerTon = 100
+		fleetless, err := dpss.Simulate(policy, empty, traces)
+		if err != nil {
+			t.Fatalf("%s with empty fleet: %v", policy, err)
+		}
+		if !reflect.DeepEqual(plain, fleetless) {
+			t.Errorf("%s: empty fleet changed the report:\n%v\nvs\n%v", policy, plain, fleetless)
+		}
+		if fleetless.GenUnits != nil || fleetless.GenCO2Kg != 0 {
+			t.Errorf("%s: empty fleet accumulated per-unit state: %+v", policy, fleetless)
+		}
 	}
 }
 

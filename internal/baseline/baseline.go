@@ -21,18 +21,24 @@
 // at or slightly below what any physical schedule could achieve — the
 // right direction for a lower-bound benchmark.
 //
-// When an on-site generator is configured (Config.Generator), the LPs
-// plan its dispatch as relaxed per-slot variables over the convex fuel
-// curve (piecewise-linear segments), ignoring the non-convex minimum
-// stable load, ramp limit and startup charge — the same relax-and-replay
-// treatment the battery proxy receives. The engine enforces the physical
-// constraints during replay, so the reported cost is the executed truth;
-// only the plan itself is optimistic.
+// When an on-site generation fleet is configured (Config.Fleet, or the
+// one-unit Config.Generator shorthand), the LPs plan each unit's
+// dispatch as relaxed per-slot, per-unit variables over its convex fuel
+// curve (piecewise-linear segments priced at the slot's fuel-scaled
+// marginal), with the classical unit-commitment LP relaxation of the
+// non-convex minimum stable load: a commitment variable y ∈ [0, 1] per
+// unit and slot linking MinLoad·y ≤ g ≤ Capacity·y and carrying the
+// startup cost amortized over the window. Ramp limits and the integer
+// nature of y stay relaxed — the same relax-and-replay treatment the
+// battery proxy receives. The engine enforces the physical constraints
+// during replay, so the reported cost is the executed truth; only the
+// plan itself is optimistic.
 package baseline
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/smartdpss/smartdpss/internal/battery"
 	"github.com/smartdpss/smartdpss/internal/generator"
@@ -60,8 +66,12 @@ type Config struct {
 	// Battery is the UPS configuration.
 	Battery battery.Params
 	// Generator is the optional dispatchable on-site generation unit
-	// (zero value: none).
+	// (zero value: none). It is the one-unit shorthand for Fleet;
+	// setting both is a configuration error.
 	Generator generator.Params
+	// Fleet is the multi-unit on-site generation fleet in dispatch
+	// order (nil: none). Each unit gets its own relaxed LP variables.
+	Fleet []generator.Params
 }
 
 // DefaultConfig mirrors core.DefaultParams for the shared constants.
@@ -99,36 +109,121 @@ func (c Config) Validate() error {
 	if err := c.Generator.Validate(); err != nil {
 		return err
 	}
+	if len(c.Fleet) > 0 && c.Generator.Enabled() {
+		return errors.New("baseline: both Generator and Fleet configured (use Fleet alone)")
+	}
+	for i, u := range c.Fleet {
+		if err := u.Validate(); err != nil {
+			return fmt.Errorf("baseline: fleet unit %d: %w", i, err)
+		}
+	}
 	return c.Battery.Validate()
 }
 
-// genSegments returns the relaxed fuel-curve segmentation of the
-// configured generator's full output band (nil when no generator).
-func (c Config) genSegments() []generator.Segment {
-	if !c.Generator.Enabled() {
-		return nil
-	}
-	return c.Generator.Segments(0, c.Generator.CapacityMWh)
+// genUnit is one fleet unit's relaxed LP description: the full output
+// band (0, Capacity] decomposed into convex fuel-curve segments.
+type genUnit struct {
+	spec generator.Params
+	segs []generator.Segment
 }
 
-// addGenVars adds one relaxed dispatch variable per fuel-curve segment
-// for slot i and returns them (nil when no generator is configured).
-func addGenVars(prob *lp.Problem, segs []generator.Segment, i int) []lp.VarID {
-	if len(segs) == 0 {
+// genUnits resolves the configured fleet (the legacy single Generator
+// appears as a one-unit fleet) into LP unit descriptions; nil without
+// on-site generation.
+func (c Config) genUnits() []genUnit {
+	specs := c.Fleet
+	if len(specs) == 0 && c.Generator.Enabled() {
+		specs = []generator.Params{c.Generator}
+	}
+	if len(specs) == 0 {
 		return nil
 	}
-	vars := make([]lp.VarID, len(segs))
-	for k, s := range segs {
-		vars[k] = prob.AddVariable(fmt.Sprintf("g%d_%d", i, k), 0, s.Cap, s.USDPerMWh)
+	units := make([]genUnit, len(specs))
+	for i, p := range specs {
+		units[i] = genUnit{spec: p, segs: p.Segments(0, p.CapacityMWh)}
+	}
+	return units
+}
+
+// addFleetVars adds the relaxed dispatch variables of every unit for
+// slot i: one variable per fuel-curve segment, priced at the slot's
+// fuel-scaled marginal, plus a commitment variable y ∈ [0, 1] carrying
+// the startup cost amortized over the amortSlots-long window and
+// linking the unit's minimum-stable-load semi-continuity
+// (MinLoad·y ≤ Σg ≤ Capacity·y). The returned slice holds each unit's
+// segment variables; nil when no fleet is configured.
+func addFleetVars(prob *lp.Problem, units []genUnit, i, amortSlots int, fuelScale float64) [][]lp.VarID {
+	if len(units) == 0 {
+		return nil
+	}
+	vars := make([][]lp.VarID, len(units))
+	for u, unit := range units {
+		vars[u] = make([]lp.VarID, len(unit.segs))
+		for k, s := range unit.segs {
+			vars[u][k] = prob.AddVariable(fmt.Sprintf("g%d_%d_%d", i, u, k),
+				0, s.Cap, s.USDPerMWh*fuelScale)
+		}
+		spec := unit.spec
+		if spec.StartupUSD == 0 && spec.MinLoadMWh == 0 {
+			continue // y would be free and unconstrained: skip it
+		}
+		amort := spec.StartupUSD / float64(amortSlots)
+		y := prob.AddVariable(fmt.Sprintf("y%d_%d", i, u), 0, 1, amort)
+		// Σg − Capacity·y ≤ 0 and Σg − MinLoad·y ≥ 0.
+		upper := make([]lp.Term, 0, len(unit.segs)+1)
+		lower := make([]lp.Term, 0, len(unit.segs)+1)
+		for _, gv := range vars[u] {
+			upper = append(upper, lp.Term{Var: gv, Coeff: 1})
+			lower = append(lower, lp.Term{Var: gv, Coeff: 1})
+		}
+		upper = append(upper, lp.Term{Var: y, Coeff: -spec.CapacityMWh})
+		prob.AddConstraint(lp.LE, 0, upper...)
+		if spec.MinLoadMWh > 0 {
+			lower = append(lower, lp.Term{Var: y, Coeff: -spec.MinLoadMWh})
+			prob.AddConstraint(lp.GE, 0, lower...)
+		}
 	}
 	return vars
 }
 
-// genPlan sums the solved segment outputs for one slot.
-func genPlan(sol *lp.Solution, vars []lp.VarID) float64 {
-	total := 0.0
-	for _, v := range vars {
-		total += sol.Value(v)
+// appendFleetTerms appends one +1 term per generation variable of the
+// slot (for the balance and supply-cap constraints).
+func appendFleetTerms(terms []lp.Term, vars [][]lp.VarID) []lp.Term {
+	for _, unit := range vars {
+		for _, gv := range unit {
+			terms = append(terms, lp.Term{Var: gv, Coeff: 1})
+		}
 	}
-	return total
+	return terms
+}
+
+// genPlanUnits sums each unit's solved segment outputs for one slot
+// (nil when no fleet is configured).
+func genPlanUnits(sol *lp.Solution, vars [][]lp.VarID) []float64 {
+	if len(vars) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vars))
+	for u, unit := range vars {
+		for _, v := range unit {
+			out[u] += sol.Value(v)
+		}
+	}
+	return out
+}
+
+// clampUnits clamps a planned per-unit dispatch to the live admissible
+// requests (the engine enforces min-load and startup physics on
+// execution).
+func clampUnits(plan []float64, units []generator.UnitObs) []float64 {
+	if plan == nil {
+		return nil
+	}
+	out := make([]float64, len(plan))
+	for u, v := range plan {
+		if u < len(units) {
+			out[u] = math.Min(v, units[u].RequestMax)
+		}
+	}
+	return out
 }

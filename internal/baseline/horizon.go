@@ -63,7 +63,7 @@ func (o *OfflineHorizon) PlanFine(obs sim.FineObs) sim.Decision {
 	dec.ServeDT = math.Min(dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax))
 	dec.Charge = math.Min(dec.Charge, obs.MaxCharge)
 	dec.Discharge = math.Min(dec.Discharge, obs.MaxDischarge)
-	dec.Generate = math.Min(dec.Generate, obs.GenRequest)
+	dec.GenerateUnits = clampUnits(dec.GenerateUnits, obs.GenUnits)
 	return dec
 }
 
@@ -102,8 +102,8 @@ func (o *OfflineHorizon) solve() error {
 	d := make([]lp.VarID, H)
 	w := make([]lp.VarID, H)
 	e := make([]lp.VarID, H)
-	segs := cfg.genSegments()
-	g := make([][]lp.VarID, H)
+	units := cfg.genUnits()
+	g := make([][][]lp.VarID, H)
 	proxy := 0.0
 	if bat.MaxChargeMWh > 0 {
 		proxy = bat.OpCostUSD / math.Max(bat.MaxChargeMWh, bat.MaxDischargeMWh)
@@ -116,7 +116,7 @@ func (o *OfflineHorizon) solve() error {
 		d[i] = prob.AddVariable(fmt.Sprintf("d%d", i), 0, bat.MaxDischargeMWh, proxy)
 		w[i] = prob.AddVariable(fmt.Sprintf("w%d", i), 0, inf, cfg.WasteCostUSD)
 		e[i] = prob.AddVariable(fmt.Sprintf("e%d", i), 0, inf, cfg.EmergencyCostUSD)
-		g[i] = addGenVars(prob, segs, i)
+		g[i] = addFleetVars(prob, units, i, T, set.FuelScaleAt(i))
 	}
 
 	b0 := bat.InitialMWh
@@ -135,9 +135,7 @@ func (o *OfflineHorizon) solve() error {
 			{Var: c[i], Coeff: -1},
 			{Var: w[i], Coeff: -1},
 		}
-		for _, gv := range g[i] {
-			balance = append(balance, lp.Term{Var: gv, Coeff: 1})
-		}
+		balance = appendFleetTerms(balance, g[i])
 		prob.AddConstraint(lp.EQ, dds-r, balance...)
 		prob.AddConstraint(lp.LE, cfg.PgridMWh,
 			lp.Term{Var: gbef[k], Coeff: invN},
@@ -147,9 +145,7 @@ func (o *OfflineHorizon) solve() error {
 			{Var: gbef[k], Coeff: invN},
 			{Var: grt[i], Coeff: 1},
 		}
-		for _, gv := range g[i] {
-			smax = append(smax, lp.Term{Var: gv, Coeff: 1})
-		}
+		smax = appendFleetTerms(smax, g[i])
 		prob.AddConstraint(lp.LE, cfg.SmaxMWh-r, smax...)
 
 		levelTerms := make([]lp.Term, 0, 2*(i+1))
@@ -201,11 +197,11 @@ func (o *OfflineHorizon) solve() error {
 	o.plan = make([]sim.Decision, H)
 	for i := 0; i < H; i++ {
 		dec := sim.Decision{
-			Grt:       sol.Value(grt[i]),
-			ServeDT:   sol.Value(u[i]),
-			Charge:    sol.Value(c[i]),
-			Discharge: sol.Value(d[i]),
-			Generate:  genPlan(sol, g[i]),
+			Grt:           sol.Value(grt[i]),
+			ServeDT:       sol.Value(u[i]),
+			Charge:        sol.Value(c[i]),
+			Discharge:     sol.Value(d[i]),
+			GenerateUnits: genPlanUnits(sol, g[i]),
 		}
 		netPlanChargeDischarge(&dec, bat.ChargeEff, bat.DischargeEff)
 		o.plan[i] = dec

@@ -99,8 +99,8 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 	d := make([]lp.VarID, n)
 	w := make([]lp.VarID, n)
 	e := make([]lp.VarID, n)
-	segs := l.cfg.genSegments()
-	g := make([][]lp.VarID, n)
+	units := l.cfg.genUnits()
+	g := make([][][]lp.VarID, n)
 	proxy := 0.0
 	if bat.MaxChargeMWh > 0 {
 		proxy = bat.OpCostUSD / math.Max(bat.MaxChargeMWh, bat.MaxDischargeMWh)
@@ -114,7 +114,7 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 		d[i] = prob.AddVariable(fmt.Sprintf("d%d", i), 0, bat.MaxDischargeMWh, proxy)
 		w[i] = prob.AddVariable(fmt.Sprintf("w%d", i), 0, inf, l.cfg.WasteCostUSD)
 		e[i] = prob.AddVariable(fmt.Sprintf("e%d", i), 0, inf, l.cfg.EmergencyCostUSD)
-		g[i] = addGenVars(prob, segs, i)
+		g[i] = addFleetVars(prob, units, i, n, l.set.FuelScaleAt(slot))
 	}
 
 	for i := 0; i < n; i++ {
@@ -131,15 +131,10 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 			{Var: c[i], Coeff: -1},
 			{Var: w[i], Coeff: -1},
 		}
-		for _, gv := range g[i] {
-			balance = append(balance, lp.Term{Var: gv, Coeff: 1})
-		}
+		balance = appendFleetTerms(balance, g[i])
 		prob.AddConstraint(lp.EQ, dds-r-obs.LongTermDue, balance...)
 		// Supply cap.
-		smax := []lp.Term{{Var: grt[i], Coeff: 1}}
-		for _, gv := range g[i] {
-			smax = append(smax, lp.Term{Var: gv, Coeff: 1})
-		}
+		smax := appendFleetTerms([]lp.Term{{Var: grt[i], Coeff: 1}}, g[i])
 		prob.AddConstraint(lp.LE, l.cfg.SmaxMWh-r-obs.LongTermDue, smax...)
 
 		// Battery trajectory bounds from the live level.
@@ -188,11 +183,11 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 	}
 
 	dec := sim.Decision{
-		Grt:       sol.Value(grt[0]),
-		ServeDT:   math.Min(sol.Value(u[0]), math.Min(obs.Backlog, obs.SdtMax)),
-		Charge:    math.Min(sol.Value(c[0]), obs.MaxCharge),
-		Discharge: math.Min(sol.Value(d[0]), obs.MaxDischarge),
-		Generate:  math.Min(genPlan(sol, g[0]), obs.GenRequest),
+		Grt:           sol.Value(grt[0]),
+		ServeDT:       math.Min(sol.Value(u[0]), math.Min(obs.Backlog, obs.SdtMax)),
+		Charge:        math.Min(sol.Value(c[0]), obs.MaxCharge),
+		Discharge:     math.Min(sol.Value(d[0]), obs.MaxDischarge),
+		GenerateUnits: clampUnits(genPlanUnits(sol, g[0]), obs.GenUnits),
 	}
 	netPlanChargeDischarge(&dec, bat.ChargeEff, bat.DischargeEff)
 	return dec, nil

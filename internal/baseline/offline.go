@@ -67,12 +67,13 @@ func (o *OfflineOptimal) PlanFine(obs sim.FineObs) sim.Decision {
 	}
 	dec := o.plan[idx]
 	// Guard against drift between the planned and actual backlog, and
-	// clamp the relaxed generator plan to the unit's admissible request
-	// (the engine enforces min-load and startup physics on execution).
+	// clamp the relaxed per-unit fleet plan to the units' admissible
+	// requests (the engine enforces min-load and startup physics on
+	// execution).
 	dec.ServeDT = math.Min(dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax))
 	dec.Charge = math.Min(dec.Charge, obs.MaxCharge)
 	dec.Discharge = math.Min(dec.Discharge, obs.MaxDischarge)
-	dec.Generate = math.Min(dec.Generate, obs.GenRequest)
+	dec.GenerateUnits = clampUnits(dec.GenerateUnits, obs.GenUnits)
 	return dec
 }
 
@@ -103,8 +104,8 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 	d := make([]lp.VarID, n)
 	w := make([]lp.VarID, n)
 	e := make([]lp.VarID, n)
-	segs := cfg.genSegments()
-	g := make([][]lp.VarID, n)
+	units := cfg.genUnits()
+	g := make([][][]lp.VarID, n)
 
 	// The linear battery-operation proxy (see package docs).
 	proxy := 0.0
@@ -122,7 +123,7 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 		d[i] = prob.AddVariable(fmt.Sprintf("d%d", i), 0, bat.MaxDischargeMWh, proxy)
 		w[i] = prob.AddVariable(fmt.Sprintf("w%d", i), 0, inf, cfg.WasteCostUSD)
 		e[i] = prob.AddVariable(fmt.Sprintf("e%d", i), 0, inf, cfg.EmergencyCostUSD)
-		g[i] = addGenVars(prob, segs, i)
+		g[i] = addFleetVars(prob, units, i, n, set.FuelScaleAt(slot))
 		totalArrivals += set.DemandDT.At(slot)
 	}
 
@@ -142,9 +143,7 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 			{Var: c[i], Coeff: -1},
 			{Var: w[i], Coeff: -1},
 		}
-		for _, gv := range g[i] {
-			balance = append(balance, lp.Term{Var: gv, Coeff: 1})
-		}
+		balance = appendFleetTerms(balance, g[i])
 		prob.AddConstraint(lp.EQ, dds-r, balance...)
 
 		// Grid cap: gbef/n + grt_i ≤ Pgrid.
@@ -152,14 +151,12 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 			lp.Term{Var: gbef, Coeff: invN},
 			lp.Term{Var: grt[i], Coeff: 1},
 		)
-		// Supply cap: gbef/n + grt_i + r_i + g_i ≤ Smax.
+		// Supply cap: gbef/n + grt_i + r_i + Σg_i ≤ Smax.
 		smax := []lp.Term{
 			{Var: gbef, Coeff: invN},
 			{Var: grt[i], Coeff: 1},
 		}
-		for _, gv := range g[i] {
-			smax = append(smax, lp.Term{Var: gv, Coeff: 1})
-		}
+		smax = appendFleetTerms(smax, g[i])
 		prob.AddConstraint(lp.LE, cfg.SmaxMWh-r, smax...)
 
 		// Battery level bounds: Bmin ≤ b0 + Σ(ηc·c − ηd·d) ≤ Bmax.
@@ -204,11 +201,11 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 	plan := make([]sim.Decision, n)
 	for i := 0; i < n; i++ {
 		plan[i] = sim.Decision{
-			Grt:       sol.Value(grt[i]),
-			ServeDT:   sol.Value(u[i]),
-			Charge:    sol.Value(c[i]),
-			Discharge: sol.Value(d[i]),
-			Generate:  genPlan(sol, g[i]),
+			Grt:           sol.Value(grt[i]),
+			ServeDT:       sol.Value(u[i]),
+			Charge:        sol.Value(c[i]),
+			Discharge:     sol.Value(d[i]),
+			GenerateUnits: genPlanUnits(sol, g[i]),
 		}
 		netPlanChargeDischarge(&plan[i], bat.ChargeEff, bat.DischargeEff)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"github.com/smartdpss/smartdpss/internal/generator"
 	"github.com/smartdpss/smartdpss/internal/queue"
 	"github.com/smartdpss/smartdpss/internal/sim"
 )
@@ -22,6 +23,25 @@ type Controller struct {
 	// coarse interval for P4's deficit estimate (see sim.TrailingMeans).
 	est sim.TrailingMeans
 
+	// specs is the resolved on-site generation fleet (the legacy single
+	// Generator appears as a one-unit fleet); merit holds the unit
+	// indices in ascending base-marginal-price order.
+	specs []generator.Params
+	merit []int
+
+	// Real-time price forecast for the unit-commitment lookahead: the
+	// trailing mean of the previous coarse interval's observed prt, the
+	// same causal estimator P4 uses for demand (see sim.TrailingMeans).
+	prtSum   float64
+	prtN     int
+	prtMean  float64
+	prtReady bool
+
+	// Demand-envelope estimate frozen at the coarse boundary (the same
+	// per-slot view P4 planned with), so commitment decisions are stable
+	// within an interval instead of flapping on partial trailing means.
+	envDDS, envDDT, envRen float64
+
 	// lpFailures counts LP-path failures recovered by the analytic path
 	// (expected to stay zero; exported for tests via LPFailures).
 	lpFailures int
@@ -38,7 +58,9 @@ func New(p Params) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{params: p, delay: d}, nil
+	c := &Controller{params: p, delay: d, specs: p.fleetSpecs()}
+	c.merit = generator.MeritOrder(c.specs)
+	return c, nil
 }
 
 // Name implements sim.Controller.
@@ -82,21 +104,34 @@ func (c *Controller) PlanCoarse(obs sim.CoarseObs) float64 {
 		dds, ddt, ren = c.est.Means()
 	}
 	c.est.Reset()
+	c.envDDS, c.envDDT, c.envRen = dds, ddt, ren
+	// Roll the real-time price estimator over: the finished interval's
+	// mean becomes the commitment lookahead's price forecast.
+	if c.prtN > 0 {
+		c.prtMean = c.prtSum / float64(c.prtN)
+		c.prtReady = true
+	}
+	c.prtSum, c.prtN = 0, 0
 
 	if p.DisableLongTerm {
 		return 0
 	}
-	// On-site generation arm: when the unit's base fuel price undercuts
+	// On-site generation arm: when a unit's base fuel price undercuts
 	// the offered long-term price — by enough that a full interval of
 	// self-generation also recovers a cold start — P5 will prefer
 	// self-generation, so the ahead-purchase should not cover the share
-	// the generator can carry. The startup condition keeps P4 from
-	// planning around a unit whose startup economics P5 will veto.
+	// the fleet can carry. The startup condition keeps P4 from planning
+	// around a unit whose startup economics P5 will veto. The committed
+	// capacity sums across every unit that passes it.
 	selfGen := 0.0
-	if gp := p.Generator; gp.Enabled() {
-		margin := obs.PriceLT - gp.MarginalAt(0)
+	fs := fuelScale(obs.FuelScale)
+	for _, gp := range c.specs {
+		if !gp.Enabled() {
+			continue
+		}
+		margin := obs.PriceLT - gp.MarginalAt(0)*fs
 		if margin > 0 && margin*gp.CapacityMWh*float64(p.T) > gp.StartupUSD {
-			selfGen = gp.CapacityMWh
+			selfGen += gp.CapacityMWh
 		}
 	}
 	weight := p.V*obs.PriceLT - (c.qT + c.yT)
@@ -127,6 +162,8 @@ func (c *Controller) PlanCoarse(obs sim.CoarseObs) float64 {
 func (c *Controller) PlanFine(obs sim.FineObs) sim.Decision {
 	p := c.params
 	c.est.Observe(obs.DemandDS, obs.DemandDT, obs.Renewable)
+	c.prtSum += obs.PriceRT
+	c.prtN++
 	qy := c.qT + c.yT
 	in := p5Input{
 		dds:          obs.DemandDS,
@@ -144,104 +181,255 @@ func (c *Controller) PlanFine(obs sim.FineObs) sim.Decision {
 		wEmergency:   p.V * p.EmergencyCostUSD,
 	}
 
-	free := c.solve(in)
-	frozen := c.solve(in.frozen())
-	freeTotal := free.obj
-	if free.batteryUsed() {
-		freeTotal += p.V * p.Battery.OpCostUSD
-	}
-	best, bestTotal := frozen, frozen.obj
-	if freeTotal < frozen.obj-1e-12 {
-		best, bestTotal = free, freeTotal
-	}
+	best, bestTotal := c.solveBest(in)
 	dec := sim.Decision{
 		Grt:       best.grt,
 		ServeDT:   best.sdt,
 		Charge:    best.charge,
 		Discharge: best.discharge,
 	}
-	if gp := p.Generator; gp.Enabled() {
-		c.planGenerator(&dec, obs, in, qy, bestTotal)
+	if len(c.specs) > 0 && len(obs.GenUnits) == len(c.specs) {
+		c.planFleet(&dec, obs, in, qy, bestTotal)
 	}
 	return dec
 }
 
-// planGenerator evaluates the on-site generation arm of P5 against the
-// generator-free optimum bestTotal and overwrites dec when dispatching
-// wins. The unit's admissible set {0} ∪ [min, max] is semi-continuous,
-// so the arm commits the minimum stable load into the balance (paying
-// its exact fuel cost and collecting its queue relief), exposes the band
-// above it as convex fuel-curve segments, and re-solves. A cold start
-// adds the startup cost amortized over one coarse interval
-// (V·StartupUSD/T): startup is an inter-temporal cost a single-slot
-// subproblem cannot attribute exactly, and a started unit typically runs
-// for the remainder of the price regime that justified it — charging the
-// full amount against one slot's gain would keep small units off while
-// P4 has already planned around their output. When the unit is off
-// behind a synchronization lag it cannot deliver this slot, so the arm
-// instead pre-starts it whenever its base marginal fuel price undercuts
-// the current real-time price.
-func (c *Controller) planGenerator(dec *sim.Decision, obs sim.FineObs, in p5Input, qy, bestTotal float64) {
+// fuelScale normalizes an observation's fuel-price multiplier: the
+// engine sends 1 when no fuel trace is configured, and a non-positive
+// value (an unset field on a hand-built observation) falls back to the
+// configured curve.
+func fuelScale(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// unitSegs appends unit ui's dispatch band above its committed minimum
+// as fuel-curve segments with drift weights V·(scaled marginal) − (Q+Y).
+func (c *Controller) unitSegs(dst []genSeg, ui int, u generator.UnitObs, qy, fs float64) []genSeg {
 	p := c.params
-	gp := p.Generator
-	// Amortized startup with hysteresis: starting charges StartupUSD/T,
-	// and a running unit receives the same amount as a keep-warm credit —
-	// shutting down during a short price dip forfeits the paid start and
-	// likely triggers a fresh one when the spike returns. The band keeps
-	// the unit from flapping around its fuel/grid break-even (each real
-	// flap is billed the full StartupUSD by the engine).
-	amortized := p.V * gp.StartupUSD / float64(p.T)
-	if obs.GenMaxMWh <= 0 {
-		// Off behind a synchronization lag: pre-start when a slot of
-		// full output at the current real-time price would beat both
-		// the fuel bill and the amortized startup — the same economics
-		// the lag-free arm applies through its offset.
-		if obs.GenRequest > 0 && !obs.GenRunning &&
-			p.V*(obs.PriceRT-gp.MarginalAt(0))*gp.CapacityMWh > amortized {
-			dec.Generate = obs.GenRequest // start signal; delivers after the lag
+	for _, s := range c.specs[ui].Segments(u.MinMWh, u.MaxMWh) {
+		dst = append(dst, genSeg{cap: s.Cap, w: p.V*(s.USDPerMWh*fs) - qy, unit: ui})
+	}
+	return dst
+}
+
+// solveBest runs the battery-free/battery-frozen pair for one P5
+// instance and returns the better result with its total (including the
+// UPS fixed charge when the battery moves).
+func (c *Controller) solveBest(in p5Input) (p5Result, float64) {
+	p := c.params
+	free := c.solve(in)
+	frozen := c.solve(in.frozen())
+	freeTotal := free.obj
+	if free.batteryUsed() {
+		freeTotal += p.V * p.Battery.OpCostUSD
+	}
+	if freeTotal < frozen.obj-1e-12 {
+		return free, freeTotal
+	}
+	return frozen, frozen.obj
+}
+
+// fleetDecision rewrites dec from the solved committed-fleet P5: every
+// committed unit runs its minimum stable load plus its segments' solved
+// flows, pre-starting units carry their start signals, and the flexible
+// real-time purchase is trimmed so committed supply stays inside the
+// Smax cap (Eq. 1) the offline benchmarks optimize over.
+func (c *Controller) fleetDecision(dec *sim.Decision, obs sim.FineObs, res p5Result,
+	segs []genSeg, committedMin, starts []float64) {
+	p := c.params
+	units := make([]float64, len(c.specs))
+	above := make([]float64, len(c.specs))
+	minSum := 0.0
+	for si, flow := range res.genFlows {
+		above[segs[si].unit] += flow
+	}
+	for ui, min := range committedMin {
+		units[ui] = min + above[ui]
+		minSum += min
+	}
+	for ui, req := range starts {
+		if req > 0 {
+			units[ui] = req // start signal; delivers after the lag
 		}
-		return
+	}
+	// total groups as minSum + res.gen so the one-unit arm reproduces the
+	// pre-fleet scalar arithmetic bit for bit.
+	total := minSum + res.gen
+	grt := math.Min(res.grt,
+		math.Max(0, p.SmaxMWh-obs.LongTermDue-obs.Renewable-total))
+	*dec = sim.Decision{
+		Grt:           grt,
+		ServeDT:       res.sdt,
+		Charge:        res.charge,
+		Discharge:     res.discharge,
+		GenerateUnits: units,
+	}
+}
+
+// planFleet evaluates the on-site generation arm of P5 and overwrites
+// dec when dispatching wins. It has two phases:
+//
+// Phase 1 — rolling unit commitment (CommitWindow W > 1 only). Instead
+// of re-litigating each unit's existence every slot against an
+// amortized startup, starts and stops follow the projected profit over
+// the next W slots: the forecastable price (the trailing real-time mean
+// of the previous coarse interval, the same causal estimator P4 uses
+// for demand) is earned only by energy inside the demand envelope —
+// estimated demand not already covered by renewables and the committed
+// long-term delivery — while fuel is paid on the full dispatch level,
+// so min-load energy beyond the envelope counts as pure cost. A unit
+// starts when W slots of that profit recover a full cold start, and a
+// running unit stops only when W slots project losses beyond the
+// restart it would eventually pay, which carries it through the short
+// dips the myopic arm flaps on. Committed units are binding: their
+// minimum loads enter the P5 balance and their fuel-curve segments
+// price the dispatch level, with no per-slot veto. The envelope is
+// consumed in merit order, so a fleet of small units commits only the
+// granularity the demand supports — where a single big unit is
+// all-or-nothing.
+//
+// Phase 2 — myopic per-slot arm over the remaining units (and the whole
+// fleet when W ≤ 1, the pre-fleet degenerate case). Growing the set
+// greedily in merit order, each unit's semi-continuous admissible set
+// {0} ∪ [min, max] is handled by committing the minimum stable load
+// into the balance (paying its exact fuel cost and collecting its queue
+// relief), exposing the band above it as convex fuel-curve segments,
+// and re-solving; the unit is adopted only when the drift objective
+// improves. A cold start adds the startup cost amortized over one
+// coarse interval (V·StartupUSD/T): startup is an inter-temporal cost a
+// single-slot subproblem cannot attribute exactly, and a started unit
+// typically runs for the remainder of the price regime that justified
+// it — charging the full amount against one slot's gain would keep
+// small units off while P4 has already planned around their output. A
+// running unit receives the same amount as a keep-warm credit
+// (hysteresis): shutting down during a short price dip forfeits the
+// paid start and likely triggers a fresh one when the spike returns.
+// Units off behind a synchronization lag cannot deliver this slot, so
+// the arm instead pre-starts them whenever a slot of full output at the
+// current real-time price beats fuel plus the amortized startup. For a
+// one-unit fleet with W ≤ 1 this is exactly the pre-fleet
+// single-generator arm.
+func (c *Controller) planFleet(dec *sim.Decision, obs sim.FineObs, in p5Input, qy, bestTotal float64) {
+	p := c.params
+	fs := fuelScale(obs.FuelScale)
+	committedMin := make([]float64, len(c.specs))
+	starts := make([]float64, len(c.specs))
+	committed := make([]bool, len(c.specs))
+
+	cur := in
+	curBest := bestTotal
+	var lastRes p5Result
+	var lastSegs []genSeg
+	adopted, preStart := false, false
+
+	// Phase 1: window commitment.
+	if p.CommitWindow > 1 {
+		W := float64(p.CommitWindow)
+		phat := obs.PriceRT
+		if c.prtReady {
+			phat = c.prtMean
+		}
+		env := math.Max(0, c.envDDS+c.envDDT-c.envRen-obs.LongTermDue)
+		for _, ui := range c.merit {
+			gp := c.specs[ui]
+			u := obs.GenUnits[ui]
+			if !gp.Enabled() {
+				continue
+			}
+			m := gp.MarginalAt(0) * fs
+			// Dispatch level if committed; only envelope-covered energy
+			// earns the forecast price.
+			gstar := clamp(env, gp.MinLoadMWh, gp.CapacityMWh)
+			profit := phat*math.Min(gstar, env) - m*gstar
+			switch {
+			case u.MaxMWh > 0 && u.Running:
+				if W*profit < -gp.StartupUSD {
+					continue // release: projected losses exceed a restart
+				}
+			case u.MaxMWh > 0:
+				if W*profit <= gp.StartupUSD {
+					continue // margin does not recover a cold start
+				}
+			case u.RequestMax > 0 && !u.Running && !u.Starting:
+				// Off behind a synchronization lag: send the start signal
+				// on the same window economics; energy arrives after the
+				// lag.
+				if W*profit > gp.StartupUSD {
+					starts[ui] = u.RequestMax
+					preStart = true
+				}
+				continue
+			default:
+				continue
+			}
+			cur.base += u.MinMWh
+			cur.genSegs = c.unitSegs(append([]genSeg(nil), cur.genSegs...), ui, u, qy, fs)
+			committedMin[ui] = u.MinMWh
+			committed[ui] = true
+			env = math.Max(0, env-gstar)
+			adopted = true
+		}
+		if adopted {
+			lastRes, curBest = c.solveBest(cur)
+			lastSegs = cur.genSegs
+		}
 	}
 
-	inG := in
-	inG.base = in.base + obs.GenMinMWh
-	inG.genSegs = make([]genSeg, 0, 2)
-	for _, s := range gp.Segments(obs.GenMinMWh, obs.GenMaxMWh) {
-		inG.genSegs = append(inG.genSegs, genSeg{cap: s.Cap, w: p.V*s.USDPerMWh - qy})
-	}
-	offset := p.V*gp.FuelCost(obs.GenMinMWh) - obs.GenMinMWh*qy
-	if obs.GenRunning {
-		offset -= amortized
-	} else {
-		offset += amortized
+	// Phase 2: myopic greedy over the units phase 1 left uncommitted.
+	// The committed baseline is constant on both sides of each
+	// comparison, so adding a unit is judged purely on its own merit.
+	for _, ui := range c.merit {
+		if committed[ui] || starts[ui] > 0 {
+			continue
+		}
+		gp := c.specs[ui]
+		u := obs.GenUnits[ui]
+		amortized := p.V * gp.StartupUSD / float64(p.T)
+		if u.MaxMWh <= 0 {
+			// Off behind a synchronization lag: pre-start when a slot of
+			// full output at the current real-time price would beat both
+			// the fuel bill and the amortized startup — the same
+			// economics the lag-free arm applies through its offset.
+			if u.RequestMax > 0 && !u.Running &&
+				p.V*(obs.PriceRT-gp.MarginalAt(0)*fs)*gp.CapacityMWh > amortized {
+				starts[ui] = u.RequestMax
+				preStart = true
+			}
+			continue
+		}
+
+		cand := cur
+		cand.base = cur.base + u.MinMWh
+		cand.genSegs = c.unitSegs(append([]genSeg(nil), cur.genSegs...), ui, u, qy, fs)
+		offset := p.V*(fs*gp.FuelCost(u.MinMWh)) - u.MinMWh*qy
+		if u.Running {
+			offset -= amortized
+		} else {
+			offset += amortized
+		}
+
+		bestG, bestGTotal := c.solveBest(cand)
+		if bestGTotal+offset < curBest-1e-12 {
+			cur = cand
+			// The adopted unit's offset is part of both sides of every
+			// later comparison, so the rolling baseline carries the bare
+			// solve total: adding the NEXT unit is judged purely on its
+			// own offset against the marginal solve improvement.
+			curBest = bestGTotal
+			committedMin[ui] = u.MinMWh
+			lastRes, lastSegs = bestG, cand.genSegs
+			adopted = true
+		}
 	}
 
-	freeG := c.solve(inG)
-	frozenG := c.solve(inG.frozen())
-	freeGTotal := freeG.obj
-	if freeG.batteryUsed() {
-		freeGTotal += p.V * p.Battery.OpCostUSD
-	}
-	bestG, bestGTotal := frozenG, frozenG.obj
-	if freeGTotal < frozenG.obj-1e-12 {
-		bestG, bestGTotal = freeG, freeGTotal
-	}
-	if bestGTotal+offset < bestTotal-1e-12 {
-		gen := obs.GenMinMWh + bestG.gen
-		// The merit-order legs cap grt and the generator independently;
-		// the supply cap Smax (Eq. 1) binds their sum. Give the
-		// committed unit priority and trim the flexible real-time
-		// purchase so executed supply stays inside the same feasible
-		// set the offline benchmarks optimize over.
-		grt := math.Min(bestG.grt,
-			math.Max(0, p.SmaxMWh-obs.LongTermDue-obs.Renewable-gen))
-		*dec = sim.Decision{
-			Grt:       grt,
-			ServeDT:   bestG.sdt,
-			Charge:    bestG.charge,
-			Discharge: bestG.discharge,
-			Generate:  gen,
-		}
+	switch {
+	case adopted:
+		c.fleetDecision(dec, obs, lastRes, lastSegs, committedMin, starts)
+	case preStart:
+		dec.GenerateUnits = starts
 	}
 }
 

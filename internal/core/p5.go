@@ -36,17 +36,24 @@ type p5Input struct {
 	genSegs []genSeg
 }
 
-// genSeg is one piecewise-linear slice of the generator's dispatch band.
+// genSeg is one piecewise-linear slice of a generation unit's dispatch
+// band. With a fleet, segments of several units coexist in one P5
+// instance; unit records which one a segment belongs to so the solved
+// flows can be routed back to their units.
 type genSeg struct {
-	cap float64 // MWh available at this marginal price
-	w   float64 // V·marginal − (Q+Y)
+	cap  float64 // MWh available at this marginal price
+	w    float64 // V·marginal − (Q+Y)
+	unit int     // owning fleet unit (0 for the single-unit arm)
 }
 
 // p5Result is the solved slot decision with its drift objective value.
 type p5Result struct {
 	grt, sdt, charge, discharge, waste, unserved float64
-	gen                                          float64 // generator output above the committed minimum
-	obj                                          float64
+	gen                                          float64 // total generation above the committed minimum
+	genFlows                                     []float64
+	// genFlows is the per-segment generation, aligned with the input's
+	// genSegs order (nil when the instance has no generator segments).
+	obj float64
 }
 
 // batteryUsed reports whether the battery moves in this result.
@@ -142,8 +149,12 @@ func solveP5Analytic(in p5Input) p5Result {
 		waste:     sinks[2].flow,
 		obj:       obj,
 	}
-	for _, src := range sources[3:] {
-		res.gen += src.flow
+	if len(in.genSegs) > 0 {
+		res.genFlows = make([]float64, len(in.genSegs))
+		for i, src := range sources[3:] {
+			res.gen += src.flow
+			res.genFlows[i] = src.flow
+		}
 	}
 	netChargeDischarge(&res, in.etaC, in.etaD)
 	return res

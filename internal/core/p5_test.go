@@ -228,13 +228,17 @@ func genP5(r *rand.Rand) p5Input {
 		wWaste:       1 + qy,
 		wEmergency:   1e6,
 	}
-	// Half the instances carry an on-site generator arm: one or two
-	// fuel-curve segments with non-decreasing marginals.
+	// Half the instances carry an on-site generation arm: one or two
+	// units, each with one or two fuel-curve segments. Marginals are
+	// non-decreasing within a unit (convexity) but arbitrary across
+	// units, the fleet case the merit-order solver must handle.
 	if r.Intn(2) == 0 {
-		marginal := r.Float64()*150 - qy
-		for n := 1 + r.Intn(2); n > 0; n-- {
-			in.genSegs = append(in.genSegs, genSeg{cap: r.Float64() * 0.8, w: marginal})
-			marginal += r.Float64() * 40
+		for unit := r.Intn(2); unit >= 0; unit-- {
+			marginal := r.Float64()*150 - qy
+			for n := 1 + r.Intn(2); n > 0; n-- {
+				in.genSegs = append(in.genSegs, genSeg{cap: r.Float64() * 0.8, w: marginal, unit: unit})
+				marginal += r.Float64() * 40
+			}
 		}
 	}
 	return in

@@ -56,8 +56,12 @@ func solveP5LP(in p5Input) (p5Result, error) {
 		unserved:  sol.Value(emerg),
 		obj:       sol.Objective,
 	}
-	for _, g := range gen {
-		res.gen += sol.Value(g)
+	if len(gen) > 0 {
+		res.genFlows = make([]float64, len(gen))
+		for i, g := range gen {
+			res.gen += sol.Value(g)
+			res.genFlows[i] = sol.Value(g)
+		}
 	}
 	netChargeDischarge(&res, in.etaC, in.etaD)
 	return res, nil

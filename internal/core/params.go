@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"github.com/smartdpss/smartdpss/internal/battery"
@@ -42,8 +43,22 @@ type Params struct {
 	// Generator is the optional dispatchable on-site generation unit
 	// (zero value: none). When enabled, P5 gains a fourth source —
 	// fuel-priced segments of the unit's dispatch window — and P4's
-	// deficit estimate accounts for cheap self-generation.
+	// deficit estimate accounts for cheap self-generation. It is the
+	// one-unit shorthand for Fleet; setting both is a configuration
+	// error.
 	Generator generator.Params
+	// Fleet is the multi-unit on-site generation fleet in dispatch
+	// order (nil: none). Every unit contributes its own fuel-priced
+	// source legs to P5 and its committed capacity to P4's deficit
+	// estimate.
+	Fleet []generator.Params
+	// CommitWindow is the unit-commitment lookahead W in fine slots:
+	// start/stop decisions weigh the projected margin over the next W
+	// slots (forecast long-term price and demand envelope) against the
+	// full startup cost. W ≤ 1 is the myopic per-slot arm with
+	// amortized-startup hysteresis — the pre-fleet behavior, and the
+	// degenerate case the lookahead must reproduce.
+	CommitWindow int
 	// DisableLongTerm removes the long-term-ahead market, leaving only
 	// real-time purchases (the "RTM" configuration of Fig. 7).
 	DisableLongTerm bool
@@ -104,7 +119,30 @@ func (p Params) Validate() error {
 	if err := p.Generator.Validate(); err != nil {
 		return err
 	}
+	if len(p.Fleet) > 0 && p.Generator.Enabled() {
+		return errors.New("core: both Generator and Fleet configured (use Fleet alone)")
+	}
+	for i, u := range p.Fleet {
+		if err := u.Validate(); err != nil {
+			return fmt.Errorf("core: fleet unit %d: %w", i, err)
+		}
+	}
+	if p.CommitWindow < 0 {
+		return errors.New("core: negative CommitWindow")
+	}
 	return p.Battery.Validate()
+}
+
+// fleetSpecs resolves the configured fleet: the explicit Fleet slice, or
+// the legacy single Generator wrapped as a one-unit fleet.
+func (p Params) fleetSpecs() []generator.Params {
+	if len(p.Fleet) > 0 {
+		return p.Fleet
+	}
+	if p.Generator.Enabled() {
+		return []generator.Params{p.Generator}
+	}
+	return nil
 }
 
 // QMax is the deterministic backlog bound of Theorem 2(3):

@@ -117,6 +117,25 @@ type Options struct {
 	// GeneratorStartupLagSlots is the synchronization delay in fine
 	// slots between a start request and the first delivered energy.
 	GeneratorStartupLagSlots int
+	// Fleet configures a multi-unit on-site generation fleet (the
+	// generalization of the single GeneratorMW unit). Units keep their
+	// order; setting both Fleet and GeneratorMW is a configuration
+	// error. A one-unit Fleet with the same parameters reproduces the
+	// GeneratorMW run exactly, and an empty Fleet is exactly
+	// generation-free.
+	Fleet []UnitSpec
+	// CommitWindow is the unit-commitment lookahead W in fine slots:
+	// with W > 1 the controller decides fleet starts/stops from the
+	// projected margin over the next W slots instead of per-slot
+	// amortized hysteresis (the W ≤ 1 myopic default, which is the
+	// pre-fleet behavior).
+	CommitWindow int
+	// CarbonUSDPerTon is an optional carbon price: each unit's emission
+	// intensity (UnitSpec.CO2KgPerMWh) folds into its marginal fuel
+	// price at CarbonUSDPerTon/1000 USD per kg, so dispatch economics
+	// and the reported fuel bill internalize emissions. Zero leaves
+	// dispatch purely fuel-priced; emissions are reported either way.
+	CarbonUSDPerTon float64
 	// ObservationNoise adds uniform ±frac multiplicative errors to the
 	// controller's view of demand, renewables and prices (Fig. 9).
 	ObservationNoise float64
@@ -125,6 +144,32 @@ type Options struct {
 	// KeepSeries retains per-slot cost/backlog/battery series in the
 	// report.
 	KeepSeries bool
+}
+
+// UnitSpec describes one unit of an on-site generation fleet in
+// datacenter-level units (MW and fractions; the engine converts to
+// per-slot MWh like the single-generator options).
+type UnitSpec struct {
+	// CapacityMW is the unit's nameplate power (0 disables the unit).
+	CapacityMW float64
+	// MinLoadFrac is the minimum stable load as a fraction of
+	// CapacityMW.
+	MinLoadFrac float64
+	// RampMWPerHour bounds the output increase while synchronized
+	// (0 means unconstrained).
+	RampMWPerHour float64
+	// FuelUSDPerMWh is the linear fuel price b of Fuel(g) = b·g + c·g².
+	// Zero means the 85 USD/MWh default.
+	FuelUSDPerMWh float64
+	// FuelQuadUSD is the quadratic fuel-curve coefficient c (USD/MWh²).
+	FuelQuadUSD float64
+	// StartupUSD is the fixed cost per cold start.
+	StartupUSD float64
+	// StartupLagSlots is the synchronization delay in fine slots.
+	StartupLagSlots int
+	// CO2KgPerMWh is the emission intensity (kg CO₂ per delivered MWh);
+	// see Options.CarbonUSDPerTon.
+	CO2KgPerMWh float64
 }
 
 // DefaultOptions mirrors the paper's Sec. VI-A defaults: V = 1, ε = 0.5,
@@ -166,6 +211,8 @@ func (o Options) coreParams() core.Params {
 	p.DdtMaxMWh = o.PeakMW / 2 * h
 	p.Battery = batteryParams(o)
 	p.Generator = generatorParams(o)
+	p.Fleet = fleetParams(o)
+	p.CommitWindow = o.CommitWindow
 	p.DisableLongTerm = o.DisableLongTerm
 	p.UseLP = o.UseLP
 	p.SnapshotPlanning = o.SnapshotPlanning
@@ -183,6 +230,7 @@ func (o Options) baselineConfig() baseline.Config {
 	c.SdtMaxMWh = o.PeakMW / 2 * h
 	c.Battery = batteryParams(o)
 	c.Generator = generatorParams(o)
+	c.Fleet = fleetParams(o)
 	return c
 }
 
@@ -227,12 +275,44 @@ func generatorParams(o Options) generator.Params {
 	return p
 }
 
+// fleetParams translates the fleet options into slot-scaled unit
+// parameters. A configured carbon price folds each unit's emission
+// intensity into its linear fuel price, so merit order, commitment and
+// the billed fuel cost all internalize emissions.
+func fleetParams(o Options) []generator.Params {
+	if len(o.Fleet) == 0 {
+		return nil
+	}
+	h := o.slotHours()
+	out := make([]generator.Params, len(o.Fleet))
+	for i, u := range o.Fleet {
+		fuel := u.FuelUSDPerMWh
+		if fuel <= 0 {
+			fuel = 85
+		}
+		fuel += u.CO2KgPerMWh * o.CarbonUSDPerTon / 1000
+		out[i] = generator.Params{
+			CapacityMWh: u.CapacityMW * h,
+			MinLoadMWh:  u.MinLoadFrac * u.CapacityMW * h,
+			// MW/h → MWh per slot, as in generatorParams.
+			RampMWh:         u.RampMWPerHour * h * h,
+			FuelUSDPerMWh:   fuel,
+			FuelQuadUSD:     u.FuelQuadUSD,
+			StartupUSD:      u.StartupUSD,
+			StartupLagSlots: u.StartupLagSlots,
+			CO2KgPerMWh:     u.CO2KgPerMWh,
+		}
+	}
+	return out
+}
+
 // simConfig translates Options into the engine configuration.
 func (o Options) simConfig() sim.Config {
 	p := o.coreParams()
 	return sim.Config{
 		Battery:            p.Battery,
 		Generator:          p.Generator,
+		Fleet:              p.Fleet,
 		Market:             market.Params{PgridMWh: p.PgridMWh, PmaxUSD: p.PmaxUSD},
 		WasteCostUSD:       p.WasteCostUSD,
 		EmergencyCostUSD:   p.EmergencyCostUSD,
@@ -263,13 +343,26 @@ type TraceConfig struct {
 	// StartDayOfYear shifts the season (0 means Jan 1, the paper's month;
 	// 172 is late June for summer solar studies).
 	StartDayOfYear int
-	// PriceScale multiplies both generated price series (long-term and
-	// real-time) after generation; 0 or 1 leaves them unchanged. It moves
-	// the grid-price level against fixed fuel prices, the axis of the
-	// on-site provisioning economics (arXiv:1303.6775): at PriceScale
-	// below the fuel/grid break-even the generator is idle capital, above
-	// it self-generation displaces the markets.
+	// PriceScale multiplies both generated GRID price series (long-term
+	// and real-time) after generation; 0 or 1 leaves them unchanged. It
+	// never touches fuel costs — fuel has its own axis below — so it
+	// moves the grid-price level against fixed fuel prices, the axis of
+	// the on-site provisioning economics (arXiv:1303.6775): at
+	// PriceScale below the fuel/grid break-even the generator is idle
+	// capital, above it self-generation displaces the markets.
 	PriceScale float64
+	// FuelPriceScale is the fuel-side counterpart of PriceScale: the
+	// mean level of a per-slot fuel-price multiplier series applied to
+	// every generation unit's fuel curve (grid prices are untouched).
+	// 0 or 1 with zero FuelVolatility leaves fuel at the configured
+	// static price and generates no series, reproducing fuel-trace-free
+	// runs exactly.
+	FuelPriceScale float64
+	// FuelVolatility adds a seeded mean-reverting walk around the
+	// FuelPriceScale level (fractional per-slot step, e.g. 0.02), so
+	// fuel prices vary over time like the volatile gas markets of
+	// arXiv:1308.0585. Zero keeps the multiplier flat.
+	FuelVolatility float64
 }
 
 // DefaultTraceConfig returns the one-month default scenario. The solar
@@ -351,10 +444,44 @@ func GenerateTraces(tc TraceConfig) (*Traces, error) {
 		}
 	}
 	set := &trace.Set{DemandDS: ds, DemandDT: dt, Renewable: renewable, PriceLT: lt, PriceRT: rt}
+	if tc.FuelPriceScale < 0 {
+		return nil, errors.New("smartdpss: FuelPriceScale must be non-negative")
+	}
+	if tc.FuelVolatility < 0 || tc.FuelVolatility >= 1 {
+		return nil, errors.New("smartdpss: FuelVolatility must be in [0, 1)")
+	}
+	if (tc.FuelPriceScale > 0 && tc.FuelPriceScale != 1) || tc.FuelVolatility > 0 {
+		// The fuel seed is drawn last so that configurations without a
+		// fuel market consume exactly the pre-fuel-trace seed sequence.
+		set.FuelScale = fuelScaleSeries(tc, slotMinutes, ds.Len(), rng.Int63())
+	}
 	if err := set.Validate(); err != nil {
 		return nil, fmt.Errorf("smartdpss: traces: %w", err)
 	}
 	return &Traces{set: set}, nil
+}
+
+// fuelScaleSeries builds the per-slot fuel-price multiplier: a seeded
+// mean-reverting walk (reversion 0.05 per slot) around the
+// FuelPriceScale level, clipped to stay strictly positive. With zero
+// volatility the series is flat at the level — a pure static rescale of
+// every unit's fuel curve over time.
+func fuelScaleSeries(tc TraceConfig, slotMinutes, slots int, seed int64) *trace.Series {
+	level := tc.FuelPriceScale
+	if level <= 0 {
+		level = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sr := trace.New("fuel_scale", "x", slotMinutes, slots)
+	x := 1.0
+	for i := range sr.Values {
+		sr.Values[i] = level * x
+		x += 0.05*(1-x) + tc.FuelVolatility*(2*rng.Float64()-1)
+		if x < 0.1 {
+			x = 0.1
+		}
+	}
+	return sr
 }
 
 // Horizon returns the number of fine slots.
@@ -513,6 +640,9 @@ func TraceStatistics(t *Traces) ([]SeriesStats, error) {
 func Simulate(policy Policy, opts Options, traces *Traces) (*Report, error) {
 	if traces == nil {
 		return nil, errors.New("smartdpss: nil traces")
+	}
+	if opts.CarbonUSDPerTon < 0 {
+		return nil, errors.New("smartdpss: negative CarbonUSDPerTon")
 	}
 	ctrl, err := newController(policy, opts, traces)
 	if err != nil {

@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGenerateTracesValidation: every invalid TraceConfig axis must be
+// rejected with an error, not a bad trace set.
+func TestGenerateTracesValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*TraceConfig)
+	}{
+		{"zero days", func(tc *TraceConfig) { tc.Days = 0 }},
+		{"negative days", func(tc *TraceConfig) { tc.Days = -3 }},
+		{"negative price scale", func(tc *TraceConfig) { tc.PriceScale = -0.5 }},
+		{"negative fuel price scale", func(tc *TraceConfig) { tc.FuelPriceScale = -1 }},
+		{"negative fuel volatility", func(tc *TraceConfig) { tc.FuelVolatility = -0.1 }},
+		{"fuel volatility >= 1", func(tc *TraceConfig) { tc.FuelVolatility = 1.0 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tc := DefaultTraceConfig()
+			c.mut(&tc)
+			if _, err := GenerateTraces(tc); err == nil {
+				t.Fatalf("invalid config accepted: %+v", tc)
+			}
+		})
+	}
+}
+
+// TestFuelScaleSeriesGating: the fuel series must exist exactly when the
+// fuel market is configured, and stay strictly positive.
+func TestFuelScaleSeriesGating(t *testing.T) {
+	tc := DefaultTraceConfig()
+	tc.Days = 2
+	plain, err := GenerateTraces(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.set.FuelScale != nil {
+		t.Fatal("fuel series generated without a fuel market configured")
+	}
+	if got := plain.set.FuelScaleAt(0); got != 1 {
+		t.Fatalf("FuelScaleAt without series = %g, want 1", got)
+	}
+
+	tc.FuelPriceScale = 1.5
+	tc.FuelVolatility = 0.05
+	fueled, err := GenerateTraces(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fueled.set.FuelScale
+	if fs == nil {
+		t.Fatal("no fuel series despite FuelPriceScale=1.5")
+	}
+	if fs.Len() != plain.set.Horizon() {
+		t.Fatalf("fuel series has %d slots, want %d", fs.Len(), plain.set.Horizon())
+	}
+	if fs.Min() <= 0 {
+		t.Fatalf("fuel series has non-positive samples: min=%g", fs.Min())
+	}
+	if m := fs.Mean(); m < 1.0 || m > 2.0 {
+		t.Fatalf("fuel series mean %g far from the 1.5 level", m)
+	}
+	// The fuel market must not disturb the other generators' seeds.
+	if fueled.set.PriceRT.Values[7] != plain.set.PriceRT.Values[7] ||
+		fueled.set.DemandDS.Values[7] != plain.set.DemandDS.Values[7] {
+		t.Fatal("adding a fuel market changed the grid/demand traces")
+	}
+
+	// Zero volatility: flat at the level.
+	tc.FuelVolatility = 0
+	flat, err := GenerateTraces(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range flat.set.FuelScale.Values {
+		if math.Abs(v-1.5) > 1e-12 {
+			t.Fatalf("flat fuel series sample %d = %g, want 1.5", i, v)
+		}
+	}
+}
+
+// TestPriceScaleLeavesFuelUntouched pins the PriceScale contract (see
+// TraceConfig and doc.go): it multiplies the two GRID price series and
+// nothing else — in particular it must not create or scale the fuel
+// multiplier series, whose axis is FuelPriceScale.
+func TestPriceScaleLeavesFuelUntouched(t *testing.T) {
+	base := DefaultTraceConfig()
+	base.Days = 2
+	plain, err := GenerateTraces(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := base
+	scaled.PriceScale = 2.0
+	doubled, err := GenerateTraces(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doubled.set.FuelScale != nil {
+		t.Fatal("PriceScale generated a fuel series")
+	}
+	for i := range plain.set.PriceLT.Values {
+		if doubled.set.PriceLT.Values[i] != 2*plain.set.PriceLT.Values[i] ||
+			doubled.set.PriceRT.Values[i] != 2*plain.set.PriceRT.Values[i] {
+			t.Fatalf("slot %d: grid prices not scaled by exactly 2", i)
+		}
+		if doubled.set.DemandDS.Values[i] != plain.set.DemandDS.Values[i] {
+			t.Fatalf("slot %d: PriceScale touched demand", i)
+		}
+	}
+	// End to end: a unit's fuel bill per MWh is the configured curve in
+	// both worlds — only the grid side moved.
+	for _, tr := range []*Traces{plain, doubled} {
+		o := DefaultOptions()
+		o.PmaxUSD = 400 // keep scaled price spikes under the cap
+		o.Fleet = []UnitSpec{{CapacityMW: 0.5, FuelUSDPerMWh: 20}}
+		rep, err := Simulate(PolicySmartDPSS, o, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.GenEnergyMWh <= 0 {
+			t.Fatal("cheap unit never ran")
+		}
+		if got := rep.GenFuelUSD / rep.GenEnergyMWh; math.Abs(got-20) > 1e-9 {
+			t.Fatalf("fuel bill %g USD/MWh, want the configured 20", got)
+		}
+	}
+}
+
+// TestOptionsCoreParamsPlumbing: the Options→core.Params translation
+// must scale datacenter-level settings into per-slot quantities.
+func TestOptionsCoreParamsPlumbing(t *testing.T) {
+	o := DefaultOptions()
+	o.SlotMinutes = 15 // h = 0.25
+	o.PeakMW = 4.0
+	o.GeneratorMW = 1.0
+	o.GeneratorMinLoadFrac = 0.5
+	o.GeneratorRampMW = 2.0
+	o.FuelUSDPerMWh = 60
+	p := o.coreParams()
+
+	h := 0.25
+	if p.PgridMWh != o.PeakMW*h {
+		t.Errorf("PgridMWh = %g, want %g", p.PgridMWh, o.PeakMW*h)
+	}
+	if p.SmaxMWh != 2*o.PeakMW*h {
+		t.Errorf("SmaxMWh = %g, want %g", p.SmaxMWh, 2*o.PeakMW*h)
+	}
+	g := p.Generator
+	if g.CapacityMWh != 1.0*h || g.MinLoadMWh != 0.5*1.0*h {
+		t.Errorf("generator window = (%g, %g), want (%g, %g)", g.MinLoadMWh, g.CapacityMWh, 0.5*h, h)
+	}
+	if g.RampMWh != 2.0*h*h {
+		t.Errorf("RampMWh = %g, want %g", g.RampMWh, 2.0*h*h)
+	}
+	if g.FuelUSDPerMWh != 60 {
+		t.Errorf("fuel = %g, want 60", g.FuelUSDPerMWh)
+	}
+}
+
+// TestOptionsFleetPlumbing: Fleet specs must translate per unit, the
+// fuel default must apply, and a carbon price must fold each unit's
+// intensity into its marginal price.
+func TestOptionsFleetPlumbing(t *testing.T) {
+	o := DefaultOptions()
+	o.Fleet = []UnitSpec{
+		{CapacityMW: 0.5, MinLoadFrac: 0.2, FuelUSDPerMWh: 45, CO2KgPerMWh: 600},
+		{CapacityMW: 0.25, StartupUSD: 10}, // fuel 0 → 85 default
+	}
+	o.CommitWindow = 12
+	o.CarbonUSDPerTon = 50
+	p := o.coreParams()
+
+	if p.CommitWindow != 12 {
+		t.Errorf("CommitWindow = %d, want 12", p.CommitWindow)
+	}
+	if len(p.Fleet) != 2 {
+		t.Fatalf("fleet has %d units, want 2", len(p.Fleet))
+	}
+	// Carbon: 600 kg/MWh × $50/t = $30/MWh on top of the $45 fuel.
+	if got, want := p.Fleet[0].FuelUSDPerMWh, 45+600*50.0/1000; got != want {
+		t.Errorf("unit 0 fuel = %g, want %g (carbon folded in)", got, want)
+	}
+	if p.Fleet[0].CO2KgPerMWh != 600 {
+		t.Errorf("unit 0 CO2 intensity lost: %g", p.Fleet[0].CO2KgPerMWh)
+	}
+	if got, want := p.Fleet[1].FuelUSDPerMWh, 85.0; got != want {
+		t.Errorf("unit 1 fuel = %g, want the %g default", got, want)
+	}
+	if p.Fleet[0].CapacityMWh != 0.5 || p.Fleet[0].MinLoadMWh != 0.2*0.5 {
+		t.Errorf("unit 0 window = (%g, %g)", p.Fleet[0].MinLoadMWh, p.Fleet[0].CapacityMWh)
+	}
+	// The same fleet must reach the engine and baseline configurations.
+	if sc := o.simConfig(); len(sc.Fleet) != 2 {
+		t.Errorf("simConfig fleet has %d units", len(sc.Fleet))
+	}
+	if bc := o.baselineConfig(); len(bc.Fleet) != 2 {
+		t.Errorf("baselineConfig fleet has %d units", len(bc.Fleet))
+	}
+}
+
+// TestSimulateRejectsBadFleetOptions: conflicting or invalid fleet
+// options must error out of Simulate, not silently misconfigure.
+func TestSimulateRejectsBadFleetOptions(t *testing.T) {
+	tc := DefaultTraceConfig()
+	tc.Days = 1
+	traces, err := GenerateTraces(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := DefaultOptions()
+	both.GeneratorMW = 0.5
+	both.Fleet = []UnitSpec{{CapacityMW: 0.5}}
+	if _, err := Simulate(PolicySmartDPSS, both, traces); err == nil {
+		t.Error("GeneratorMW+Fleet conflict accepted")
+	}
+	carbon := DefaultOptions()
+	carbon.CarbonUSDPerTon = -1
+	if _, err := Simulate(PolicySmartDPSS, carbon, traces); err == nil {
+		t.Error("negative carbon price accepted")
+	}
+	window := DefaultOptions()
+	window.CommitWindow = -2
+	if _, err := Simulate(PolicySmartDPSS, window, traces); err == nil {
+		t.Error("negative CommitWindow accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+// The "fleet" scenario family evaluates the multi-unit generator fleet
+// and its unit-commitment lookahead: how nameplate should be divided
+// across unit sizes (FLEET-1), what the commitment window W recovers
+// near the fuel break-even that the myopic arm leaves on the table
+// (FLEET-2, the ROADMAP's "underuses small units" note), and the
+// cost-vs-emissions frontier a carbon price traces over a dirty/clean
+// fleet (FLEET-3). Every sweep point is an independent pool job, so the
+// tables are byte-identical at any parallelism level.
+
+import (
+	"fmt"
+
+	dpss "github.com/smartdpss/smartdpss/internal/engine"
+	"github.com/smartdpss/smartdpss/internal/suite"
+)
+
+// FleetMixSplits are the FLEET-1 fleet compositions: one nameplate MW
+// divided into equal units (1 big unit, 2 halves, 4 quarters).
+var FleetMixSplits = []int{1, 2, 4}
+
+// fleetMixNameplateMW is the total capacity shared by every FLEET-1
+// composition.
+const fleetMixNameplateMW = 1.0
+
+// fleetMixUnits builds an n-way split of the shared nameplate: each
+// unit keeps the family's 40% minimum stable load and a startup cost
+// proportional to its size ($40 per MW), so compositions differ only in
+// granularity. Fuel sits at 36 $/MWh — below the long-term price level
+// (~38), the baseload regime where the commitment lookahead holds units
+// on and P4 plans around their capacity.
+func fleetMixUnits(n int) []dpss.UnitSpec {
+	units := make([]dpss.UnitSpec, n)
+	for i := range units {
+		cap := fleetMixNameplateMW / float64(n)
+		units[i] = dpss.UnitSpec{
+			CapacityMW:    cap,
+			MinLoadFrac:   0.4,
+			FuelUSDPerMWh: 36,
+			StartupUSD:    40 * cap,
+		}
+	}
+	return units
+}
+
+// FleetMix compares fleet granularities at equal nameplate (FLEET-1):
+// one big unit versus N small ones. Expected reading: the monolith's
+// 0.4 MWh minimum stable load overshoots the overnight residual demand
+// and wastes the surplus, while smaller units commit only the
+// granularity the demand envelope supports — so savings grow with the
+// split even as per-unit starts multiply, the provisioning argument
+// for modular generation.
+func FleetMix(cfg Config) (*Table, error) {
+	traces, err := baseTraces(cfg)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := suite.Map(cfg, len(FleetMixSplits)+1, func(i int) (*dpss.Report, error) {
+		o := dpss.DefaultOptions()
+		o.CommitWindow = 12 // the lookahead arm: FLEET-2 shows why
+		if i > 0 {
+			o.Fleet = fleetMixUnits(FleetMixSplits[i-1])
+		}
+		return simulate(dpss.PolicySmartDPSS, o, traces)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title: "FLEET-1 — one nameplate MW split across 1, 2 or 4 equal units",
+		Note: "SmartDPSS, V=1, T=24, W=12; fuel 36 $/MWh, min load 40%, startup $40/MW;\n" +
+			"'saving' is against the fleet-free row; expected: the monolith wastes\n" +
+			"min-load energy overnight while finer splits track the residual demand,\n" +
+			"so saving grows with granularity.",
+		Columns: []string{"fleet", "cost $/slot", "saving", "gen MWh", "starts", "waste MWh", "mean delay"},
+	}
+	base := reports[0]
+	for i, rep := range reports {
+		label := "none"
+		if i > 0 {
+			n := FleetMixSplits[i-1]
+			label = fmt.Sprintf("%dx %.2f MW", n, fleetMixNameplateMW/float64(n))
+		}
+		t.AddRow(label,
+			fmtUSD(rep.TimeAvgCostUSD),
+			fmtPct(1-rep.TotalCostUSD/base.TotalCostUSD),
+			fmtF(rep.GenEnergyMWh),
+			fmt.Sprintf("%d", rep.GenStarts),
+			fmtF(rep.WasteMWh),
+			fmtF(rep.MeanDelaySlots),
+		)
+	}
+	return t, nil
+}
+
+// FleetUCWindows are the FLEET-2 commitment-window values (fine slots);
+// 1 is the myopic amortized-hysteresis arm.
+var FleetUCWindows = []int{1, 4, 12, 24, 48}
+
+// fleetUCUnit is the FLEET-2 study unit: small and near the fuel
+// break-even (fuel 45 between the long-term level ~38 and the real-time
+// mean ~47), exactly where the ROADMAP notes the myopic arm flaps.
+func fleetUCUnit() []dpss.UnitSpec {
+	return []dpss.UnitSpec{{CapacityMW: 0.25, MinLoadFrac: 0.2, FuelUSDPerMWh: 45, StartupUSD: 15}}
+}
+
+// FleetUC sweeps the unit-commitment window W at a near-break-even fuel
+// point (FLEET-2). Expected reading: the myopic W=1 arm pays for dozens
+// of cold starts as real-time prices cross the marginal fuel price slot
+// by slot; a modest lookahead holds the unit through the dips, cutting
+// starts by an order of magnitude and recovering the savings the
+// ROADMAP flagged as left on the table.
+func FleetUC(cfg Config) (*Table, error) {
+	traces, err := baseTraces(cfg)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := suite.Map(cfg, len(FleetUCWindows), func(i int) (*dpss.Report, error) {
+		o := dpss.DefaultOptions()
+		o.Fleet = fleetUCUnit()
+		o.CommitWindow = FleetUCWindows[i]
+		return simulate(dpss.PolicySmartDPSS, o, traces)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title: "FLEET-2 — unit-commitment window W at a near-break-even fuel price",
+		Note: "SmartDPSS, one 0.25 MW unit, fuel 45 $/MWh, startup $15; W=1 is the\n" +
+			"myopic amortized-hysteresis arm; 'saving' is against that row;\n" +
+			"expected: the lookahead slashes cold starts and strictly beats W=1.",
+		Columns: []string{"W (slots)", "cost $/slot", "saving", "gen MWh", "starts", "startup $"},
+	}
+	base := reports[0]
+	for i, rep := range reports {
+		t.AddRow(
+			fmt.Sprintf("%d", FleetUCWindows[i]),
+			fmtUSD(rep.TimeAvgCostUSD),
+			fmtPct(1-rep.TotalCostUSD/base.TotalCostUSD),
+			fmtF(rep.GenEnergyMWh),
+			fmt.Sprintf("%d", rep.GenStarts),
+			fmtUSD(rep.GenStartupUSD),
+		)
+	}
+	return t, nil
+}
+
+// FleetCO2Prices are the FLEET-3 carbon prices in USD per ton of CO₂.
+// The sweep brackets the dirty/clean merit crossover (~$7/t for the
+// units below) and the price level that shuts on-site generation down
+// entirely against this trace's grid prices.
+var FleetCO2Prices = []float64{0, 10, 20, 40, 80}
+
+// fleetCO2Units is the FLEET-3 fleet: a cheap, dirty unit (think
+// diesel) next to a pricier, cleaner one (think gas turbine). A rising
+// carbon price first reorders their merit, then prices both out.
+func fleetCO2Units() []dpss.UnitSpec {
+	return []dpss.UnitSpec{
+		{CapacityMW: 0.5, MinLoadFrac: 0.2, FuelUSDPerMWh: 39, StartupUSD: 10, CO2KgPerMWh: 850},
+		{CapacityMW: 0.5, MinLoadFrac: 0.2, FuelUSDPerMWh: 43, StartupUSD: 10, CO2KgPerMWh: 250},
+	}
+}
+
+// FleetCO2 traces the cost-vs-emissions frontier under a carbon price
+// sweep (FLEET-3). Expected reading: emissions fall monotonically with
+// the carbon price — first by shifting dispatch from the dirty to the
+// clean unit (their merit order flips near $7/t where 39 + 0.85·p
+// crosses 43 + 0.25·p), then by shutting on-site generation down — while
+// the billed cost rises, sketching the frontier a carbon-aware operator
+// moves along.
+func FleetCO2(cfg Config) (*Table, error) {
+	traces, err := baseTraces(cfg)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := suite.Map(cfg, len(FleetCO2Prices), func(i int) (*dpss.Report, error) {
+		o := dpss.DefaultOptions()
+		o.Fleet = fleetCO2Units()
+		o.CommitWindow = 12
+		o.CarbonUSDPerTon = FleetCO2Prices[i]
+		return simulate(dpss.PolicySmartDPSS, o, traces)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title: "FLEET-3 — cost vs emissions under a carbon price (dirty + clean unit)",
+		Note: "SmartDPSS, W=12; dirty: 0.5 MW, fuel 39, 850 kg/MWh; clean: 0.5 MW,\n" +
+			"fuel 43, 250 kg/MWh; the carbon charge is folded into each unit's\n" +
+			"marginal price; expected: CO2 falls monotonically as the price rises.",
+		Columns: []string{"carbon $/t", "cost $/slot", "co2 t", "dirty MWh", "clean MWh", "gen share"},
+	}
+	for i, rep := range reports {
+		dirty, clean := 0.0, 0.0
+		if len(rep.GenUnits) == 2 {
+			dirty, clean = rep.GenUnits[0].EnergyMWh, rep.GenUnits[1].EnergyMWh
+		}
+		supplied := rep.LTEnergyMWh + rep.RTEnergyMWh + rep.RenewableMWh + rep.GenEnergyMWh
+		share := 0.0
+		if supplied > 0 {
+			share = rep.GenEnergyMWh / supplied
+		}
+		t.AddRow(
+			fmt.Sprintf("%g", FleetCO2Prices[i]),
+			fmtUSD(rep.TimeAvgCostUSD),
+			fmtF(rep.GenCO2Kg/1000),
+			fmtF(dirty),
+			fmtF(clean),
+			fmtPct(share),
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/smartdpss/smartdpss/internal/suite"
+)
+
+// update regenerates the golden snapshots instead of diffing against
+// them:
+//
+//	go test ./internal/experiments -run TestSuiteGolden -update
+//
+// Regenerate ONLY when an output change is intended and reviewed — the
+// whole point of the harness is that refactors reproduce these bytes.
+var update = flag.Bool("update", false, "rewrite testdata/golden snapshots")
+
+// goldenConfig is the pinned scenario scope: the full one-month paper
+// suite at the default seed, forced sequential. It must match the
+// cmd/experiments defaults so `go run ./cmd/experiments -run <name>
+// -parallel 1` reproduces each file byte for byte.
+func goldenConfig() Config {
+	return Config{Days: 31, Seed: 1, Seeds: 5, Parallel: 1}
+}
+
+// TestSuiteGolden byte-diffs every paper figure against its committed
+// snapshot in testdata/golden. The snapshots were captured before the
+// generator-fleet refactor, so this test is also the empty-fleet
+// byte-identity acceptance check: a fleet-free suite run must still
+// produce the exact pre-fleet bytes. Combined with
+// TestSuiteParallelDeterminism (same bytes at any parallelism) and the
+// CI golden job, any refactor that silently drifts results fails here
+// with a readable diff.
+func TestSuiteGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full one-month paper suite in -short mode")
+	}
+	cfg := goldenConfig()
+	scenarios, err := suite.Select(TagPaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			tbl, err := sc.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tbl.Fprint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", sc.Name+".txt")
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output drifted from %s\n--- got ---\n%s--- want ---\n%s",
+					path, buf.String(), string(want))
+			}
+		})
+	}
+}
+
+// TestGoldenFilesComplete: every paper scenario must have a snapshot on
+// disk, so a newly registered figure cannot silently skip the harness.
+func TestGoldenFilesComplete(t *testing.T) {
+	scenarios, err := suite.Select(TagPaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scenarios {
+		path := filepath.Join("testdata", "golden", sc.Name+".txt")
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("paper scenario %q has no golden snapshot: %v", sc.Name, err)
+		}
+	}
+}

@@ -14,6 +14,10 @@ const (
 	// (arXiv:1303.6775): generator/battery sizing, fuel sensitivity and
 	// the wide V×T cross sweep.
 	TagProvision = "provision"
+	// TagFleet marks the multi-unit generator-fleet family: fleet
+	// granularity, the unit-commitment lookahead window, and the
+	// carbon-price cost/emissions frontier.
+	TagFleet = "fleet"
 	// TagSweep marks scenarios whose runner fans a multi-point sweep
 	// out on the worker pool.
 	TagSweep = "sweep"
@@ -130,6 +134,24 @@ func init() {
 			Description: "PROV-3 — V × T cross sweep over the full parameter grid",
 			Tags:        []string{TagProvision, TagSweep},
 			Run:         ProvisionVT,
+		},
+		{
+			Name:        "fleet-mix",
+			Description: "FLEET-1 — one nameplate MW split across 1, 2 or 4 equal units",
+			Tags:        []string{TagFleet, TagSweep},
+			Run:         FleetMix,
+		},
+		{
+			Name:        "fleet-uc",
+			Description: "FLEET-2 — unit-commitment window sweep at a near-break-even fuel price",
+			Tags:        []string{TagFleet, TagSweep},
+			Run:         FleetUC,
+		},
+		{
+			Name:        "fleet-co2",
+			Description: "FLEET-3 — cost vs emissions frontier under a carbon price sweep",
+			Tags:        []string{TagFleet, TagSweep},
+			Run:         FleetCO2,
 		},
 	} {
 		suite.Register(s)

@@ -12,10 +12,11 @@ import (
 func TestScenariosRegistered(t *testing.T) {
 	want := []string{"fig5", "fig6v", "fig6t", "fig7", "fig8", "fig9", "fig10",
 		"ext-peak", "ext-cycle", "ext-mix", "ext-est", "ext-mpc", "ext-seeds", "ext-cool",
-		"prov-grid", "prov-fuel", "prov-vt"}
+		"prov-grid", "prov-fuel", "prov-vt",
+		"fleet-mix", "fleet-uc", "fleet-co2"}
 	var got []string
 	for _, s := range suite.Scenarios() {
-		if s.HasTag(TagPaper) || s.HasTag(TagExt) || s.HasTag(TagProvision) {
+		if s.HasTag(TagPaper) || s.HasTag(TagExt) || s.HasTag(TagProvision) || s.HasTag(TagFleet) {
 			got = append(got, s.Name)
 		}
 	}
@@ -41,14 +42,21 @@ func TestScenariosRegistered(t *testing.T) {
 	if len(prov) != 3 {
 		t.Fatalf("provision scenarios = %d, want 3", len(prov))
 	}
+	fleet, err := suite.Select(TagFleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 3 {
+		t.Fatalf("fleet scenarios = %d, want 3", len(fleet))
+	}
 }
 
 // renderSuite runs every registered experiment scenario — the paper
-// figures, the extensions and the provisioning family — and renders all
-// tables into one byte stream.
+// figures, the extensions, the provisioning family and the fleet
+// family — and renders all tables into one byte stream.
 func renderSuite(t *testing.T, cfg Config) []byte {
 	t.Helper()
-	tables, err := suite.RunSuite(cfg, TagPaper, TagExt, TagProvision)
+	tables, err := suite.RunSuite(cfg, TagPaper, TagExt, TagProvision, TagFleet)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,139 @@
+package generator
+
+import (
+	"math"
+	"testing"
+)
+
+// fleetSpecs returns a small heterogeneous fleet: a cheap mid-size unit,
+// an expensive peaker, and a big unit with a high minimum stable load.
+func fleetSpecs() []Params {
+	return []Params{
+		{CapacityMWh: 0.5, MinLoadMWh: 0.1, FuelUSDPerMWh: 40, StartupUSD: 5, CO2KgPerMWh: 500},
+		{CapacityMWh: 0.25, MinLoadMWh: 0.05, FuelUSDPerMWh: 90, CO2KgPerMWh: 700},
+		{CapacityMWh: 1.0, MinLoadMWh: 0.6, FuelUSDPerMWh: 55, StartupUSD: 20, CO2KgPerMWh: 600},
+	}
+}
+
+func TestNewFleetRejectsBadUnit(t *testing.T) {
+	specs := fleetSpecs()
+	specs[1].CapacityMWh = -1
+	if _, err := NewFleet(specs); err == nil {
+		t.Fatal("negative-capacity unit accepted")
+	}
+}
+
+func TestFleetMeritOrder(t *testing.T) {
+	f, err := NewFleet(fleetSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 1} // 40, 55, 90 USD/MWh
+	got := f.MeritOrder()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merit order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEmptyFleetInert(t *testing.T) {
+	f, err := NewFleet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Enabled() || f.Size() != 0 {
+		t.Fatalf("empty fleet not inert: size=%d enabled=%v", f.Size(), f.Enabled())
+	}
+	f.Tick()
+	if obs := f.Observe(); obs != nil {
+		t.Fatalf("empty fleet observed units: %+v", obs)
+	}
+	if outs := f.Dispatch([]float64{1, 2}, 1); outs != nil {
+		t.Fatalf("empty fleet dispatched: %+v", outs)
+	}
+	if tot := f.Totals(); tot != (FleetTotals{}) {
+		t.Fatalf("empty fleet accumulated: %+v", tot)
+	}
+}
+
+func TestFleetSplitTotalMeritOrder(t *testing.T) {
+	f, err := NewFleet(fleetSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.6 MWh: cheapest unit (0) takes its 0.5 cap; the next in merit
+	// order (unit 2) cannot hold its 0.6 min load on the 0.1 remainder,
+	// so the peaker (unit 1) takes it.
+	reqs := f.SplitTotal(0.6)
+	if math.Abs(reqs[0]-0.5) > 1e-12 || reqs[2] != 0 || math.Abs(reqs[1]-0.1) > 1e-12 {
+		t.Fatalf("split = %v, want [0.5, 0.1, 0]", reqs)
+	}
+	// A one-unit fleet splits by identity (legacy scalar path).
+	one, err := NewFleet(fleetSpecs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqs := one.SplitTotal(7.5); reqs[0] != 7.5 {
+		t.Fatalf("one-unit split = %v, want [7.5]", reqs)
+	}
+}
+
+func TestFleetDispatchAccountsPerUnit(t *testing.T) {
+	f, err := NewFleet(fleetSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Tick()
+	outs := f.Dispatch([]float64{0.5, 0.25, 0}, 1)
+	if outs[0].DeliveredMWh != 0.5 || outs[1].DeliveredMWh != 0.25 || outs[2].DeliveredMWh != 0 {
+		t.Fatalf("delivered = %+v", outs)
+	}
+	if outs[0].StartupUSD != 5 {
+		t.Fatalf("unit 0 startup = %g, want 5", outs[0].StartupUSD)
+	}
+	if math.Abs(outs[0].CO2Kg-0.5*500) > 1e-9 || math.Abs(outs[1].CO2Kg-0.25*700) > 1e-9 {
+		t.Fatalf("CO2 = %g, %g", outs[0].CO2Kg, outs[1].CO2Kg)
+	}
+	tot := f.Totals()
+	if tot.Starts != 2 || math.Abs(tot.EnergyMWh-0.75) > 1e-9 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	wantCO2 := 0.5*500 + 0.25*700
+	if math.Abs(tot.CO2Kg-wantCO2) > 1e-9 {
+		t.Fatalf("fleet CO2 = %g, want %g", tot.CO2Kg, wantCO2)
+	}
+}
+
+func TestFleetDispatchFuelScale(t *testing.T) {
+	f, err := NewFleet(fleetSpecs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Tick()
+	outs := f.Dispatch([]float64{0.5}, 1.5)
+	want := 1.5 * (40 * 0.5)
+	if math.Abs(outs[0].FuelUSD-want) > 1e-9 {
+		t.Fatalf("scaled fuel = %g, want %g", outs[0].FuelUSD, want)
+	}
+	// CO2 does not scale with the fuel price.
+	if math.Abs(outs[0].CO2Kg-0.5*500) > 1e-9 {
+		t.Fatalf("CO2 = %g, want %g", outs[0].CO2Kg, 0.5*500)
+	}
+}
+
+func TestFleetShortRequestSliceShutsTail(t *testing.T) {
+	f, err := NewFleet(fleetSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Tick()
+	f.Dispatch([]float64{0.5, 0.25, 1.0}, 1)
+	outs := f.Dispatch([]float64{0.5}, 1) // units 1 and 2 get implicit zeros
+	if outs[1].DeliveredMWh != 0 || outs[2].DeliveredMWh != 0 {
+		t.Fatalf("tail units kept producing: %+v", outs)
+	}
+	if f.Unit(1).Running() || f.Unit(2).Running() {
+		t.Fatal("tail units still running after zero request")
+	}
+}

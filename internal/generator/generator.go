@@ -58,6 +58,12 @@ type Params struct {
 	// StartupLagSlots is the synchronization delay: a start requested at
 	// slot τ delivers its first energy at slot τ + StartupLagSlots.
 	StartupLagSlots int
+	// CO2KgPerMWh is the unit's emission intensity: kilograms of CO₂
+	// released per MWh of delivered energy. It does not enter the fuel
+	// bill by itself — a carbon price folds it into the marginal cost at
+	// configuration time (see engine.Options.CarbonUSDPerTon) — but every
+	// delivered MWh is accounted in the emissions totals.
+	CO2KgPerMWh float64
 }
 
 // Enabled reports whether the unit exists at all.
@@ -80,6 +86,8 @@ func (p Params) Validate() error {
 		return errors.New("generator: negative startup cost")
 	case p.StartupLagSlots < 0:
 		return errors.New("generator: negative startup lag")
+	case p.CO2KgPerMWh < 0:
+		return errors.New("generator: negative CO2 intensity")
 	}
 	return nil
 }
@@ -140,6 +148,7 @@ type Generator struct {
 	energyMWh  float64
 	fuelUSD    float64
 	startupUSD float64
+	co2Kg      float64
 	starts     int
 	opSlots    int
 }
@@ -172,6 +181,9 @@ func (g *Generator) FuelCostTotal() float64 { return g.fuelUSD }
 
 // StartupCostTotal returns lifetime startup cost in USD.
 func (g *Generator) StartupCostTotal() float64 { return g.startupUSD }
+
+// CO2Total returns lifetime emissions in kg CO₂.
+func (g *Generator) CO2Total() float64 { return g.co2Kg }
 
 // Starts returns the number of cold starts.
 func (g *Generator) Starts() int { return g.starts }
@@ -224,6 +236,8 @@ type Outcome struct {
 	FuelUSD float64
 	// StartupUSD is the startup cost charged this slot (on cold starts).
 	StartupUSD float64
+	// CO2Kg is the emitted CO₂ of the delivered energy.
+	CO2Kg float64
 }
 
 // Tick advances the synchronization countdown at the start of a slot,
@@ -243,14 +257,22 @@ func (g *Generator) Tick() {
 	}
 }
 
-// Dispatch executes one slot with the requested output and returns what
-// was delivered and charged. Requests are clamped to the admissible set:
+// Dispatch executes one slot with the requested output at the unit's
+// configured fuel price; see DispatchAt.
+func (g *Generator) Dispatch(request float64) Outcome {
+	return g.DispatchAt(request, 1)
+}
+
+// DispatchAt executes one slot with the requested output and returns what
+// was delivered and charged, with the whole fuel curve scaled by the
+// slot's fuel-price multiplier (1 reproduces the configured curve
+// exactly). Requests are clamped to the admissible set:
 // below the minimum stable load the unit shuts down (or stays off), and
 // a positive request while off triggers a cold start — paying StartupUSD
 // once and, with a synchronization lag, delivering its first energy
 // StartupLagSlots slots later. Requests during an in-progress start are
 // ignored (the start is already committed).
-func (g *Generator) Dispatch(request float64) Outcome {
+func (g *Generator) DispatchAt(request, fuelScale float64) Outcome {
 	p := g.params
 	if !p.Enabled() {
 		return Outcome{}
@@ -284,11 +306,13 @@ func (g *Generator) Dispatch(request float64) Outcome {
 	}
 	delivered := math.Min(request, max)
 	out.DeliveredMWh = delivered
-	out.FuelUSD = p.FuelCost(delivered)
+	out.FuelUSD = fuelScale * p.FuelCost(delivered)
+	out.CO2Kg = p.CO2KgPerMWh * delivered
 	g.output = delivered
 	g.fresh = false
 	g.energyMWh += delivered
 	g.fuelUSD += out.FuelUSD
+	g.co2Kg += out.CO2Kg
 	g.opSlots++
 	return out
 }

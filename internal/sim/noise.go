@@ -51,6 +51,13 @@ func (n *NoisyController) PlanCoarse(obs CoarseObs) float64 {
 	obs.DemandDS *= n.factor()
 	obs.DemandDT *= n.factor()
 	obs.Renewable *= n.factor()
+	// The fuel-price multiplier is a market signal like the grid prices
+	// and gets the same error treatment — but only when a fuel market is
+	// configured (scale ≠ 1), so fuel-trace-free runs consume exactly
+	// the pre-fuel-trace noise stream.
+	if obs.FuelScale != 1 && obs.FuelScale != 0 {
+		obs.FuelScale *= n.factor()
+	}
 	return n.inner.PlanCoarse(obs)
 }
 
@@ -64,6 +71,9 @@ func (n *NoisyController) PlanFine(obs FineObs) Decision {
 	noisy.DemandDS *= n.factor()
 	noisy.DemandDT *= n.factor()
 	noisy.Renewable *= n.factor()
+	if noisy.FuelScale != 1 && noisy.FuelScale != 0 {
+		noisy.FuelScale *= n.factor() // see PlanCoarse: fuel market only
+	}
 	dec := n.inner.PlanFine(noisy)
 
 	dec.Grt = clamp(dec.Grt, 0, math.Max(0,
@@ -72,6 +82,13 @@ func (n *NoisyController) PlanFine(obs FineObs) Decision {
 	dec.Charge = clamp(dec.Charge, 0, obs.MaxCharge)
 	dec.Discharge = clamp(dec.Discharge, 0, obs.MaxDischarge)
 	dec.Generate = clamp(dec.Generate, 0, obs.GenRequest)
+	for u := range dec.GenerateUnits {
+		limit := 0.0
+		if u < len(obs.GenUnits) {
+			limit = obs.GenUnits[u].RequestMax
+		}
+		dec.GenerateUnits[u] = clamp(dec.GenerateUnits[u], 0, math.Max(0, limit))
+	}
 	return dec
 }
 

@@ -31,6 +31,7 @@ type slotRecord struct {
 	genMWh        float64
 	genFuelUSD    float64
 	genStartUSD   float64
+	genCO2Kg      float64
 	batteryMoved  bool
 	available     bool
 }
@@ -69,10 +70,15 @@ type Report struct {
 	BatteryInMWh  float64 `json:"batteryInMWh"`
 	BatteryOutMWh float64 `json:"batteryOutMWh"`
 
-	// On-site generator accounting: cold starts and slots with positive
-	// output (zero when no generator is configured).
-	GenStarts int `json:"genStarts,omitempty"`
-	GenSlots  int `json:"genSlots,omitempty"`
+	// On-site generation accounting: cold starts, slots with positive
+	// output, and fleet emissions (zero when no fleet is configured).
+	GenStarts int     `json:"genStarts,omitempty"`
+	GenSlots  int     `json:"genSlots,omitempty"`
+	GenCO2Kg  float64 `json:"genCO2Kg,omitempty"`
+
+	// GenUnits is the per-unit breakdown of the fleet accounting, in
+	// fleet order (nil when no fleet is configured).
+	GenUnits []GenUnitReport `json:"genUnits,omitempty"`
 
 	// Delay statistics over served delay-tolerant energy, in slots.
 	MeanDelaySlots float64 `json:"meanDelaySlots"`
@@ -109,6 +115,17 @@ type Report struct {
 	unavailable   int
 }
 
+// GenUnitReport is one fleet unit's lifetime accounting.
+type GenUnitReport struct {
+	CapacityMWh float64 `json:"capacityMWh"`
+	EnergyMWh   float64 `json:"energyMWh"`
+	FuelUSD     float64 `json:"fuelUSD"`
+	StartupUSD  float64 `json:"startupUSD"`
+	CO2Kg       float64 `json:"co2Kg"`
+	Starts      int     `json:"starts"`
+	OpSlots     int     `json:"opSlots"`
+}
+
 func newReport(controller string, horizon int, keepSeries bool) *Report {
 	r := &Report{
 		Controller:    controller,
@@ -134,6 +151,7 @@ func (r *Report) recordSlot(rec slotRecord) {
 	r.GenFuelUSD += rec.genFuelUSD
 	r.GenStartupUSD += rec.genStartUSD
 	r.GenEnergyMWh += rec.genMWh
+	r.GenCO2Kg += rec.genCO2Kg
 	r.WasteMWh += rec.waste
 	r.UnservedMWh += rec.unserved
 	r.RenewableMWh += rec.renewable
@@ -156,7 +174,7 @@ func (r *Report) recordSlot(rec slotRecord) {
 	}
 }
 
-func (r *Report) finalize(batt *battery.Battery, gen *generator.Generator, acct *market.Account, backlog *queue.Backlog) {
+func (r *Report) finalize(batt *battery.Battery, fleet *generator.Fleet, acct *market.Account, backlog *queue.Backlog) {
 	if r.Slots > 0 {
 		r.TimeAvgCostUSD = r.TotalCostUSD / float64(r.Slots)
 		r.Availability = 1 - float64(r.unavailable)/float64(r.Slots)
@@ -164,8 +182,24 @@ func (r *Report) finalize(batt *battery.Battery, gen *generator.Generator, acct 
 	r.AvailabilityViolations = r.unavailable
 	r.LTEnergyMWh = acct.LongTermEnergy()
 	r.RTEnergyMWh = acct.RealTimeEnergy()
-	r.GenStarts = gen.Starts()
-	r.GenSlots = gen.OpSlots()
+	totals := fleet.Totals()
+	r.GenStarts = totals.Starts
+	r.GenSlots = totals.OpSlots
+	if fleet.Size() > 0 {
+		r.GenUnits = make([]GenUnitReport, fleet.Size())
+		for i := range r.GenUnits {
+			u := fleet.Unit(i)
+			r.GenUnits[i] = GenUnitReport{
+				CapacityMWh: u.Params().CapacityMWh,
+				EnergyMWh:   u.EnergyTotal(),
+				FuelUSD:     u.FuelCostTotal(),
+				StartupUSD:  u.StartupCostTotal(),
+				CO2Kg:       u.CO2Total(),
+				Starts:      u.Starts(),
+				OpSlots:     u.OpSlots(),
+			}
+		}
+	}
 	r.BatteryOps = batt.Ops()
 	r.BatteryInMWh = batt.ChargedTotal()
 	r.BatteryOutMWh = batt.DischargedTotal()
@@ -202,11 +236,23 @@ func (r *Report) String() string {
 		r.MeanDelaySlots, r.MaxDelaySlots, r.BacklogMeanMWh, r.BacklogMaxMWh)
 	fmt.Fprintf(&b, "  battery: ops=%d in=%.2f out=%.2f MWh; availability=%.6f (%d violations)\n",
 		r.BatteryOps, r.BatteryInMWh, r.BatteryOutMWh, r.Availability, r.AvailabilityViolations)
-	// The generator line appears only when on-site generation was used,
-	// keeping generator-free reports byte-identical to earlier versions.
+	// The generator lines appear only when on-site generation was used,
+	// keeping generator-free reports byte-identical to earlier versions;
+	// the CO₂ figure and the per-unit breakdown appear only for runs
+	// that configure emission intensities / a multi-unit fleet.
 	if r.GenStarts > 0 || r.GenEnergyMWh > 0 || r.GenFuelUSD > 0 {
-		fmt.Fprintf(&b, "  generator: starts=%d slots=%d energy=%.2f MWh; fuel=$%.2f startup=$%.2f\n",
+		fmt.Fprintf(&b, "  generator: starts=%d slots=%d energy=%.2f MWh; fuel=$%.2f startup=$%.2f",
 			r.GenStarts, r.GenSlots, r.GenEnergyMWh, r.GenFuelUSD, r.GenStartupUSD)
+		if r.GenCO2Kg > 0 {
+			fmt.Fprintf(&b, " co2=%.1f kg", r.GenCO2Kg)
+		}
+		fmt.Fprintln(&b)
+		if len(r.GenUnits) > 1 {
+			for i, u := range r.GenUnits {
+				fmt.Fprintf(&b, "    unit %d (%.2f MWh cap): starts=%d slots=%d energy=%.2f MWh; fuel=$%.2f startup=$%.2f co2=%.1f kg\n",
+					i, u.CapacityMWh, u.Starts, u.OpSlots, u.EnergyMWh, u.FuelUSD, u.StartupUSD, u.CO2Kg)
+			}
+		}
 	}
 	return b.String()
 }

@@ -36,6 +36,7 @@ type CoarseObs struct {
 	Battery      float64 // b(t) in MWh
 	MaxDischarge float64 // deliverable battery energy this slot, MWh
 	Backlog      float64 // Q(t) in MWh
+	FuelScale    float64 // fuel-price multiplier at the boundary slot (1 without a fuel trace)
 }
 
 // FineObs is what a controller sees each fine slot τ.
@@ -54,12 +55,23 @@ type FineObs struct {
 	SdtMax       float64 // per-slot service cap Sdtmax
 	Smax         float64 // per-slot supply cap (Eq. 1)
 
-	// On-site generator state (all zero when no generator is configured).
-	GenRunning bool    // the unit is synchronized and producing-capable
-	GenMinMWh  float64 // minimum stable load of the dispatch window
-	GenMaxMWh  float64 // max deliverable output this slot (0: cannot produce now)
-	GenRequest float64 // largest admissible Decision.Generate; exceeds
-	// GenMaxMWh only when the unit is off with a synchronization lag, where
+	// FuelScale is the slot's fuel-price multiplier (1 without a fuel
+	// trace): every generation unit's fuel curve is scaled by it.
+	FuelScale float64
+
+	// GenUnits is the per-unit dispatch state of the on-site generation
+	// fleet, in fleet order (nil when no fleet is configured). A
+	// controller addresses unit u through Decision.GenerateUnits[u].
+	GenUnits []generator.UnitObs
+
+	// Aggregate on-site generation state (all zero when no fleet is
+	// configured). For a one-unit fleet these are exactly the unit's
+	// values, matching the pre-fleet single-generator observation.
+	GenRunning bool    // at least one unit is synchronized and producing-capable
+	GenMinMWh  float64 // summed minimum stable load of the open dispatch windows
+	GenMaxMWh  float64 // summed max deliverable output this slot (0: cannot produce now)
+	GenRequest float64 // summed largest admissible dispatch request; exceeds
+	// GenMaxMWh only when units are off with a synchronization lag, where
 	// a positive request signals a cold start that delivers nothing yet
 }
 
@@ -72,12 +84,20 @@ type Decision struct {
 	ServeDT   float64 // backlog service sdt(τ) = γ(τ)Q(τ), MWh
 	Charge    float64 // battery charge brc(τ), MWh (grid side)
 	Discharge float64 // battery discharge bdc(τ), MWh (load side)
-	// Generate is the requested on-site generator output g(τ), MWh. The
-	// engine clamps it to the unit's admissible set: requests below the
+	// Generate is the requested aggregate on-site generation output g(τ),
+	// MWh, split across the fleet in merit order (for a one-unit fleet it
+	// addresses the unit directly, the pre-fleet behavior). The engine
+	// clamps each unit's share to its admissible set: requests below the
 	// minimum stable load shut the unit down, and a positive request
-	// while the unit is off triggers a cold start (see FineObs.GenRequest
-	// and package generator). Ignored when no generator is configured.
+	// while the unit is off triggers a cold start (see FineObs.GenUnits
+	// and package generator). Ignored when no fleet is configured or when
+	// GenerateUnits is set.
 	Generate float64
+	// GenerateUnits is the per-unit dispatch request in fleet order.
+	// When non-nil it takes precedence over Generate; entries beyond the
+	// slice's length are zero (shut down). Fleet-aware controllers use
+	// this to place each unit exactly.
+	GenerateUnits []float64
 }
 
 // Outcome reports the executed slot back to the controller so it can update
@@ -113,8 +133,13 @@ type Config struct {
 	Battery battery.Params
 	// Generator is the optional dispatchable on-site generation unit
 	// (zero value: no generator, reproducing generator-free results
-	// exactly).
+	// exactly). It is the one-unit shorthand for Fleet; setting both is
+	// a configuration error.
 	Generator generator.Params
+	// Fleet is the multi-unit on-site generation fleet in dispatch
+	// order (nil/empty: no fleet). Each unit keeps its own physics and
+	// accounting; Decision.GenerateUnits addresses them individually.
+	Fleet []generator.Params
 	// Market bounds the grid interface (Pgrid, Pmax).
 	Market market.Params
 	// WasteCostUSD prices wasted energy per MWh (the paper adds W(τ) to
@@ -145,6 +170,14 @@ func (c Config) Validate() error {
 	if err := c.Generator.Validate(); err != nil {
 		return err
 	}
+	if len(c.Fleet) > 0 && c.Generator.Enabled() {
+		return errors.New("sim: both Generator and Fleet configured (use Fleet alone)")
+	}
+	for i, u := range c.Fleet {
+		if err := u.Validate(); err != nil {
+			return fmt.Errorf("sim: fleet unit %d: %w", i, err)
+		}
+	}
 	if err := c.Market.Validate(); err != nil {
 		return err
 	}
@@ -167,6 +200,19 @@ func (c Config) Validate() error {
 // anything beyond it is treated as a controller bug.
 const decisionTol = 1e-6
 
+// fleetSpecs resolves the configured fleet: the explicit Fleet slice, or
+// the legacy single Generator wrapped as a one-unit fleet (the shim that
+// keeps Generator-only configurations byte-identical).
+func (c Config) fleetSpecs() []generator.Params {
+	if len(c.Fleet) > 0 {
+		return c.Fleet
+	}
+	if c.Generator.Enabled() {
+		return []generator.Params{c.Generator}
+	}
+	return nil
+}
+
 // Run simulates the controller over the trace set and returns the report.
 func Run(cfg Config, set *trace.Set, ctrl Controller) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
@@ -183,7 +229,7 @@ func Run(cfg Config, set *trace.Set, ctrl Controller) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	gen, err := generator.New(cfg.Generator)
+	fleet, err := generator.NewFleet(cfg.fleetSpecs())
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +242,7 @@ func Run(cfg Config, set *trace.Set, ctrl Controller) (*Report, error) {
 		set:     set,
 		ctrl:    ctrl,
 		batt:    batt,
-		gen:     gen,
+		fleet:   fleet,
 		acct:    acct,
 		backlog: queue.NewBacklog(),
 		rep:     newReport(ctrl.Name(), set.Horizon(), cfg.KeepSeries),
@@ -213,7 +259,7 @@ type engine struct {
 	set     *trace.Set
 	ctrl    Controller
 	batt    *battery.Battery
-	gen     *generator.Generator
+	fleet   *generator.Fleet
 	acct    *market.Account
 	backlog *queue.Backlog
 	rep     *Report
@@ -233,7 +279,7 @@ func (e *engine) run() error {
 			return err
 		}
 	}
-	e.rep.finalize(e.batt, e.gen, e.acct, e.backlog)
+	e.rep.finalize(e.batt, e.fleet, e.acct, e.backlog)
 	e.rep.PeakChargeUSD = e.rep.PeakGridMW * e.cfg.PeakChargeUSDPerMW
 	return nil
 }
@@ -250,6 +296,7 @@ func (e *engine) coarseBoundary(slot, slots int) error {
 		Battery:      e.batt.Level(),
 		MaxDischarge: e.batt.MaxDischargeNow(),
 		Backlog:      e.backlog.Len(),
+		FuelScale:    e.set.FuelScaleAt(slot),
 	}
 	gbef := e.ctrl.PlanCoarse(obs)
 	if math.IsNaN(gbef) || math.IsInf(gbef, 0) {
@@ -269,11 +316,11 @@ func (e *engine) fineSlot(slot int) error {
 		r   = e.set.Renewable.At(slot)
 		prt = e.set.PriceRT.At(slot)
 	)
-	// Advance the generator's synchronization countdown before the
-	// controller observes it, so a unit coming online this slot is
+	// Advance every unit's synchronization countdown before the
+	// controller observes the fleet, so a unit coming online this slot is
 	// visible (and dispatchable) rather than silently shut down.
-	e.gen.Tick()
-	genMin, genMax := e.gen.Window()
+	e.fleet.Tick()
+	units := e.fleet.Observe()
 	obs := FineObs{
 		Slot:         slot,
 		PriceRT:      prt,
@@ -288,20 +335,35 @@ func (e *engine) fineSlot(slot int) error {
 		Backlog:      e.backlog.Len(),
 		SdtMax:       e.cfg.SdtMaxMWh,
 		Smax:         e.cfg.SmaxMWh,
-		GenRunning:   e.gen.Running(),
-		GenMinMWh:    genMin,
-		GenMaxMWh:    genMax,
-		GenRequest:   e.gen.RequestMax(),
+		FuelScale:    e.set.FuelScaleAt(slot),
+		GenUnits:     units,
+	}
+	for _, u := range units {
+		obs.GenRunning = obs.GenRunning || u.Running
+		obs.GenMinMWh += u.MinMWh
+		obs.GenMaxMWh += u.MaxMWh
+		obs.GenRequest += u.RequestMax
 	}
 	dec := e.ctrl.PlanFine(obs)
 	if err := e.validateDecision(&dec, obs); err != nil {
 		return fmt.Errorf("sim: slot %d controller %q: %w", slot, e.ctrl.Name(), err)
 	}
 
-	// Dispatch the on-site generator first: its delivered energy is
-	// committed supply for the balance below (a no-op when no generator
-	// is configured).
-	gen := e.gen.Dispatch(dec.Generate)
+	// Dispatch the on-site fleet first: its delivered energy is
+	// committed supply for the balance below (a no-op when no fleet is
+	// configured). A per-unit plan is executed as given; an aggregate
+	// request is split across the units in merit order.
+	requests := dec.GenerateUnits
+	if requests == nil {
+		requests = e.fleet.SplitTotal(dec.Generate)
+	}
+	var gen generator.Outcome
+	for _, out := range e.fleet.Dispatch(requests, obs.FuelScale) {
+		gen.DeliveredMWh += out.DeliveredMWh
+		gen.FuelUSD += out.FuelUSD
+		gen.StartupUSD += out.StartupUSD
+		gen.CO2Kg += out.CO2Kg
+	}
 
 	// Execute the slot: the balance residual becomes waste or unserved
 	// delay-sensitive energy, so Eq. (4) holds by construction:
@@ -406,6 +468,7 @@ func (e *engine) fineSlot(slot int) error {
 		genMWh:        gen.DeliveredMWh,
 		genFuelUSD:    gen.FuelUSD,
 		genStartUSD:   gen.StartupUSD,
+		genCO2Kg:      gen.CO2Kg,
 		batteryMoved:  dec.Charge > 0 || dec.Discharge > 0,
 		available:     e.batt.Available() && unserved <= decisionTol,
 	})
@@ -434,7 +497,13 @@ func (e *engine) validateDecision(dec *Decision, obs FineObs) error {
 		{"serveDT", &dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax)},
 		{"charge", &dec.Charge, obs.MaxCharge},
 		{"discharge", &dec.Discharge, obs.MaxDischarge},
-		{"generate", &dec.Generate, obs.GenRequest},
+	}
+	if dec.GenerateUnits == nil {
+		fields = append(fields, struct {
+			name string
+			val  *float64
+			max  float64
+		}{"generate", &dec.Generate, obs.GenRequest})
 	}
 	for _, f := range fields {
 		if math.IsNaN(*f.val) || math.IsInf(*f.val, 0) {
@@ -445,6 +514,23 @@ func (e *engine) validateDecision(dec *Decision, obs FineObs) error {
 			return fmt.Errorf("%s = %g outside [0, %g]", f.name, *f.val, limit)
 		}
 		*f.val = clamp(*f.val, 0, limit)
+	}
+	if dec.GenerateUnits != nil {
+		if len(dec.GenerateUnits) > len(obs.GenUnits) {
+			return fmt.Errorf("generateUnits has %d entries for a %d-unit fleet",
+				len(dec.GenerateUnits), len(obs.GenUnits))
+		}
+		for u := range dec.GenerateUnits {
+			val := &dec.GenerateUnits[u]
+			if math.IsNaN(*val) || math.IsInf(*val, 0) {
+				return fmt.Errorf("non-finite generateUnits[%d]", u)
+			}
+			limit := math.Max(0, obs.GenUnits[u].RequestMax)
+			if *val < -decisionTol || *val > limit+decisionTol {
+				return fmt.Errorf("generateUnits[%d] = %g outside [0, %g]", u, *val, limit)
+			}
+			*val = clamp(*val, 0, limit)
+		}
 	}
 	if dec.Charge > decisionTol && dec.Discharge > decisionTol {
 		return errors.New("charge and discharge in the same slot")

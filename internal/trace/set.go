@@ -19,6 +19,22 @@ type Set struct {
 	PriceLT *Series
 	// PriceRT is the real-time market price prt in USD/MWh.
 	PriceRT *Series
+	// FuelScale is an optional sixth series: a per-slot multiplier on
+	// every on-site generation unit's fuel cost curve (dimensionless;
+	// 1.0 is the configured curve). Nil means a constant 1 — the static
+	// fuel price of configurations without a fuel market — and keeps
+	// fuel-trace-free runs byte-identical to earlier versions. Grid
+	// prices are never touched by this series (they have PriceScale).
+	FuelScale *Series
+}
+
+// FuelScaleAt returns the fuel-price multiplier for the slot (1 when no
+// fuel series is configured).
+func (s *Set) FuelScaleAt(slot int) float64 {
+	if s.FuelScale == nil {
+		return 1
+	}
+	return s.FuelScale.At(slot)
 }
 
 // Horizon returns the number of fine slots covered by the set.
@@ -63,18 +79,36 @@ func (s *Set) Validate() error {
 			return fmt.Errorf("trace: %s has negative samples", names[i])
 		}
 	}
+	if fs := s.FuelScale; fs != nil {
+		if err := fs.Validate(); err != nil {
+			return err
+		}
+		if fs.Len() != n {
+			return fmt.Errorf("trace: FuelScale has %d slots, want %d", fs.Len(), n)
+		}
+		if fs.SlotMinutes != slot {
+			return fmt.Errorf("trace: FuelScale has %d-minute slots, want %d", fs.SlotMinutes, slot)
+		}
+		if fs.Min() < 0 {
+			return errors.New("trace: FuelScale has negative samples")
+		}
+	}
 	return nil
 }
 
 // Clone deep-copies the whole set.
 func (s *Set) Clone() *Set {
-	return &Set{
+	out := &Set{
 		DemandDS:  s.DemandDS.Clone(),
 		DemandDT:  s.DemandDT.Clone(),
 		Renewable: s.Renewable.Clone(),
 		PriceLT:   s.PriceLT.Clone(),
 		PriceRT:   s.PriceRT.Clone(),
 	}
+	if s.FuelScale != nil {
+		out.FuelScale = s.FuelScale.Clone()
+	}
+	return out
 }
 
 // ScaleSystem multiplies demand and renewable by β, modelling the system

@@ -33,6 +33,11 @@ type Report = engine.Report
 // Options tunes the controller and the simulated plant.
 type Options = engine.Options
 
+// UnitSpec describes one unit of an on-site generation fleet
+// (Options.Fleet): capacity, minimum stable load, ramp, fuel curve,
+// startup cost/lag and CO₂ intensity.
+type UnitSpec = engine.UnitSpec
+
 // DefaultOptions mirrors the paper's Sec. VI-A defaults: V = 1, ε = 0.5,
 // T = 24 hourly slots, a 2 MW datacenter and a 15-minute UPS.
 func DefaultOptions() Options { return engine.DefaultOptions() }
