@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint docs suite golden cover
+# The perf-trajectory benchmark set (see BENCH_4.json and README "Performance").
+PERF_BENCHES = BenchmarkDefaultsSimulation|BenchmarkAblationP5LP$$|BenchmarkAblationOfflineHorizonLP|BenchmarkFleetDispatch|BenchmarkSuiteSequential
+
+.PHONY: build test race bench lint docs suite golden cover perf
 
 build:
 	$(GO) build ./...
@@ -42,6 +45,17 @@ suite:
 golden:
 	$(GO) test ./internal/experiments -run 'TestSuiteGolden|TestGoldenFilesComplete' -v
 
-# Per-package coverage, mirroring the CI floors (suite 70%, generator 85%).
+# Per-package coverage, mirroring the CI floors (suite 70%, generator 85%,
+# baseline 70%, lp 70%).
 cover:
-	$(GO) test -cover ./internal/suite ./internal/generator
+	$(GO) test -cover ./internal/suite ./internal/generator ./internal/baseline ./internal/lp
+
+# Regenerate the committed benchmark trajectory file: runs the key hot-path
+# benchmarks with -benchmem and rewrites BENCH_4.json's "current" block
+# (the pre-refactor "baseline" block is carried over unchanged). The bench
+# output goes through a file, not a pipe, so a failing benchmark run fails
+# the target instead of being masked by the parser's exit status.
+perf:
+	$(GO) test -bench='$(PERF_BENCHES)' -benchmem -benchtime=20x -run '^$$' . > bench.out
+	$(GO) run ./cmd/perf -out BENCH_4.json -note "make perf" < bench.out
+	@rm -f bench.out

@@ -1,0 +1,172 @@
+// Command perf turns `go test -bench -benchmem` output into the
+// repository's machine-readable benchmark trajectory file (BENCH_*.json)
+// and gates allocation regressions in CI.
+//
+// Usage:
+//
+//	go test -bench='...' -benchmem -run '^$' . | go run ./cmd/perf -out BENCH_4.json
+//	go test -bench='...' -benchmem -run '^$' . | go run ./cmd/perf -check BENCH_4.json -out /tmp/bench.json
+//
+// The tool reads benchmark result lines from stdin. With -out it writes
+// a JSON file holding the parsed numbers as the "current" block; when
+// the output file already exists (or -check names a committed file) its
+// "baseline" block is carried over unchanged, so the pre-refactor
+// reference measurements survive regeneration.
+//
+// With -check FILE the parsed results are additionally compared against
+// FILE's "current" block: the run fails (exit 1) when the allocation
+// count of any gated benchmark regresses beyond the tolerance.
+// Allocations per op are deterministic — unlike ns/op they do not
+// depend on CI machine load — which makes them the right regression
+// signal for an allocation-free hot path.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Block is a named set of measurements with provenance.
+type Block struct {
+	Note       string            `json:"note,omitempty"`
+	Go         string            `json:"go,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// File is the on-disk BENCH_*.json schema.
+type File struct {
+	Schema   string `json:"schema"`
+	Baseline *Block `json:"baseline,omitempty"`
+	Current  *Block `json:"current"`
+}
+
+// gated lists the benchmarks whose allocs/op may not regress, with the
+// multiplicative headroom the check allows (buffer-growth paths can
+// differ by a few allocations between environments).
+var gated = map[string]float64{
+	"BenchmarkDefaultsSimulation": 1.10,
+	"BenchmarkFleetDispatch":      1.10,
+	"BenchmarkAblationP5LP":       1.10,
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+func main() {
+	out := flag.String("out", "", "write the parsed results to this JSON file")
+	check := flag.String("check", "", "fail if allocs/op regress versus this committed JSON file")
+	note := flag.String("note", "", "provenance note stored with the current block")
+	flag.Parse()
+
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		bytes, _ := strconv.ParseInt(m[3], 10, 64)
+		allocs, _ := strconv.ParseInt(m[4], 10, 64)
+		results[m[1]] = Result{NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading stdin: %v", err)
+	}
+	if len(results) == 0 {
+		fatalf("no benchmark result lines found on stdin (did you pass -benchmem?)")
+	}
+
+	if *check != "" {
+		committed, err := load(*check)
+		if err != nil {
+			fatalf("loading %s: %v", *check, err)
+		}
+		if err := gate(results, committed); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("perf: allocation gate passed against %s\n", *check)
+	}
+
+	if *out != "" {
+		f := File{Schema: "smartdpss-bench/v1"}
+		// Carry the committed baseline block forward so regeneration never
+		// loses the pre-refactor reference.
+		for _, prev := range []string{*out, *check} {
+			if prev == "" {
+				continue
+			}
+			if old, err := load(prev); err == nil && old.Baseline != nil {
+				f.Baseline = old.Baseline
+				break
+			}
+		}
+		f.Current = &Block{Note: *note, Go: runtime.Version(), Benchmarks: results}
+		buf, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatalf("encoding: %v", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatalf("writing %s: %v", *out, err)
+		}
+		fmt.Printf("perf: wrote %s (%d benchmarks)\n", *out, len(results))
+	}
+}
+
+func load(path string) (*File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// gate compares fresh allocs/op against the committed current block.
+func gate(fresh map[string]Result, committed *File) error {
+	if committed.Current == nil {
+		return fmt.Errorf("committed file has no current block")
+	}
+	for name, slack := range gated {
+		want, ok := committed.Current.Benchmarks[name]
+		if !ok {
+			continue // benchmark not tracked yet
+		}
+		got, ok := fresh[name]
+		if !ok {
+			return fmt.Errorf("gated benchmark %s missing from this run", name)
+		}
+		limit := int64(float64(want.AllocsPerOp)*slack) + 2
+		if got.AllocsPerOp > limit {
+			return fmt.Errorf("%s allocations regressed: %d allocs/op vs committed %d (limit %d)",
+				name, got.AllocsPerOp, want.AllocsPerOp, limit)
+		}
+		fmt.Printf("perf: %s at %d allocs/op (committed %d, limit %d)\n",
+			name, got.AllocsPerOp, want.AllocsPerOp, limit)
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "perf: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -250,7 +250,8 @@ func TestOfflineIntervalPlanIsBalanced(t *testing.T) {
 	cfg := DefaultConfig()
 	set := testTraces(t, 2)
 	b0 := cfg.Battery.InitialMWh
-	gbef, plan, err := solveInterval(cfg, set, 0, cfg.T, b0, 0)
+	var st lpState
+	gbef, plan, err := st.solveInterval(cfg, set, 0, cfg.T, b0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 type OfflineHorizon struct {
 	cfg Config
 	set *trace.Set
+	st  lpState
 
 	gbef []float64      // per coarse interval
 	plan []sim.Decision // per fine slot
@@ -54,7 +55,9 @@ func (o *OfflineHorizon) PlanCoarse(obs sim.CoarseObs) float64 {
 	return o.gbef[obs.Interval]
 }
 
-// PlanFine replays the precomputed slot decision.
+// PlanFine replays the precomputed slot decision. The returned Decision's
+// GenerateUnits borrows a controller-owned buffer valid until the next
+// PlanFine call.
 func (o *OfflineHorizon) PlanFine(obs sim.FineObs) sim.Decision {
 	if obs.Slot < 0 || obs.Slot >= len(o.plan) {
 		return sim.Decision{}
@@ -63,7 +66,7 @@ func (o *OfflineHorizon) PlanFine(obs sim.FineObs) sim.Decision {
 	dec.ServeDT = math.Min(dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax))
 	dec.Charge = math.Min(dec.Charge, obs.MaxCharge)
 	dec.Discharge = math.Min(dec.Discharge, obs.MaxDischarge)
-	dec.GenerateUnits = clampUnits(dec.GenerateUnits, obs.GenUnits)
+	dec.GenerateUnits = o.st.clampPlan(dec.GenerateUnits, obs.GenUnits)
 	return dec
 }
 
@@ -77,15 +80,17 @@ func (o *OfflineHorizon) RecordOutcome(sim.Outcome) {}
 // only in cross-interval planning.
 func (o *OfflineHorizon) solve() error {
 	cfg, set := o.cfg, o.set
+	st := &o.st
 	bat := cfg.Battery
 	inf := math.Inf(1)
 	H := set.Horizon()
 	T := cfg.T
 	K := (H + T - 1) / T
 
-	prob := lp.NewProblem()
+	prob := st.problem()
 	// Large horizon LPs need a generous pivot budget.
 	prob.SetMaxIterations(200000)
+	defer prob.SetMaxIterations(0)
 
 	gbef := make([]lp.VarID, K)
 	intervalLen := make([]int, K)
@@ -93,96 +98,101 @@ func (o *OfflineHorizon) solve() error {
 		n := minInt(T, H-k*T)
 		intervalLen[k] = n
 		plt := set.PriceLT.At(k * T)
-		gbef[k] = prob.AddVariable(fmt.Sprintf("gbef%d", k), 0, float64(n)*cfg.PgridMWh, plt)
+		gbef[k] = prob.AddVariable("gbef", 0, float64(n)*cfg.PgridMWh, plt)
 	}
 
-	grt := make([]lp.VarID, H)
-	u := make([]lp.VarID, H)
-	c := make([]lp.VarID, H)
-	d := make([]lp.VarID, H)
-	w := make([]lp.VarID, H)
-	e := make([]lp.VarID, H)
+	grt, u, c, d, w, e := st.varIDs(H)
 	units := cfg.genUnits()
-	g := make([][][]lp.VarID, H)
+	var g [][][]lp.VarID
+	if len(units) > 0 {
+		g = make([][][]lp.VarID, H)
+	}
 	proxy := 0.0
 	if bat.MaxChargeMWh > 0 {
 		proxy = bat.OpCostUSD / math.Max(bat.MaxChargeMWh, bat.MaxDischargeMWh)
 	}
 	for i := 0; i < H; i++ {
 		prt := set.PriceRT.At(i)
-		grt[i] = prob.AddVariable(fmt.Sprintf("grt%d", i), 0, cfg.PgridMWh, prt)
-		u[i] = prob.AddVariable(fmt.Sprintf("u%d", i), 0, cfg.SdtMaxMWh, 0)
-		c[i] = prob.AddVariable(fmt.Sprintf("c%d", i), 0, bat.MaxChargeMWh, proxy)
-		d[i] = prob.AddVariable(fmt.Sprintf("d%d", i), 0, bat.MaxDischargeMWh, proxy)
-		w[i] = prob.AddVariable(fmt.Sprintf("w%d", i), 0, inf, cfg.WasteCostUSD)
-		e[i] = prob.AddVariable(fmt.Sprintf("e%d", i), 0, inf, cfg.EmergencyCostUSD)
-		g[i] = addFleetVars(prob, units, i, T, set.FuelScaleAt(i))
+		grt[i] = prob.AddVariable("", 0, cfg.PgridMWh, prt)
+		u[i] = prob.AddVariable("", 0, cfg.SdtMaxMWh, 0)
+		c[i] = prob.AddVariable("", 0, bat.MaxChargeMWh, proxy)
+		d[i] = prob.AddVariable("", 0, bat.MaxDischargeMWh, proxy)
+		w[i] = prob.AddVariable("", 0, inf, cfg.WasteCostUSD)
+		e[i] = prob.AddVariable("", 0, inf, cfg.EmergencyCostUSD)
+		if g != nil {
+			g[i] = addFleetVars(prob, units, i, T, set.FuelScaleAt(i))
+		}
 	}
 
 	b0 := bat.InitialMWh
+	chain := st.chain[:0]
+	serve := st.serve[:0]
+	avail := 0.0
 	for i := 0; i < H; i++ {
 		k := i / T
 		invN := 1.0 / float64(intervalLen[k])
 		dds := set.DemandDS.At(i)
 		r := set.Renewable.At(i)
 
-		balance := []lp.Term{
-			{Var: gbef[k], Coeff: invN},
-			{Var: grt[i], Coeff: 1},
-			{Var: d[i], Coeff: 1},
-			{Var: e[i], Coeff: 1},
-			{Var: u[i], Coeff: -1},
-			{Var: c[i], Coeff: -1},
-			{Var: w[i], Coeff: -1},
+		balance := append(st.terms[:0],
+			lp.Term{Var: gbef[k], Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+			lp.Term{Var: d[i], Coeff: 1},
+			lp.Term{Var: e[i], Coeff: 1},
+			lp.Term{Var: u[i], Coeff: -1},
+			lp.Term{Var: c[i], Coeff: -1},
+			lp.Term{Var: w[i], Coeff: -1},
+		)
+		if g != nil {
+			balance = appendFleetTerms(balance, g[i])
 		}
-		balance = appendFleetTerms(balance, g[i])
+		st.terms = balance
 		prob.AddConstraint(lp.EQ, dds-r, balance...)
 		prob.AddConstraint(lp.LE, cfg.PgridMWh,
 			lp.Term{Var: gbef[k], Coeff: invN},
 			lp.Term{Var: grt[i], Coeff: 1},
 		)
-		smax := []lp.Term{
-			{Var: gbef[k], Coeff: invN},
-			{Var: grt[i], Coeff: 1},
+		smax := append(st.terms[:0],
+			lp.Term{Var: gbef[k], Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+		)
+		if g != nil {
+			smax = appendFleetTerms(smax, g[i])
 		}
-		smax = appendFleetTerms(smax, g[i])
+		st.terms = smax
 		prob.AddConstraint(lp.LE, cfg.SmaxMWh-r, smax...)
 
-		levelTerms := make([]lp.Term, 0, 2*(i+1))
-		for j := 0; j <= i; j++ {
-			levelTerms = append(levelTerms,
-				lp.Term{Var: c[j], Coeff: bat.ChargeEff},
-				lp.Term{Var: d[j], Coeff: -bat.DischargeEff},
-			)
-		}
-		prob.AddConstraint(lp.GE, bat.MinLevelMWh-b0, levelTerms...)
-		prob.AddConstraint(lp.LE, bat.CapacityMWh-b0, levelTerms...)
+		// Battery level and service causality share the incrementally
+		// grown j ≤ i prefixes (same term order and accumulation as the
+		// historical per-constraint rebuild).
+		chain = append(chain,
+			lp.Term{Var: c[i], Coeff: bat.ChargeEff},
+			lp.Term{Var: d[i], Coeff: -bat.DischargeEff},
+		)
+		prob.AddConstraint(lp.GE, bat.MinLevelMWh-b0, chain...)
+		prob.AddConstraint(lp.LE, bat.CapacityMWh-b0, chain...)
 
-		avail := 0.0
-		serveTerms := make([]lp.Term, 0, i+1)
-		for j := 0; j <= i; j++ {
-			avail += set.DemandDT.At(j)
-			serveTerms = append(serveTerms, lp.Term{Var: u[j], Coeff: 1})
-		}
-		prob.AddConstraint(lp.LE, avail, serveTerms...)
+		avail += set.DemandDT.At(i)
+		serve = append(serve, lp.Term{Var: u[i], Coeff: 1})
+		prob.AddConstraint(lp.LE, avail, serve...)
 	}
+	st.chain, st.serve = chain, serve
 
 	// Per-interval deadlines with a penalized slack each.
 	arrived := 0.0
-	served := make([]lp.Term, 0, H+K)
 	for k := 0; k < K; k++ {
-		for i := k * T; i < k*T+intervalLen[k]; i++ {
+		end := k*T + intervalLen[k]
+		for i := k * T; i < end; i++ {
 			arrived += set.DemandDT.At(i)
-			served = append(served, lp.Term{Var: u[i], Coeff: 1})
 		}
-		slack := prob.AddVariable(fmt.Sprintf("slack%d", k), 0, inf, cfg.EmergencyCostUSD)
-		terms := make([]lp.Term, len(served), len(served)+1)
-		copy(terms, served)
+		slack := prob.AddVariable("slack", 0, inf, cfg.EmergencyCostUSD)
+		terms := append(st.terms[:0], serve[:end]...)
 		terms = append(terms, lp.Term{Var: slack, Coeff: 1})
+		st.terms = terms
 		prob.AddConstraint(lp.GE, arrived, terms...)
 	}
 
-	sol, err := prob.Minimize()
+	sol, err := st.solve(prob)
 	if err != nil {
 		return fmt.Errorf("baseline: horizon LP: %w", err)
 	}
@@ -197,11 +207,13 @@ func (o *OfflineHorizon) solve() error {
 	o.plan = make([]sim.Decision, H)
 	for i := 0; i < H; i++ {
 		dec := sim.Decision{
-			Grt:           sol.Value(grt[i]),
-			ServeDT:       sol.Value(u[i]),
-			Charge:        sol.Value(c[i]),
-			Discharge:     sol.Value(d[i]),
-			GenerateUnits: genPlanUnits(sol, g[i]),
+			Grt:       sol.Value(grt[i]),
+			ServeDT:   sol.Value(u[i]),
+			Charge:    sol.Value(c[i]),
+			Discharge: sol.Value(d[i]),
+		}
+		if g != nil {
+			dec.GenerateUnits = genPlanUnits(&sol, g[i])
 		}
 		netPlanChargeDischarge(&dec, bat.ChargeEff, bat.DischargeEff)
 		o.plan[i] = dec

@@ -25,6 +25,13 @@ type Lookahead struct {
 	cfg    Config
 	set    *trace.Set
 	window int
+
+	// Separate LP substrates for the two problem families the controller
+	// solves: the coarse-boundary interval LP and the per-slot window LP.
+	// Keeping them apart sizes each solver's tableau arena to its own
+	// problem family, so both sequences solve allocation-free.
+	coarse lpState
+	fine   lpState
 }
 
 var _ sim.Controller = (*Lookahead)(nil)
@@ -56,7 +63,7 @@ func (l *Lookahead) Window() int { return l.window }
 // scaled up to the full interval when the window is shorter.
 func (l *Lookahead) PlanCoarse(obs sim.CoarseObs) float64 {
 	visible := minInt(l.window, obs.Slots)
-	gbef, _, err := solveInterval(l.cfg, l.set, obs.Slot, visible, obs.Battery, obs.Backlog)
+	gbef, _, err := l.coarse.solveInterval(l.cfg, l.set, obs.Slot, visible, obs.Battery, obs.Backlog)
 	if err != nil {
 		return 0
 	}
@@ -84,7 +91,13 @@ func (l *Lookahead) RecordOutcome(sim.Outcome) {}
 // committed long-term delivery obs.LongTermDue is a constant for every
 // visible slot (it holds for the rest of the interval; slots beyond the
 // boundary see it as an estimate).
+//
+// Consecutive windows share one shape until the horizon truncates them,
+// so every model and tableau buffer is reused across the receding
+// horizon and steady-state solves allocate nothing. The solves run cold
+// (see lpState for why basis warm-starting stays off).
 func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
+	st := &l.fine
 	bat := l.cfg.Battery
 	inf := math.Inf(1)
 	n := minInt(l.window, l.set.Horizon()-obs.Slot)
@@ -92,15 +105,13 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 		return sim.Decision{}, fmt.Errorf("baseline: empty window")
 	}
 
-	prob := lp.NewProblem()
-	grt := make([]lp.VarID, n)
-	u := make([]lp.VarID, n)
-	c := make([]lp.VarID, n)
-	d := make([]lp.VarID, n)
-	w := make([]lp.VarID, n)
-	e := make([]lp.VarID, n)
+	prob := st.problem()
+	grt, u, c, d, w, e := st.varIDs(n)
 	units := l.cfg.genUnits()
-	g := make([][][]lp.VarID, n)
+	var g [][][]lp.VarID
+	if len(units) > 0 {
+		g = make([][][]lp.VarID, n)
+	}
 	proxy := 0.0
 	if bat.MaxChargeMWh > 0 {
 		proxy = bat.OpCostUSD / math.Max(bat.MaxChargeMWh, bat.MaxDischargeMWh)
@@ -108,73 +119,77 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 	for i := 0; i < n; i++ {
 		slot := obs.Slot + i
 		prt := l.set.PriceRT.At(slot)
-		grt[i] = prob.AddVariable(fmt.Sprintf("grt%d", i), 0, math.Max(0, obs.RTHeadroom), prt)
-		u[i] = prob.AddVariable(fmt.Sprintf("u%d", i), 0, l.cfg.SdtMaxMWh, 0)
-		c[i] = prob.AddVariable(fmt.Sprintf("c%d", i), 0, bat.MaxChargeMWh, proxy)
-		d[i] = prob.AddVariable(fmt.Sprintf("d%d", i), 0, bat.MaxDischargeMWh, proxy)
-		w[i] = prob.AddVariable(fmt.Sprintf("w%d", i), 0, inf, l.cfg.WasteCostUSD)
-		e[i] = prob.AddVariable(fmt.Sprintf("e%d", i), 0, inf, l.cfg.EmergencyCostUSD)
-		g[i] = addFleetVars(prob, units, i, n, l.set.FuelScaleAt(slot))
+		grt[i] = prob.AddVariable("", 0, math.Max(0, obs.RTHeadroom), prt)
+		u[i] = prob.AddVariable("", 0, l.cfg.SdtMaxMWh, 0)
+		c[i] = prob.AddVariable("", 0, bat.MaxChargeMWh, proxy)
+		d[i] = prob.AddVariable("", 0, bat.MaxDischargeMWh, proxy)
+		w[i] = prob.AddVariable("", 0, inf, l.cfg.WasteCostUSD)
+		e[i] = prob.AddVariable("", 0, inf, l.cfg.EmergencyCostUSD)
+		if g != nil {
+			g[i] = addFleetVars(prob, units, i, n, l.set.FuelScaleAt(slot))
+		}
 	}
 
+	chain := st.chain[:0]
+	serve := st.serve[:0]
+	avail := obs.Backlog
 	for i := 0; i < n; i++ {
 		slot := obs.Slot + i
 		dds := l.set.DemandDS.At(slot)
 		r := l.set.Renewable.At(slot)
 
 		// Balance with the committed flat delivery as a constant.
-		balance := []lp.Term{
-			{Var: grt[i], Coeff: 1},
-			{Var: d[i], Coeff: 1},
-			{Var: e[i], Coeff: 1},
-			{Var: u[i], Coeff: -1},
-			{Var: c[i], Coeff: -1},
-			{Var: w[i], Coeff: -1},
+		balance := append(st.terms[:0],
+			lp.Term{Var: grt[i], Coeff: 1},
+			lp.Term{Var: d[i], Coeff: 1},
+			lp.Term{Var: e[i], Coeff: 1},
+			lp.Term{Var: u[i], Coeff: -1},
+			lp.Term{Var: c[i], Coeff: -1},
+			lp.Term{Var: w[i], Coeff: -1},
+		)
+		if g != nil {
+			balance = appendFleetTerms(balance, g[i])
 		}
-		balance = appendFleetTerms(balance, g[i])
+		st.terms = balance
 		prob.AddConstraint(lp.EQ, dds-r-obs.LongTermDue, balance...)
 		// Supply cap.
-		smax := appendFleetTerms([]lp.Term{{Var: grt[i], Coeff: 1}}, g[i])
+		smax := append(st.terms[:0], lp.Term{Var: grt[i], Coeff: 1})
+		if g != nil {
+			smax = appendFleetTerms(smax, g[i])
+		}
+		st.terms = smax
 		prob.AddConstraint(lp.LE, l.cfg.SmaxMWh-r-obs.LongTermDue, smax...)
 
-		// Battery trajectory bounds from the live level.
-		levelTerms := make([]lp.Term, 0, 2*(i+1))
-		for j := 0; j <= i; j++ {
-			levelTerms = append(levelTerms,
-				lp.Term{Var: c[j], Coeff: bat.ChargeEff},
-				lp.Term{Var: d[j], Coeff: -bat.DischargeEff},
-			)
-		}
-		prob.AddConstraint(lp.GE, bat.MinLevelMWh-obs.Battery, levelTerms...)
-		prob.AddConstraint(lp.LE, bat.CapacityMWh-obs.Battery, levelTerms...)
+		// Battery trajectory bounds from the live level, over the
+		// incrementally grown j ≤ i prefix.
+		chain = append(chain,
+			lp.Term{Var: c[i], Coeff: bat.ChargeEff},
+			lp.Term{Var: d[i], Coeff: -bat.DischargeEff},
+		)
+		prob.AddConstraint(lp.GE, bat.MinLevelMWh-obs.Battery, chain...)
+		prob.AddConstraint(lp.LE, bat.CapacityMWh-obs.Battery, chain...)
 
 		// Service causality from the live backlog.
-		avail := obs.Backlog
-		serveTerms := make([]lp.Term, 0, i+1)
-		for j := 0; j <= i; j++ {
-			if j > 0 {
-				avail += l.set.DemandDT.At(obs.Slot + j - 1)
-			}
-			serveTerms = append(serveTerms, lp.Term{Var: u[j], Coeff: 1})
+		if i > 0 {
+			avail += l.set.DemandDT.At(obs.Slot + i - 1)
 		}
-		prob.AddConstraint(lp.LE, avail, serveTerms...)
+		serve = append(serve, lp.Term{Var: u[i], Coeff: 1})
+		prob.AddConstraint(lp.LE, avail, serve...)
 	}
+	st.chain, st.serve = chain, serve
 
 	// Window deadline: all visible demand served by the window end
-	// (penalized slack keeps degenerate windows feasible).
-	total := obs.Backlog
-	for j := 1; j < n; j++ {
-		total += l.set.DemandDT.At(obs.Slot + j - 1)
-	}
+	// (penalized slack keeps degenerate windows feasible). The running
+	// avail already equals backlog plus all arrivals before the last
+	// visible slot.
+	total := avail
 	slack := prob.AddVariable("slack", 0, inf, l.cfg.EmergencyCostUSD)
-	endTerms := make([]lp.Term, 0, n+1)
-	for i := 0; i < n; i++ {
-		endTerms = append(endTerms, lp.Term{Var: u[i], Coeff: 1})
-	}
+	endTerms := append(st.terms[:0], serve...)
 	endTerms = append(endTerms, lp.Term{Var: slack, Coeff: 1})
+	st.terms = endTerms
 	prob.AddConstraint(lp.GE, total, endTerms...)
 
-	sol, err := prob.Minimize()
+	sol, err := st.solve(prob)
 	if err != nil {
 		return sim.Decision{}, err
 	}
@@ -183,11 +198,13 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 	}
 
 	dec := sim.Decision{
-		Grt:           sol.Value(grt[0]),
-		ServeDT:       math.Min(sol.Value(u[0]), math.Min(obs.Backlog, obs.SdtMax)),
-		Charge:        math.Min(sol.Value(c[0]), obs.MaxCharge),
-		Discharge:     math.Min(sol.Value(d[0]), obs.MaxDischarge),
-		GenerateUnits: clampUnits(genPlanUnits(sol, g[0]), obs.GenUnits),
+		Grt:       sol.Value(grt[0]),
+		ServeDT:   math.Min(sol.Value(u[0]), math.Min(obs.Backlog, obs.SdtMax)),
+		Charge:    math.Min(sol.Value(c[0]), obs.MaxCharge),
+		Discharge: math.Min(sol.Value(d[0]), obs.MaxDischarge),
+	}
+	if g != nil {
+		dec.GenerateUnits = st.clampPlan(genPlanUnits(&sol, g[0]), obs.GenUnits)
 	}
 	netPlanChargeDischarge(&dec, bat.ChargeEff, bat.DischargeEff)
 	return dec, nil

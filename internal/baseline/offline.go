@@ -15,9 +15,17 @@ import (
 // replays the per-slot plan. Battery state and any unserved backlog carry
 // across intervals; every interval must serve its arrivals (plus inherited
 // backlog) by its end, mirroring the single-interval scope of problem P2.
+//
+// Consecutive interval LPs share one shape (T slots, the same constraint
+// pattern), so the controller's solver reuses every model and tableau
+// buffer across intervals and the whole sequence solves allocation-free
+// after the first interval. The solves themselves run the exact cold
+// pivot sequence — not basis warm-starts — so each interval reproduces
+// the historical optimal vertex bit for bit (see lpState).
 type OfflineOptimal struct {
 	cfg Config
 	set *trace.Set
+	st  lpState
 
 	// plan for the current interval, indexed by slot offset
 	plan      []sim.Decision
@@ -46,11 +54,11 @@ func (o *OfflineOptimal) CoarseSlots() int { return o.cfg.T }
 
 // PlanCoarse solves the interval LP and returns its long-term purchase.
 func (o *OfflineOptimal) PlanCoarse(obs sim.CoarseObs) float64 {
-	gbef, plan, err := solveInterval(o.cfg, o.set, obs.Slot, obs.Slots, obs.Battery, obs.Backlog)
+	gbef, plan, err := o.st.solveInterval(o.cfg, o.set, obs.Slot, obs.Slots, obs.Battery, obs.Backlog)
 	if err != nil {
 		// A solver failure leaves a defensive empty plan; the engine's
 		// passive UPS and the emergency accounting absorb the slots.
-		o.plan = make([]sim.Decision, obs.Slots)
+		o.plan = o.st.decisions(obs.Slots)
 		o.planStart = obs.Slot
 		return 0
 	}
@@ -59,7 +67,8 @@ func (o *OfflineOptimal) PlanCoarse(obs sim.CoarseObs) float64 {
 	return gbef
 }
 
-// PlanFine replays the solved plan.
+// PlanFine replays the solved plan. The returned Decision's GenerateUnits
+// borrows a controller-owned buffer valid until the next PlanFine call.
 func (o *OfflineOptimal) PlanFine(obs sim.FineObs) sim.Decision {
 	idx := obs.Slot - o.planStart
 	if idx < 0 || idx >= len(o.plan) {
@@ -73,7 +82,7 @@ func (o *OfflineOptimal) PlanFine(obs sim.FineObs) sim.Decision {
 	dec.ServeDT = math.Min(dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax))
 	dec.Charge = math.Min(dec.Charge, obs.MaxCharge)
 	dec.Discharge = math.Min(dec.Discharge, obs.MaxDischarge)
-	dec.GenerateUnits = clampUnits(dec.GenerateUnits, obs.GenUnits)
+	dec.GenerateUnits = o.st.clampPlan(dec.GenerateUnits, obs.GenUnits)
 	return dec
 }
 
@@ -81,15 +90,16 @@ func (o *OfflineOptimal) PlanFine(obs sim.FineObs) sim.Decision {
 func (o *OfflineOptimal) RecordOutcome(sim.Outcome) {}
 
 // solveInterval builds and solves the clairvoyant LP for slots
-// [start, start+n), returning the long-term purchase and per-slot plan.
+// [start, start+n), returning the long-term purchase and per-slot plan
+// (the plan borrows st's buffer and is valid until the next solve).
 //
 // Variables per slot i: grt_i, u_i (backlog service), c_i (charge),
 // d_i (discharge), w_i (waste), e_i (emergency); plus one gbef.
 // By Lemma 1 grt is essentially unused at the optimum, but keeping it
 // preserves feasibility when the flat gbef/T delivery cannot track peaky
 // intra-interval demand.
-func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (float64, []sim.Decision, error) {
-	prob := lp.NewProblem()
+func (st *lpState) solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (float64, []sim.Decision, error) {
+	prob := st.problem()
 	bat := cfg.Battery
 	inf := math.Inf(1)
 
@@ -98,14 +108,12 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 	plt := set.PriceLT.At(start)
 	gbef := prob.AddVariable("gbef", 0, float64(n)*cfg.PgridMWh, plt)
 
-	grt := make([]lp.VarID, n)
-	u := make([]lp.VarID, n)
-	c := make([]lp.VarID, n)
-	d := make([]lp.VarID, n)
-	w := make([]lp.VarID, n)
-	e := make([]lp.VarID, n)
+	grt, u, c, d, w, e := st.varIDs(n)
 	units := cfg.genUnits()
-	g := make([][][]lp.VarID, n)
+	var g [][][]lp.VarID
+	if len(units) > 0 {
+		g = make([][][]lp.VarID, n)
+	}
 
 	// The linear battery-operation proxy (see package docs).
 	proxy := 0.0
@@ -117,33 +125,41 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 	for i := 0; i < n; i++ {
 		slot := start + i
 		prt := set.PriceRT.At(slot)
-		grt[i] = prob.AddVariable(fmt.Sprintf("grt%d", i), 0, cfg.PgridMWh, prt)
-		u[i] = prob.AddVariable(fmt.Sprintf("u%d", i), 0, cfg.SdtMaxMWh, 0)
-		c[i] = prob.AddVariable(fmt.Sprintf("c%d", i), 0, bat.MaxChargeMWh, proxy)
-		d[i] = prob.AddVariable(fmt.Sprintf("d%d", i), 0, bat.MaxDischargeMWh, proxy)
-		w[i] = prob.AddVariable(fmt.Sprintf("w%d", i), 0, inf, cfg.WasteCostUSD)
-		e[i] = prob.AddVariable(fmt.Sprintf("e%d", i), 0, inf, cfg.EmergencyCostUSD)
-		g[i] = addFleetVars(prob, units, i, n, set.FuelScaleAt(slot))
+		grt[i] = prob.AddVariable("", 0, cfg.PgridMWh, prt)
+		u[i] = prob.AddVariable("", 0, cfg.SdtMaxMWh, 0)
+		c[i] = prob.AddVariable("", 0, bat.MaxChargeMWh, proxy)
+		d[i] = prob.AddVariable("", 0, bat.MaxDischargeMWh, proxy)
+		w[i] = prob.AddVariable("", 0, inf, cfg.WasteCostUSD)
+		e[i] = prob.AddVariable("", 0, inf, cfg.EmergencyCostUSD)
+		if g != nil {
+			g[i] = addFleetVars(prob, units, i, n, set.FuelScaleAt(slot))
+		}
 		totalArrivals += set.DemandDT.At(slot)
 	}
 
 	invN := 1.0 / float64(n)
+	chain := st.chain[:0]
+	serve := st.serve[:0]
+	avail := q0
 	for i := 0; i < n; i++ {
 		slot := start + i
 		dds := set.DemandDS.At(slot)
 		r := set.Renewable.At(slot)
 
 		// Balance: gbef/n + r + grt + d + g + e = dds + u + c + w.
-		balance := []lp.Term{
-			{Var: gbef, Coeff: invN},
-			{Var: grt[i], Coeff: 1},
-			{Var: d[i], Coeff: 1},
-			{Var: e[i], Coeff: 1},
-			{Var: u[i], Coeff: -1},
-			{Var: c[i], Coeff: -1},
-			{Var: w[i], Coeff: -1},
+		balance := append(st.terms[:0],
+			lp.Term{Var: gbef, Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+			lp.Term{Var: d[i], Coeff: 1},
+			lp.Term{Var: e[i], Coeff: 1},
+			lp.Term{Var: u[i], Coeff: -1},
+			lp.Term{Var: c[i], Coeff: -1},
+			lp.Term{Var: w[i], Coeff: -1},
+		)
+		if g != nil {
+			balance = appendFleetTerms(balance, g[i])
 		}
-		balance = appendFleetTerms(balance, g[i])
+		st.terms = balance
 		prob.AddConstraint(lp.EQ, dds-r, balance...)
 
 		// Grid cap: gbef/n + grt_i ≤ Pgrid.
@@ -152,45 +168,45 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 			lp.Term{Var: grt[i], Coeff: 1},
 		)
 		// Supply cap: gbef/n + grt_i + r_i + Σg_i ≤ Smax.
-		smax := []lp.Term{
-			{Var: gbef, Coeff: invN},
-			{Var: grt[i], Coeff: 1},
+		smax := append(st.terms[:0],
+			lp.Term{Var: gbef, Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+		)
+		if g != nil {
+			smax = appendFleetTerms(smax, g[i])
 		}
-		smax = appendFleetTerms(smax, g[i])
+		st.terms = smax
 		prob.AddConstraint(lp.LE, cfg.SmaxMWh-r, smax...)
 
-		// Battery level bounds: Bmin ≤ b0 + Σ(ηc·c − ηd·d) ≤ Bmax.
-		levelTerms := make([]lp.Term, 0, 2*(i+1))
-		for j := 0; j <= i; j++ {
-			levelTerms = append(levelTerms,
-				lp.Term{Var: c[j], Coeff: bat.ChargeEff},
-				lp.Term{Var: d[j], Coeff: -bat.DischargeEff},
-			)
-		}
-		prob.AddConstraint(lp.GE, bat.MinLevelMWh-b0, levelTerms...)
-		prob.AddConstraint(lp.LE, bat.CapacityMWh-b0, levelTerms...)
+		// Battery level bounds: Bmin ≤ b0 + Σ(ηc·c − ηd·d) ≤ Bmax. The
+		// prefix terms grow incrementally — constraint i shares the
+		// j ≤ i chain with every earlier slot.
+		chain = append(chain,
+			lp.Term{Var: c[i], Coeff: bat.ChargeEff},
+			lp.Term{Var: d[i], Coeff: -bat.DischargeEff},
+		)
+		prob.AddConstraint(lp.GE, bat.MinLevelMWh-b0, chain...)
+		prob.AddConstraint(lp.LE, bat.CapacityMWh-b0, chain...)
 
-		// Service causality: Σ_{j≤i} u_j ≤ q0 + Σ_{j≤i} ddt_j.
-		avail := q0
-		serveTerms := make([]lp.Term, 0, i+1)
-		for j := 0; j <= i; j++ {
-			avail += set.DemandDT.At(start + j)
-			serveTerms = append(serveTerms, lp.Term{Var: u[j], Coeff: 1})
-		}
-		prob.AddConstraint(lp.LE, avail, serveTerms...)
+		// Service causality: Σ_{j≤i} u_j ≤ q0 + Σ_{j≤i} ddt_j. The
+		// right-hand side is the same left-to-right accumulation the
+		// per-constraint rebuild produced, so the coefficients are
+		// bit-identical.
+		avail += set.DemandDT.At(slot)
+		serve = append(serve, lp.Term{Var: u[i], Coeff: 1})
+		prob.AddConstraint(lp.LE, avail, serve...)
 	}
+	st.chain, st.serve = chain, serve
 
 	// Interval deadline: everything arrived must be served by the end,
 	// with a heavily penalized slack for physically infeasible intervals.
 	slack := prob.AddVariable("slack", 0, inf, cfg.EmergencyCostUSD)
-	endTerms := make([]lp.Term, 0, n+1)
-	for i := 0; i < n; i++ {
-		endTerms = append(endTerms, lp.Term{Var: u[i], Coeff: 1})
-	}
+	endTerms := append(st.terms[:0], serve...)
 	endTerms = append(endTerms, lp.Term{Var: slack, Coeff: 1})
+	st.terms = endTerms
 	prob.AddConstraint(lp.EQ, totalArrivals, endTerms...)
 
-	sol, err := prob.Minimize()
+	sol, err := st.solve(prob)
 	if err != nil {
 		return 0, nil, fmt.Errorf("baseline: interval LP at %d: %w", start, err)
 	}
@@ -198,14 +214,16 @@ func solveInterval(cfg Config, set *trace.Set, start, n int, b0, q0 float64) (fl
 		return 0, nil, fmt.Errorf("baseline: interval LP at %d: %v", start, sol.Status)
 	}
 
-	plan := make([]sim.Decision, n)
+	plan := st.decisions(n)
 	for i := 0; i < n; i++ {
 		plan[i] = sim.Decision{
-			Grt:           sol.Value(grt[i]),
-			ServeDT:       sol.Value(u[i]),
-			Charge:        sol.Value(c[i]),
-			Discharge:     sol.Value(d[i]),
-			GenerateUnits: genPlanUnits(sol, g[i]),
+			Grt:       sol.Value(grt[i]),
+			ServeDT:   sol.Value(u[i]),
+			Charge:    sol.Value(c[i]),
+			Discharge: sol.Value(d[i]),
+		}
+		if g != nil {
+			plan[i].GenerateUnits = genPlanUnits(&sol, g[i])
 		}
 		netPlanChargeDischarge(&plan[i], bat.ChargeEff, bat.DischargeEff)
 	}

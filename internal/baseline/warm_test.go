@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWarmIntervalSequenceMatchesCold replays the OfflineOptimal interval
+// sequence twice: once through a single lpState whose solver warm-starts
+// each interval from the previous one's basis, and once through a fresh
+// cold state per interval. The optimal objectives must agree exactly (to
+// round-off) and the warm plans must be feasible. Decision vectors may
+// legitimately differ — these LPs are degenerate, and a warm solve can
+// land on a different vertex of the same optimal face — which is exactly
+// why the production baselines solve cold: the golden snapshots pin the
+// cold vertex byte for byte.
+func TestWarmIntervalSequenceMatchesCold(t *testing.T) {
+	cfg := DefaultConfig()
+	set := testTraces(t, 7)
+	b0 := cfg.Battery.InitialMWh
+	bat := cfg.Battery
+
+	warm := lpState{warm: true}
+	for k := 0; k*cfg.T < set.Horizon(); k++ {
+		start := k * cfg.T
+		n := set.Horizon() - start
+		if n > cfg.T {
+			n = cfg.T
+		}
+		gbefW, planW, err := warm.solveInterval(cfg, set, start, n, b0, 0)
+		if err != nil {
+			t.Fatalf("interval %d warm: %v", k, err)
+		}
+		objW := warm.lastObjective
+
+		var cold lpState
+		if _, _, err := cold.solveInterval(cfg, set, start, n, b0, 0); err != nil {
+			t.Fatalf("interval %d cold: %v", k, err)
+		}
+		objC := cold.lastObjective
+
+		if diff := math.Abs(objW - objC); diff > 1e-6*(1+math.Abs(objC)) {
+			t.Fatalf("interval %d: warm objective %v != cold %v (diff %g)", k, objW, objC, diff)
+		}
+		if gbefW < -1e-9 || gbefW > float64(n)*cfg.PgridMWh+1e-9 {
+			t.Fatalf("interval %d: warm gbef %v outside [0, %v]", k, gbefW, float64(n)*cfg.PgridMWh)
+		}
+		for i, dec := range planW {
+			switch {
+			case dec.Grt < -1e-9 || dec.Grt > cfg.PgridMWh+1e-9:
+				t.Fatalf("interval %d slot %d: grt %v out of bounds", k, i, dec.Grt)
+			case dec.ServeDT < -1e-9 || dec.ServeDT > cfg.SdtMaxMWh+1e-9:
+				t.Fatalf("interval %d slot %d: serveDT %v out of bounds", k, i, dec.ServeDT)
+			case dec.Charge < -1e-9 || dec.Charge > bat.MaxChargeMWh+1e-9:
+				t.Fatalf("interval %d slot %d: charge %v out of bounds", k, i, dec.Charge)
+			case dec.Discharge < -1e-9 || dec.Discharge > bat.MaxDischargeMWh+1e-9:
+				t.Fatalf("interval %d slot %d: discharge %v out of bounds", k, i, dec.Discharge)
+			}
+		}
+	}
+}
+
+// TestWarmIntervalSequencePivotOverhead bounds the cost of basis reuse on
+// the real interval sequence. At this problem scale the dense-tableau
+// re-installation plus feasibility repair roughly cancels the skipped
+// phase 1 — the measured reason production baselines run cold — but it
+// must never blow up: a thrashing repair loop would show here as a pivot
+// explosion.
+func TestWarmIntervalSequencePivotOverhead(t *testing.T) {
+	cfg := DefaultConfig()
+	set := testTraces(t, 7)
+	b0 := cfg.Battery.InitialMWh
+
+	warm := lpState{warm: true}
+	warmPivots, coldPivots := 0, 0
+	for k := 0; k*cfg.T < set.Horizon(); k++ {
+		start := k * cfg.T
+		if _, _, err := warm.solveInterval(cfg, set, start, cfg.T, b0, 0); err != nil {
+			t.Fatal(err)
+		}
+		warmPivots += warm.lastIterations
+
+		var cold lpState
+		if _, _, err := cold.solveInterval(cfg, set, start, cfg.T, b0, 0); err != nil {
+			t.Fatal(err)
+		}
+		coldPivots += cold.lastIterations
+	}
+	t.Logf("pivots over the interval sequence: warm %d vs cold %d", warmPivots, coldPivots)
+	if warmPivots > coldPivots*3/2 {
+		t.Errorf("warm pivots %d exceed 1.5× cold pivots %d — repair is thrashing",
+			warmPivots, coldPivots)
+	}
+}

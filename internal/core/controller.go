@@ -5,6 +5,7 @@ import (
 
 	"github.com/smartdpss/smartdpss/internal/generator"
 	"github.com/smartdpss/smartdpss/internal/queue"
+	"github.com/smartdpss/smartdpss/internal/scratch"
 	"github.com/smartdpss/smartdpss/internal/sim"
 )
 
@@ -45,6 +46,33 @@ type Controller struct {
 	// lpFailures counts LP-path failures recovered by the analytic path
 	// (expected to stay zero; exported for tests via LPFailures).
 	lpFailures int
+
+	// scr is the per-controller slot-loop scratch: every buffer the P5
+	// solvers and the fleet planner need is owned here and reused across
+	// fine slots, so steady-state planning allocates nothing.
+	scr slotScratch
+}
+
+// slotScratch is the Controller's reusable slot-loop storage. Buffers
+// grow to the fleet's size on first use and are reused verbatim after
+// that; the zero value is ready.
+type slotScratch struct {
+	p5 p5Scratch   // merit-order solver legs and order buffers
+	lp p5LPScratch // simplex reference path problem/solver
+
+	flowsFree   []float64 // per-segment flows of the battery-free solve
+	flowsFrozen []float64 // per-segment flows of the battery-frozen solve
+	adopted     []float64 // flows of the adopted fleet solve (survives later solves)
+
+	segsCur  []genSeg // committed segment set under construction
+	segsCand []genSeg // candidate segment set (ping-pongs with segsCur on adoption)
+	segTmp   []generator.Segment
+
+	committedMin []float64
+	starts       []float64
+	committed    []bool
+	units        []float64
+	above        []float64
 }
 
 var _ sim.Controller = (*Controller)(nil)
@@ -158,7 +186,9 @@ func (c *Controller) PlanCoarse(obs sim.CoarseObs) float64 {
 
 // PlanFine solves P5 for one fine slot using the frozen queue state, with
 // the UPS fixed charge handled exactly by comparing the battery-frozen and
-// battery-free optima (see doc.go).
+// battery-free optima (see doc.go). The returned Decision's GenerateUnits
+// borrows controller-owned scratch and is valid until the next PlanFine
+// call — the engine consumes each decision within its slot.
 func (c *Controller) PlanFine(obs sim.FineObs) sim.Decision {
 	p := c.params
 	c.est.Observe(obs.DemandDS, obs.DemandDT, obs.Renewable)
@@ -209,7 +239,8 @@ func fuelScale(v float64) float64 {
 // as fuel-curve segments with drift weights V·(scaled marginal) − (Q+Y).
 func (c *Controller) unitSegs(dst []genSeg, ui int, u generator.UnitObs, qy, fs float64) []genSeg {
 	p := c.params
-	for _, s := range c.specs[ui].Segments(u.MinMWh, u.MaxMWh) {
+	c.scr.segTmp = c.specs[ui].AppendSegments(c.scr.segTmp[:0], u.MinMWh, u.MaxMWh)
+	for _, s := range c.scr.segTmp {
 		dst = append(dst, genSeg{cap: s.Cap, w: p.V*(s.USDPerMWh*fs) - qy, unit: ui})
 	}
 	return dst
@@ -217,11 +248,15 @@ func (c *Controller) unitSegs(dst []genSeg, ui int, u generator.UnitObs, qy, fs 
 
 // solveBest runs the battery-free/battery-frozen pair for one P5
 // instance and returns the better result with its total (including the
-// UPS fixed charge when the battery moves).
+// UPS fixed charge when the battery moves). The result's genFlows borrow
+// a scratch buffer valid until the next solveBest call; adopters copy.
 func (c *Controller) solveBest(in p5Input) (p5Result, float64) {
 	p := c.params
-	free := c.solve(in)
-	frozen := c.solve(in.frozen())
+	n := len(in.genSegs)
+	c.scr.flowsFree = scratch.For(c.scr.flowsFree, n)
+	c.scr.flowsFrozen = scratch.For(c.scr.flowsFrozen, n)
+	free := c.solve(in, c.scr.flowsFree)
+	frozen := c.solve(in.frozen(), c.scr.flowsFrozen)
 	freeTotal := free.obj
 	if free.batteryUsed() {
 		freeTotal += p.V * p.Battery.OpCostUSD
@@ -240,8 +275,9 @@ func (c *Controller) solveBest(in p5Input) (p5Result, float64) {
 func (c *Controller) fleetDecision(dec *sim.Decision, obs sim.FineObs, res p5Result,
 	segs []genSeg, committedMin, starts []float64) {
 	p := c.params
-	units := make([]float64, len(c.specs))
-	above := make([]float64, len(c.specs))
+	units := scratch.Zeroed(c.scr.units, len(c.specs))
+	above := scratch.Zeroed(c.scr.above, len(c.specs))
+	c.scr.units, c.scr.above = units, above
 	minSum := 0.0
 	for si, flow := range res.genFlows {
 		above[segs[si].unit] += flow
@@ -315,19 +351,31 @@ func (c *Controller) fleetDecision(dec *sim.Decision, obs sim.FineObs, res p5Res
 func (c *Controller) planFleet(dec *sim.Decision, obs sim.FineObs, in p5Input, qy, bestTotal float64) {
 	p := c.params
 	fs := fuelScale(obs.FuelScale)
-	committedMin := make([]float64, len(c.specs))
-	starts := make([]float64, len(c.specs))
-	committed := make([]bool, len(c.specs))
+	committedMin := scratch.Zeroed(c.scr.committedMin, len(c.specs))
+	starts := scratch.Zeroed(c.scr.starts, len(c.specs))
+	c.scr.committedMin, c.scr.starts = committedMin, starts
+	committed := scratch.Zeroed(c.scr.committed, len(c.specs))
+	c.scr.committed = committed
 
 	cur := in
+	cur.genSegs = c.scr.segsCur[:0]
 	curBest := bestTotal
 	var lastRes p5Result
 	var lastSegs []genSeg
 	adopted, preStart := false, false
 
-	// Phase 1: window commitment.
-	if p.CommitWindow > 1 {
-		W := float64(p.CommitWindow)
+	// Phase 1: window commitment. The projection window is clamped to
+	// the slots actually remaining in the trace: near the last-day
+	// boundary an unclamped W would earn profit from slots that never
+	// execute, committing starts whose cost the run can no longer
+	// recover (and a clamped window of ≤ 1 slot degenerates to the
+	// myopic arm below, exactly as a configured W ≤ 1 does).
+	effW := p.CommitWindow
+	if obs.Horizon > 0 && obs.Horizon-obs.Slot < effW {
+		effW = obs.Horizon - obs.Slot
+	}
+	if effW > 1 {
+		W := float64(effW)
 		phat := obs.PriceRT
 		if c.prtReady {
 			phat = c.prtMean
@@ -366,7 +414,9 @@ func (c *Controller) planFleet(dec *sim.Decision, obs sim.FineObs, in p5Input, q
 				continue
 			}
 			cur.base += u.MinMWh
-			cur.genSegs = c.unitSegs(append([]genSeg(nil), cur.genSegs...), ui, u, qy, fs)
+			// Committed segments grow monotonically in phase 1, so they
+			// append in place into the scratch-backed set.
+			cur.genSegs = c.unitSegs(cur.genSegs, ui, u, qy, fs)
 			committedMin[ui] = u.MinMWh
 			committed[ui] = true
 			env = math.Max(0, env-gstar)
@@ -375,12 +425,17 @@ func (c *Controller) planFleet(dec *sim.Decision, obs sim.FineObs, in p5Input, q
 		if adopted {
 			lastRes, curBest = c.solveBest(cur)
 			lastSegs = cur.genSegs
+			c.adoptFlows(&lastRes)
 		}
 	}
 
 	// Phase 2: myopic greedy over the units phase 1 left uncommitted.
 	// The committed baseline is constant on both sides of each
 	// comparison, so adding a unit is judged purely on its own merit.
+	// Candidate segment sets build in a second scratch buffer that
+	// ping-pongs with the committed set's on adoption, so the whole
+	// greedy search reuses two buffers regardless of fleet size.
+	candBuf := c.scr.segsCand
 	for _, ui := range c.merit {
 		if committed[ui] || starts[ui] > 0 {
 			continue
@@ -403,7 +458,8 @@ func (c *Controller) planFleet(dec *sim.Decision, obs sim.FineObs, in p5Input, q
 
 		cand := cur
 		cand.base = cur.base + u.MinMWh
-		cand.genSegs = c.unitSegs(append([]genSeg(nil), cur.genSegs...), ui, u, qy, fs)
+		cand.genSegs = c.unitSegs(append(candBuf[:0], cur.genSegs...), ui, u, qy, fs)
+		candBuf = cand.genSegs
 		offset := p.V*(fs*gp.FuelCost(u.MinMWh)) - u.MinMWh*qy
 		if u.Running {
 			offset -= amortized
@@ -413,6 +469,10 @@ func (c *Controller) planFleet(dec *sim.Decision, obs sim.FineObs, in p5Input, q
 
 		bestG, bestGTotal := c.solveBest(cand)
 		if bestGTotal+offset < curBest-1e-12 {
+			// Swap storage: the candidate set becomes the committed set
+			// and the old committed backing hosts the next candidate
+			// (nothing references it anymore).
+			candBuf = cur.genSegs
 			cur = cand
 			// The adopted unit's offset is part of both sides of every
 			// later comparison, so the rolling baseline carries the bare
@@ -421,9 +481,15 @@ func (c *Controller) planFleet(dec *sim.Decision, obs sim.FineObs, in p5Input, q
 			curBest = bestGTotal
 			committedMin[ui] = u.MinMWh
 			lastRes, lastSegs = bestG, cand.genSegs
+			c.adoptFlows(&lastRes)
 			adopted = true
 		}
 	}
+	// Persist the (possibly regrown) backings for the next slot. Only the
+	// slice headers shrink; lastSegs keeps its own view of the data until
+	// the decision below is assembled.
+	c.scr.segsCur = cur.genSegs[:0]
+	c.scr.segsCand = candBuf[:0]
 
 	switch {
 	case adopted:
@@ -433,17 +499,30 @@ func (c *Controller) planFleet(dec *sim.Decision, obs sim.FineObs, in p5Input, q
 	}
 }
 
+// adoptFlows detaches an adopted result's per-segment flows from the
+// solveBest scratch buffer they borrow, so later candidate solves cannot
+// clobber them before the decision is assembled.
+func (c *Controller) adoptFlows(res *p5Result) {
+	if len(res.genFlows) == 0 {
+		return
+	}
+	c.scr.adopted = append(c.scr.adopted[:0], res.genFlows...)
+	res.genFlows = c.scr.adopted
+}
+
 // solve runs the configured P5 solver, falling back to the analytic path
 // if the LP reference path fails (it cannot, short of a numerical bug).
-func (c *Controller) solve(in p5Input) p5Result {
+// flows is the caller-owned buffer that receives the per-segment
+// generation (see p5Scratch.solveAnalytic).
+func (c *Controller) solve(in p5Input, flows []float64) p5Result {
 	if c.params.UseLP {
-		res, err := solveP5LP(in)
+		res, err := c.scr.lp.solve(in, flows)
 		if err == nil {
 			return res
 		}
 		c.lpFailures++
 	}
-	return solveP5Analytic(in)
+	return c.scr.p5.solveAnalytic(in, flows)
 }
 
 // RecordOutcome implements sim.Controller: it advances the delay virtual

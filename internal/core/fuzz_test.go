@@ -291,6 +291,46 @@ func TestFuzzFleetControllerInvariants(t *testing.T) {
 	}
 }
 
+// TestFuzzUnitSpecErrorPath corrupts one random field of an otherwise
+// admissible unit with NaN, ±Inf or a negative value and asserts the
+// configuration is rejected at validation time — never silently carried
+// into dispatch and fuel accounting. (NaN makes every comparison false,
+// so before the explicit finite checks a NaN field sailed through both
+// the generator guards and the fleet wiring.)
+func TestFuzzUnitSpecErrorPath(t *testing.T) {
+	r := rand.New(rand.NewSource(75))
+	poisons := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.5, -1e9}
+	corrupt := []func(*generator.Params, float64){
+		func(p *generator.Params, v float64) { p.CapacityMWh = v },
+		func(p *generator.Params, v float64) { p.MinLoadMWh = v },
+		func(p *generator.Params, v float64) { p.RampMWh = v },
+		func(p *generator.Params, v float64) { p.FuelUSDPerMWh = v },
+		func(p *generator.Params, v float64) { p.FuelQuadUSD = v },
+		func(p *generator.Params, v float64) { p.StartupUSD = v },
+		func(p *generator.Params, v float64) { p.CO2KgPerMWh = v },
+	}
+	f := func() bool {
+		spec := randomUnitSpec(r)
+		poison := poisons[r.Intn(len(poisons))]
+		corrupt[r.Intn(len(corrupt))](&spec, poison)
+		if err := spec.Validate(); err == nil {
+			t.Logf("corrupted spec accepted: %+v", spec)
+			return false
+		}
+		// The same spec inside a fleet must fail controller construction.
+		p := DefaultParams()
+		p.Fleet = []generator.Params{randomUnitSpec(r), spec}
+		if _, err := New(p); err == nil {
+			t.Logf("controller accepted corrupted fleet unit: %+v", spec)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestFuzzExtremeTraces pushes degenerate inputs: all-zero demand,
 // all-zero renewable, max-price stretches, zero-capacity battery.
 func TestFuzzExtremeTraces(t *testing.T) {

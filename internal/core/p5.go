@@ -76,7 +76,28 @@ type leg struct {
 	flow float64
 }
 
-// solveP5Analytic solves P5 exactly by merit order. P5 is a single balance
+// p5Scratch holds the merit-order solver's working buffers. A Controller
+// owns one and reuses it every fine slot, so steady-state solves allocate
+// nothing; the zero value is ready to use (buffers grow on first solve).
+type p5Scratch struct {
+	srcs, snks []leg
+	srcIdx     []int
+	snkIdx     []int
+}
+
+// solveP5Analytic solves P5 exactly by merit order with throwaway
+// buffers. The simulation hot path goes through p5Scratch.solveAnalytic
+// instead; this wrapper serves tests and one-off callers.
+func solveP5Analytic(in p5Input) p5Result {
+	var s p5Scratch
+	var flows []float64
+	if len(in.genSegs) > 0 {
+		flows = make([]float64, len(in.genSegs))
+	}
+	return s.solveAnalytic(in, flows)
+}
+
+// solveAnalytic solves P5 exactly by merit order. P5 is a single balance
 // node with per-leg linear costs:
 //
 //	sources: grt (wGrt), bdc (−wCharge), emergency (wEmergency),
@@ -91,22 +112,28 @@ type leg struct {
 // curve yields non-decreasing segment costs, so merit order fills its
 // segments in curve order); TestPropertyAnalyticMatchesLP cross-checks it
 // against the simplex solver.
-func solveP5Analytic(in p5Input) p5Result {
-	sources := []leg{
-		{cost: in.wGrt, cap: in.grtMax},
-		{cost: -in.wCharge, cap: in.dischargeMax},
-		{cost: in.wEmergency, cap: math.Inf(1)},
+//
+// flows receives the per-segment generation and becomes the result's
+// genFlows (it must have len(in.genSegs); nil is fine without segments) —
+// caller-owned so results can outlive the scratch's next solve.
+func (s *p5Scratch) solveAnalytic(in p5Input, flows []float64) p5Result {
+	sources := append(s.srcs[:0],
+		leg{cost: in.wGrt, cap: in.grtMax},
+		leg{cost: -in.wCharge, cap: in.dischargeMax},
+		leg{cost: in.wEmergency, cap: math.Inf(1)},
+	)
+	for _, g := range in.genSegs {
+		sources = append(sources, leg{cost: g.w, cap: g.cap})
 	}
-	for _, s := range in.genSegs {
-		sources = append(sources, leg{cost: s.w, cap: s.cap})
-	}
-	sinks := []leg{
-		{cost: in.wSdt, cap: in.sdtMax},
-		{cost: in.wCharge, cap: in.chargeMax},
-		{cost: in.wWaste, cap: math.Inf(1)},
-	}
-	srcOrder := sortedIdx(sources)
-	sinkOrder := sortedIdx(sinks)
+	sinks := append(s.snks[:0],
+		leg{cost: in.wSdt, cap: in.sdtMax},
+		leg{cost: in.wCharge, cap: in.chargeMax},
+		leg{cost: in.wWaste, cap: math.Inf(1)},
+	)
+	s.srcs, s.snks = sources, sinks
+	srcOrder := sortedIdxInto(s.srcIdx, sources)
+	sinkOrder := sortedIdxInto(s.snkIdx, sinks)
+	s.srcIdx, s.snkIdx = srcOrder, sinkOrder
 
 	obj := 0.0
 	// Mandatory flow: cover the net deficit from the cheapest sources, or
@@ -150,7 +177,7 @@ func solveP5Analytic(in p5Input) p5Result {
 		obj:       obj,
 	}
 	if len(in.genSegs) > 0 {
-		res.genFlows = make([]float64, len(in.genSegs))
+		res.genFlows = flows[:len(in.genSegs)]
 		for i, src := range sources[3:] {
 			res.gen += src.flow
 			res.genFlows[i] = src.flow
@@ -186,13 +213,37 @@ func netChargeDischarge(res *p5Result, etaC, etaD float64) {
 	}
 }
 
-// sortedIdx returns leg indices in ascending cost order.
-func sortedIdx(legs []leg) []int {
-	idx := make([]int, len(legs))
+// maxInsertionLegs mirrors Go's sort-internal insertion-sort cutoff: a
+// sort.Slice over at most this many elements runs exactly the insertion
+// pass below.
+const maxInsertionLegs = 12
+
+// sortedIdxInto fills idx (reusing its storage) with leg indices in
+// ascending cost order, reproducing the historical sort.Slice ordering
+// bit for bit: up to maxInsertionLegs legs (three fixed legs plus a
+// handful of fuel-curve segments — every shipped configuration) the
+// allocation-free stable insertion sort below is exactly the pass Go's
+// sort runs on slices that short, and larger leg counts (a fleet of
+// many quadratic-curve units) fall back to sort.Slice itself so
+// tie-breaks between equal-cost legs — and therefore dispatch splits
+// among identical units — never diverge from the pre-refactor order.
+func sortedIdxInto(idx []int, legs []leg) []int {
+	if cap(idx) < len(legs) {
+		idx = make([]int, len(legs))
+	}
+	idx = idx[:len(legs)]
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return legs[idx[a]].cost < legs[idx[b]].cost })
+	if len(idx) > maxInsertionLegs {
+		sort.Slice(idx, func(a, b int) bool { return legs[idx[a]].cost < legs[idx[b]].cost })
+		return idx
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && legs[idx[j]].cost < legs[idx[j-1]].cost; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
 	return idx
 }
 

@@ -7,12 +7,43 @@ import (
 	"github.com/smartdpss/smartdpss/internal/lp"
 )
 
-// solveP5LP solves the same subproblem as solveP5Analytic through the
-// dense-simplex substrate. It is the reference path, mirroring the paper's
-// "solve the two sub-problems using classical linear programming
-// approaches, e.g., simplex method" (Sec. IV-B Remark).
+// p5LPScratch holds the LP reference path's reusable substrate: the
+// problem rebuilt in place each slot and the solver whose tableau buffers
+// persist across the run's near-identical solves. The zero value is ready
+// to use.
+type p5LPScratch struct {
+	solver lp.Solver
+	prob   *lp.Problem
+	gen    []lp.VarID
+	terms  []lp.Term
+}
+
+// solveP5LP solves P5 through the simplex substrate with throwaway
+// buffers; the hot path goes through p5LPScratch.solve. It is the
+// reference path, mirroring the paper's "solve the two sub-problems using
+// classical linear programming approaches, e.g., simplex method"
+// (Sec. IV-B Remark).
 func solveP5LP(in p5Input) (p5Result, error) {
-	prob := lp.NewProblem()
+	var s p5LPScratch
+	var flows []float64
+	if len(in.genSegs) > 0 {
+		flows = make([]float64, len(in.genSegs))
+	}
+	return s.solve(in, flows)
+}
+
+// solve builds and solves the P5 linear program in the scratch's reusable
+// problem/solver. flows receives the per-segment generation and becomes
+// the result's genFlows (len(in.genSegs); nil without segments). The
+// solve is cold — the exact pivot sequence of the historical per-call
+// construction — so the LP reference path keeps producing the identical
+// optimal vertex; only the allocations are gone.
+func (s *p5LPScratch) solve(in p5Input, flows []float64) (p5Result, error) {
+	if s.prob == nil {
+		s.prob = lp.NewProblem()
+	}
+	prob := s.prob
+	prob.Reset()
 	grt := prob.AddVariable("grt", 0, math.Max(0, in.grtMax), in.wGrt)
 	sdt := prob.AddVariable("sdt", 0, math.Max(0, in.sdtMax), in.wSdt)
 	brc := prob.AddVariable("brc", 0, math.Max(0, in.chargeMax), in.wCharge)
@@ -21,26 +52,28 @@ func solveP5LP(in p5Input) (p5Result, error) {
 	emerg := prob.AddVariable("unserved", 0, math.Inf(1), in.wEmergency)
 	// One variable per generator fuel-curve segment, mirroring the
 	// analytic path's extra source legs.
-	gen := make([]lp.VarID, len(in.genSegs))
-	for i, s := range in.genSegs {
-		gen[i] = prob.AddVariable(fmt.Sprintf("gen%d", i), 0, math.Max(0, s.cap), s.w)
+	gen := s.gen[:0]
+	for _, seg := range in.genSegs {
+		gen = append(gen, prob.AddVariable("", 0, math.Max(0, seg.cap), seg.w))
 	}
+	s.gen = gen
 
 	// Balance (Eq. 4): base + grt + bdc + g + unserved = dds + sdt + brc + W.
-	terms := []lp.Term{
-		{Var: grt, Coeff: 1},
-		{Var: bdc, Coeff: 1},
-		{Var: emerg, Coeff: 1},
-		{Var: sdt, Coeff: -1},
-		{Var: brc, Coeff: -1},
-		{Var: waste, Coeff: -1},
-	}
+	terms := append(s.terms[:0],
+		lp.Term{Var: grt, Coeff: 1},
+		lp.Term{Var: bdc, Coeff: 1},
+		lp.Term{Var: emerg, Coeff: 1},
+		lp.Term{Var: sdt, Coeff: -1},
+		lp.Term{Var: brc, Coeff: -1},
+		lp.Term{Var: waste, Coeff: -1},
+	)
 	for _, g := range gen {
 		terms = append(terms, lp.Term{Var: g, Coeff: 1})
 	}
+	s.terms = terms
 	prob.AddConstraint(lp.EQ, in.dds-in.base, terms...)
 
-	sol, err := prob.Minimize()
+	sol, err := s.solver.Solve(prob)
 	if err != nil {
 		return p5Result{}, fmt.Errorf("core: P5 solve: %w", err)
 	}
@@ -57,10 +90,11 @@ func solveP5LP(in p5Input) (p5Result, error) {
 		obj:       sol.Objective,
 	}
 	if len(gen) > 0 {
-		res.genFlows = make([]float64, len(gen))
+		res.genFlows = flows[:len(gen)]
 		for i, g := range gen {
-			res.gen += sol.Value(g)
-			res.genFlows[i] = sol.Value(g)
+			v := sol.Value(g)
+			res.gen += v
+			res.genFlows[i] = v
 		}
 	}
 	netChargeDischarge(&res, in.etaC, in.etaD)

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 
 	"github.com/smartdpss/smartdpss/internal/baseline"
@@ -170,6 +171,41 @@ type UnitSpec struct {
 	// CO2KgPerMWh is the emission intensity (kg CO₂ per delivered MWh);
 	// see Options.CarbonUSDPerTon.
 	CO2KgPerMWh float64
+}
+
+// Validate rejects non-finite and negative unit parameters before they
+// are converted to per-slot physics. Without it, a NaN or −Inf spec
+// field would silently disable the unit (every guard comparison is false
+// for NaN) or default a negative fuel price to the 85 USD/MWh fallback,
+// instead of surfacing the configuration error.
+func (u UnitSpec) Validate() error {
+	fields := [...]struct {
+		name string
+		v    float64
+	}{
+		{"CapacityMW", u.CapacityMW},
+		{"MinLoadFrac", u.MinLoadFrac},
+		{"RampMWPerHour", u.RampMWPerHour},
+		{"FuelUSDPerMWh", u.FuelUSDPerMWh},
+		{"FuelQuadUSD", u.FuelQuadUSD},
+		{"StartupUSD", u.StartupUSD},
+		{"CO2KgPerMWh", u.CO2KgPerMWh},
+	}
+	for _, f := range fields {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("smartdpss: unit %s is not finite", f.name)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("smartdpss: negative unit %s", f.name)
+		}
+	}
+	if u.MinLoadFrac > 1 {
+		return errors.New("smartdpss: unit MinLoadFrac above 1")
+	}
+	if u.StartupLagSlots < 0 {
+		return errors.New("smartdpss: negative unit StartupLagSlots")
+	}
+	return nil
 }
 
 // DefaultOptions mirrors the paper's Sec. VI-A defaults: V = 1, ε = 0.5,
@@ -433,8 +469,8 @@ func GenerateTraces(tc TraceConfig) (*Traces, error) {
 	if err != nil {
 		return nil, fmt.Errorf("smartdpss: pricing: %w", err)
 	}
-	if tc.PriceScale < 0 {
-		return nil, errors.New("smartdpss: PriceScale must be non-negative")
+	if tc.PriceScale < 0 || math.IsNaN(tc.PriceScale) || math.IsInf(tc.PriceScale, 0) {
+		return nil, errors.New("smartdpss: PriceScale must be finite and non-negative")
 	}
 	if tc.PriceScale > 0 && tc.PriceScale != 1 {
 		for _, sr := range []*trace.Series{lt, rt} {
@@ -444,10 +480,13 @@ func GenerateTraces(tc TraceConfig) (*Traces, error) {
 		}
 	}
 	set := &trace.Set{DemandDS: ds, DemandDT: dt, Renewable: renewable, PriceLT: lt, PriceRT: rt}
-	if tc.FuelPriceScale < 0 {
-		return nil, errors.New("smartdpss: FuelPriceScale must be non-negative")
+	// NaN needs explicit rejection in both guards: every comparison below
+	// is false for NaN, so a NaN scale would otherwise slip through as "no
+	// fuel market configured" and a NaN volatility as "flat multiplier".
+	if tc.FuelPriceScale < 0 || math.IsNaN(tc.FuelPriceScale) || math.IsInf(tc.FuelPriceScale, 0) {
+		return nil, errors.New("smartdpss: FuelPriceScale must be finite and non-negative")
 	}
-	if tc.FuelVolatility < 0 || tc.FuelVolatility >= 1 {
+	if !(tc.FuelVolatility >= 0 && tc.FuelVolatility < 1) {
 		return nil, errors.New("smartdpss: FuelVolatility must be in [0, 1)")
 	}
 	if (tc.FuelPriceScale > 0 && tc.FuelPriceScale != 1) || tc.FuelVolatility > 0 {
@@ -489,6 +528,18 @@ func (t *Traces) Horizon() int { return t.set.Horizon() }
 
 // Clone deep-copies the traces.
 func (t *Traces) Clone() *Traces { return &Traces{set: t.set.Clone()} }
+
+// CloneInto deep-copies the traces into dst, reusing dst's buffers where
+// the shapes allow, and returns dst (freshly allocated when nil). Sweep
+// engines recycle one buffer set across many points this way instead of
+// paying a full deep copy per point.
+func (t *Traces) CloneInto(dst *Traces) *Traces {
+	if dst == nil {
+		dst = &Traces{}
+	}
+	dst.set = t.set.CloneInto(dst.set)
+	return dst
+}
 
 // ScaleSystem multiplies demand and renewables by β (the system expansion
 // of Sec. V-C / Fig. 10); prices are unchanged.
@@ -641,8 +692,13 @@ func Simulate(policy Policy, opts Options, traces *Traces) (*Report, error) {
 	if traces == nil {
 		return nil, errors.New("smartdpss: nil traces")
 	}
-	if opts.CarbonUSDPerTon < 0 {
-		return nil, errors.New("smartdpss: negative CarbonUSDPerTon")
+	if opts.CarbonUSDPerTon < 0 || math.IsNaN(opts.CarbonUSDPerTon) || math.IsInf(opts.CarbonUSDPerTon, 0) {
+		return nil, errors.New("smartdpss: CarbonUSDPerTon must be finite and non-negative")
+	}
+	for i, u := range opts.Fleet {
+		if err := u.Validate(); err != nil {
+			return nil, fmt.Errorf("smartdpss: fleet unit %d: %w", i, err)
+		}
 	}
 	ctrl, err := newController(policy, opts, traces)
 	if err != nil {

@@ -18,6 +18,13 @@ func TestGenerateTracesValidation(t *testing.T) {
 		{"negative fuel price scale", func(tc *TraceConfig) { tc.FuelPriceScale = -1 }},
 		{"negative fuel volatility", func(tc *TraceConfig) { tc.FuelVolatility = -0.1 }},
 		{"fuel volatility >= 1", func(tc *TraceConfig) { tc.FuelVolatility = 1.0 }},
+		// NaN makes every ordered comparison false: without explicit
+		// finite checks these poisoned configs sailed through the guards.
+		{"NaN price scale", func(tc *TraceConfig) { tc.PriceScale = math.NaN() }},
+		{"Inf price scale", func(tc *TraceConfig) { tc.PriceScale = math.Inf(1) }},
+		{"NaN fuel price scale", func(tc *TraceConfig) { tc.FuelPriceScale = math.NaN() }},
+		{"Inf fuel price scale", func(tc *TraceConfig) { tc.FuelPriceScale = math.Inf(1) }},
+		{"NaN fuel volatility", func(tc *TraceConfig) { tc.FuelVolatility = math.NaN() }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -27,6 +34,52 @@ func TestGenerateTracesValidation(t *testing.T) {
 				t.Fatalf("invalid config accepted: %+v", tc)
 			}
 		})
+	}
+}
+
+// TestUnitSpecValidation: every poisoned UnitSpec field must be rejected
+// by Simulate before it reaches the per-slot physics.
+func TestUnitSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*UnitSpec)
+	}{
+		{"NaN capacity", func(u *UnitSpec) { u.CapacityMW = math.NaN() }},
+		{"Inf capacity", func(u *UnitSpec) { u.CapacityMW = math.Inf(1) }},
+		{"negative capacity", func(u *UnitSpec) { u.CapacityMW = -1 }},
+		{"NaN min load", func(u *UnitSpec) { u.MinLoadFrac = math.NaN() }},
+		{"min load above 1", func(u *UnitSpec) { u.MinLoadFrac = 1.5 }},
+		{"negative ramp", func(u *UnitSpec) { u.RampMWPerHour = -1 }},
+		{"NaN fuel", func(u *UnitSpec) { u.FuelUSDPerMWh = math.NaN() }},
+		{"negative fuel", func(u *UnitSpec) { u.FuelUSDPerMWh = -20 }},
+		{"Inf fuel quad", func(u *UnitSpec) { u.FuelQuadUSD = math.Inf(1) }},
+		{"negative startup", func(u *UnitSpec) { u.StartupUSD = -5 }},
+		{"negative lag", func(u *UnitSpec) { u.StartupLagSlots = -1 }},
+		{"NaN co2", func(u *UnitSpec) { u.CO2KgPerMWh = math.NaN() }},
+	}
+	tc := DefaultTraceConfig()
+	tc.Days = 1
+	traces, err := GenerateTraces(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			u := UnitSpec{CapacityMW: 0.5, MinLoadFrac: 0.2, FuelUSDPerMWh: 40}
+			c.mut(&u)
+			if err := u.Validate(); err == nil {
+				t.Fatalf("poisoned spec accepted by Validate: %+v", u)
+			}
+			opts := DefaultOptions()
+			opts.Fleet = []UnitSpec{u}
+			if _, err := Simulate(PolicySmartDPSS, opts, traces); err == nil {
+				t.Fatalf("Simulate accepted poisoned fleet unit: %+v", u)
+			}
+		})
+	}
+	// The untouched baseline spec must stay valid.
+	if err := (UnitSpec{CapacityMW: 0.5, MinLoadFrac: 0.2, FuelUSDPerMWh: 40}).Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
 	}
 }
 

@@ -32,6 +32,7 @@ func ExtCooling(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer suite.Release(traces)
 		avgPUE := 1.0
 		if cl.meanC > -999 {
 			avgPUE, err = traces.ApplyCooling(dpss.CoolingConfig{

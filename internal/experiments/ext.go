@@ -142,6 +142,7 @@ func ExtRenewableMix(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer suite.Release(traces)
 		if err := traces.SetPenetration(targetPenetration); err != nil {
 			return nil, err
 		}

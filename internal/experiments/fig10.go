@@ -25,6 +25,7 @@ func Fig10Scaling(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer suite.Release(traces)
 		traces.ScaleSystem(beta)
 
 		opts := dpss.DefaultOptions()

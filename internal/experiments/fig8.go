@@ -31,6 +31,7 @@ func Fig8Penetration(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer suite.Release(traces)
 		axis, level := "penetration", ""
 		if i < nPen {
 			pen := Fig8PenetrationLevels[i]

@@ -35,6 +35,7 @@ func MultiSeedSummary(cfg Config, seeds int) (*Table, error) {
 		if err != nil {
 			return seedRun{}, err
 		}
+		defer suite.Release(traces)
 		var r seedRun
 		if r.smart, err = simulate(dpss.PolicySmartDPSS, opts, traces); err != nil {
 			return r, err

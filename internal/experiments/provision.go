@@ -128,6 +128,7 @@ func ProvisionFuel(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer suite.Release(scaled)
 		o.PmaxUSD *= scale
 		return simulate(dpss.PolicySmartDPSS, o, scaled)
 	})

@@ -19,6 +19,13 @@ import (
 type Fleet struct {
 	units []*Generator
 	merit []int // unit indices in ascending base-marginal order
+
+	// Per-slot buffers reused across calls (see Observe, Dispatch and
+	// SplitTotal): the engine consumes each slot's views before the next
+	// slot begins, so one buffer per role suffices for a whole run.
+	obs  []UnitObs
+	outs []Outcome
+	reqs []float64
 }
 
 // MeritOrder returns the unit indices in ascending base-marginal-price
@@ -101,12 +108,16 @@ type UnitObs struct {
 }
 
 // Observe returns every unit's dispatch state in fleet order (nil for an
-// empty fleet).
+// empty fleet). The slice is fleet-owned and valid until the next
+// Observe call.
 func (f *Fleet) Observe() []UnitObs {
 	if len(f.units) == 0 {
 		return nil
 	}
-	obs := make([]UnitObs, len(f.units))
+	if cap(f.obs) < len(f.units) {
+		f.obs = make([]UnitObs, len(f.units))
+	}
+	obs := f.obs[:len(f.units)]
 	for i, u := range f.units {
 		min, max := u.Window()
 		obs[i] = UnitObs{
@@ -124,12 +135,16 @@ func (f *Fleet) Observe() []UnitObs {
 // Dispatch executes one slot: requests[i] goes to unit i (missing
 // entries are zero, so a short — or nil — slice shuts the tail of the
 // fleet down), with the slot's fuel-price multiplier applied to every
-// unit's fuel bill. Outcomes come back in fleet order.
+// unit's fuel bill. Outcomes come back in fleet order, in a fleet-owned
+// slice valid until the next Dispatch call.
 func (f *Fleet) Dispatch(requests []float64, fuelScale float64) []Outcome {
 	if len(f.units) == 0 {
 		return nil
 	}
-	outs := make([]Outcome, len(f.units))
+	if cap(f.outs) < len(f.units) {
+		f.outs = make([]Outcome, len(f.units))
+	}
+	outs := f.outs[:len(f.units)]
 	for i, u := range f.units {
 		req := 0.0
 		if i < len(requests) {
@@ -145,12 +160,19 @@ func (f *Fleet) Dispatch(requests []float64, fuelScale float64) []Outcome {
 // of the remainder as it can meaningfully accept (its RequestMax), and a
 // remainder too small to hold a unit's minimum stable load skips that
 // unit. For a one-unit fleet the split is the identity, which keeps the
-// legacy scalar Decision.Generate path byte-identical.
+// legacy scalar Decision.Generate path byte-identical. The returned
+// slice is fleet-owned and valid until the next SplitTotal call.
 func (f *Fleet) SplitTotal(total float64) []float64 {
 	if len(f.units) == 0 {
 		return nil
 	}
-	reqs := make([]float64, len(f.units))
+	if cap(f.reqs) < len(f.units) {
+		f.reqs = make([]float64, len(f.units))
+	}
+	reqs := f.reqs[:len(f.units)]
+	for i := range reqs {
+		reqs[i] = 0
+	}
 	if len(f.units) == 1 {
 		reqs[0] = total
 		return reqs

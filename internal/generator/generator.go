@@ -69,8 +69,19 @@ type Params struct {
 // Enabled reports whether the unit exists at all.
 func (p Params) Enabled() bool { return p.CapacityMWh > 0 }
 
-// Validate reports parameter errors.
+// Validate reports parameter errors. NaN and ±Inf are rejected up front:
+// every comparison below is false for NaN, so without the explicit check
+// a NaN field would sail through validation and poison dispatch, fuel
+// and emission series downstream.
 func (p Params) Validate() error {
+	for _, v := range [...]float64{
+		p.CapacityMWh, p.MinLoadMWh, p.RampMWh,
+		p.FuelUSDPerMWh, p.FuelQuadUSD, p.StartupUSD, p.CO2KgPerMWh,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("generator: non-finite parameter")
+		}
+	}
 	switch {
 	case p.CapacityMWh < 0:
 		return errors.New("generator: negative capacity")
@@ -120,19 +131,26 @@ type Segment struct {
 // priced at their exact average marginal for a quadratic curve (the
 // piecewise approximation is cost-exact at the segment boundaries).
 func (p Params) Segments(lo, hi float64) []Segment {
+	return p.AppendSegments(nil, lo, hi)
+}
+
+// AppendSegments appends the Segments decomposition of (lo, hi] to dst
+// and returns it, letting hot paths reuse a scratch buffer instead of
+// allocating per call.
+func (p Params) AppendSegments(dst []Segment, lo, hi float64) []Segment {
 	if hi <= lo+tol {
-		return nil
+		return dst
 	}
 	if p.FuelQuadUSD == 0 {
-		return []Segment{{Cap: hi - lo, USDPerMWh: p.FuelUSDPerMWh}}
+		return append(dst, Segment{Cap: hi - lo, USDPerMWh: p.FuelUSDPerMWh})
 	}
 	mid := lo + (hi-lo)/2
 	// Average marginal over (a, b] is (Fuel(b)−Fuel(a))/(b−a).
 	avg := func(a, b float64) float64 { return (p.FuelCost(b) - p.FuelCost(a)) / (b - a) }
-	return []Segment{
-		{Cap: mid - lo, USDPerMWh: avg(lo, mid)},
-		{Cap: hi - mid, USDPerMWh: avg(mid, hi)},
-	}
+	return append(dst,
+		Segment{Cap: mid - lo, USDPerMWh: avg(lo, mid)},
+		Segment{Cap: hi - mid, USDPerMWh: avg(mid, hi)},
+	)
 }
 
 // Generator is a stateful on-site generation unit.

@@ -67,21 +67,41 @@ func NewProblem() *Problem {
 	return &Problem{}
 }
 
+// Reset empties the problem for rebuilding in place, keeping the variable
+// and constraint storage (including each retired row's term buffer) so a
+// problem rebuilt to a similar shape allocates nothing. The iteration
+// budget is preserved.
+func (p *Problem) Reset() {
+	p.vars = p.vars[:0]
+	p.cons = p.cons[:0]
+}
+
 // SetMaxIterations overrides the default simplex iteration budget
 // (0 restores the default, which scales with problem size).
 func (p *Problem) SetMaxIterations(n int) { p.maxIter = n }
 
 // AddVariable adds a decision variable with bounds [lower, upper] and the
 // given objective coefficient, returning its identifier. lower may be
-// math.Inf(-1) and upper may be math.Inf(1).
+// math.Inf(-1) and upper may be math.Inf(1). The name appears only in
+// error messages; an empty name prints as x<id>.
 func (p *Problem) AddVariable(name string, lower, upper, cost float64) VarID {
 	p.vars = append(p.vars, variable{name: name, lower: lower, upper: upper, cost: cost})
 	return VarID(len(p.vars) - 1)
 }
 
 // AddConstraint adds the row  Σ terms  rel  rhs.
-// Terms referencing the same variable are summed.
+// Terms referencing the same variable are summed. The terms slice is
+// copied into problem-owned storage (reused across Reset cycles), so
+// callers may reuse their build buffer.
 func (p *Problem) AddConstraint(rel Relation, rhs float64, terms ...Term) {
+	if len(p.cons) < cap(p.cons) {
+		// Revive the retired row and reuse its term buffer.
+		p.cons = p.cons[:len(p.cons)+1]
+		c := &p.cons[len(p.cons)-1]
+		c.terms = append(c.terms[:0], terms...)
+		c.rel, c.rhs = rel, rhs
+		return
+	}
 	own := make([]Term, len(terms))
 	copy(own, terms)
 	p.cons = append(p.cons, constraint{terms: own, rel: rel, rhs: rhs})

@@ -2,6 +2,8 @@ package lp
 
 import (
 	"math"
+
+	"github.com/smartdpss/smartdpss/internal/scratch"
 )
 
 // Numerical tolerances for the tableau simplex.
@@ -9,14 +11,18 @@ const (
 	pivotTol = 1e-9  // minimum |pivot| accepted
 	costTol  = 1e-9  // reduced-cost optimality tolerance
 	feasTol  = 1e-7  // phase-1 feasibility tolerance
+	warmTol  = 1e-7  // minimum |pivot| accepted while re-installing a warm basis
 	stallWin = 256   // pivots without improvement before switching to Bland
 	improveE = 1e-12 // minimum objective improvement counted as progress
 )
 
 // tableau is a dense simplex tableau with simultaneous phase-1/phase-2
-// objective rows.
+// objective rows. All buffers are owned by the tableau and reused across
+// init calls: rows are views into one flat arena, so a rebuild allocates
+// nothing once the buffers have grown to the problem's size.
 type tableau struct {
 	m, n     int         // active rows, total columns (incl. slacks/artificials)
+	arena    []float64   // m×n backing storage for rows
 	rows     [][]float64 // m rows × n coefficients (current B⁻¹A)
 	rhs      []float64   // current B⁻¹b (kept ≥ 0 up to roundoff)
 	basis    []int       // basis[i] = column basic in row i
@@ -29,64 +35,16 @@ type tableau struct {
 	bland    bool // permanent Bland's-rule mode after stalls
 	stall    int
 	pivots   int
+
+	mark    []int // column membership scratch for applyBasis
+	markGen int
 }
 
-// Minimize solves the problem, returning a Solution whose Status reports
-// optimality, infeasibility or unboundedness. An error is returned only for
-// structurally invalid problems or when the iteration budget is exhausted.
-func (p *Problem) Minimize() (*Solution, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	sf := p.toStandardForm()
-	t := newTableau(sf)
-
-	maxIter := p.maxIter
-	if maxIter <= 0 {
-		maxIter = 200 + 60*(t.m+t.n)
-	}
-
-	// Phase 1: minimize the sum of artificial variables.
-	t.inPhase1 = true
-	status, err := t.iterate(maxIter)
-	if err != nil {
-		return nil, err
-	}
-	if status == Unbounded {
-		// Phase-1 objective is bounded below by 0; unbounded here means a bug.
-		return nil, errNumericalBug
-	}
-	if t.p1val > feasTol {
-		return &Solution{Status: Infeasible, Iterations: t.pivots}, nil
-	}
-	t.leavePhase1()
-
-	// Phase 2: minimize the true objective.
-	status, err = t.iterate(maxIter)
-	if err != nil {
-		return nil, err
-	}
-	if status == Unbounded {
-		return &Solution{Status: Unbounded, Iterations: t.pivots}, nil
-	}
-
-	y := make([]float64, sf.ncols)
-	for i, col := range t.basis {
-		if col < sf.ncols {
-			y[col] = t.rhs[i]
-		}
-	}
-	return &Solution{
-		Status:     Optimal,
-		Objective:  t.objVal + sf.offset,
-		Iterations: t.pivots,
-		values:     sf.recoverValues(y),
-	}, nil
-}
-
-// newTableau builds the initial tableau: slack columns for ≤ rows,
-// surplus+artificial for ≥ rows, artificial for = rows, with rhs ≥ 0.
-func newTableau(sf *standardForm) *tableau {
+// init (re)builds the initial tableau from the standard form: slack
+// columns for ≤ rows, surplus+artificial for ≥ rows, artificial for =
+// rows, with rhs ≥ 0. Every cell the simplex reads is overwritten here,
+// so reusing buffers across solves cannot leak state between problems.
+func (t *tableau) init(sf *standardForm) {
 	m := len(sf.rows)
 	// Count auxiliary columns.
 	slacks, arts := 0, 0
@@ -106,21 +64,26 @@ func newTableau(sf *standardForm) *tableau {
 		}
 	}
 	n := sf.ncols + slacks + arts
-	t := &tableau{
-		m:        m,
-		n:        n,
-		rows:     make([][]float64, m),
-		rhs:      make([]float64, m),
-		basis:    make([]int, m),
-		obj:      make([]float64, n+1),
-		p1obj:    make([]float64, n+1),
-		artStart: sf.ncols + slacks,
+	t.m, t.n = m, n
+	t.artStart = sf.ncols + slacks
+	t.arena = scratch.Zeroed(t.arena, m*n)
+	if cap(t.rows) < m {
+		t.rows = make([][]float64, m)
 	}
+	t.rows = t.rows[:m]
+	t.rhs = scratch.Zeroed(t.rhs, m)
+	t.basis = scratch.For(t.basis, m)
+	t.obj = scratch.Zeroed(t.obj, n+1)
+	t.p1obj = scratch.Zeroed(t.p1obj, n+1)
+	t.objVal, t.p1val = 0, 0
+	t.inPhase1, t.bland = false, false
+	t.stall, t.pivots = 0, 0
 
 	slackCol := sf.ncols
 	artCol := t.artStart
 	for i, r := range sf.rows {
-		row := make([]float64, n)
+		row := t.arena[i*n : (i+1)*n : (i+1)*n]
+		t.rows[i] = row
 		sign := 1.0
 		rel, rhs := r.rel, r.rhs
 		if rhs < 0 {
@@ -145,7 +108,6 @@ func newTableau(sf *standardForm) *tableau {
 			t.basis[i] = artCol
 			artCol++
 		}
-		t.rows[i] = row
 		t.rhs[i] = rhs
 	}
 
@@ -170,7 +132,6 @@ func newTableau(sf *standardForm) *tableau {
 		}
 	}
 	t.p1val = -t.p1obj[n]
-	return t
 }
 
 func flipRel(r Relation) Relation {
@@ -291,7 +252,7 @@ func (t *tableau) pivot(r, e int) {
 			t.rhs[i] = 0
 		}
 	}
-	for _, objRow := range [][]float64{t.obj, t.p1obj} {
+	for _, objRow := range [2][]float64{t.obj, t.p1obj} {
 		f := objRow[e]
 		if f == 0 {
 			continue
@@ -355,4 +316,167 @@ func (t *tableau) leavePhase1() {
 		i--
 	}
 	t.stall, t.bland = 0, false
+}
+
+// applyBasis outcomes.
+const (
+	applyFailed = iota // a column could not be installed; tableau is dirty
+	applyRepair        // basis installed, but primal infeasible for the new rhs
+	applyOK            // basis installed and primal feasible
+)
+
+// applyBasis pivots the freshly initialized tableau onto the given basis
+// (a column set saved from a previous optimal solve of a same-shape
+// problem). Because the tableau is rebuilt from the new problem's
+// coefficients before the pivots, no stale numerics survive — only the
+// basis choice is reused. On applyOK phase 2 can run directly; on
+// applyRepair the basis needs repairPrimal first; on applyFailed the
+// tableau must be re-initialized for a cold solve.
+func (t *tableau) applyBasis(basis []int) int {
+	if len(basis) != t.m {
+		return applyFailed
+	}
+	// Stamp the wanted columns so pivot rows whose current basic column is
+	// itself wanted are never sacrificed.
+	t.markGen++
+	if cap(t.mark) < t.n {
+		t.mark = make([]int, t.n)
+	}
+	t.mark = t.mark[:cap(t.mark)]
+	for _, c := range basis {
+		if c < 0 || c >= t.n || c >= t.artStart {
+			return applyFailed
+		}
+		t.mark[c] = t.markGen
+	}
+	t.inPhase1 = false
+	for _, c := range basis {
+		// Already basic (e.g. a slack that is basic in the initial tableau).
+		already := false
+		for _, bc := range t.basis {
+			if bc == c {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		// Pivot c in on the row with the largest admissible pivot among
+		// rows whose basic column is not wanted.
+		best, bestAbs := -1, warmTol
+		for i := 0; i < t.m; i++ {
+			if t.mark[t.basis[i]] == t.markGen {
+				continue
+			}
+			if a := math.Abs(t.rows[i][c]); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 {
+			return applyFailed
+		}
+		t.pivot(best, c)
+	}
+	t.stall, t.bland = 0, false
+	// Classify feasibility for the new right-hand side; tiny degenerate
+	// negatives are clamped, anything larger needs the primal repair.
+	feasible := true
+	for i := 0; i < t.m; i++ {
+		if t.rhs[i] < -feasTol {
+			feasible = false
+		} else if t.rhs[i] < 0 {
+			t.rhs[i] = 0
+		}
+	}
+	if !feasible {
+		return applyRepair
+	}
+	return applyOK
+}
+
+// repairPrimal restores primal feasibility after applyBasis installed a
+// warm basis that the new right-hand side leaves slightly infeasible —
+// the typical warm-start state when both costs and rhs move between
+// consecutive problems. It runs a composite phase 1 directly from the
+// installed basis, minimizing the sum of infeasibilities
+// w = Σ_{i: rhs_i < 0} (−rhs_i) without artificial variables: entering a
+// column with negative directional derivative dw/dθ = Σ_{i∈I} a_ij and
+// blocking at the first breakpoint — a feasible basic reaching zero, or
+// an infeasible basic reaching feasibility. Only a handful of rows are
+// infeasible after a warm install, so this converges in a few pivots
+// where a from-scratch phase 1 would redo ~m of them.
+//
+// It reports whether feasibility was restored within the pivot budget;
+// on false the tableau is dirty and the caller re-initializes for the
+// exact cold path (misclassifying a truly infeasible problem is
+// impossible: any stall or budget overrun falls back cold).
+func (t *tableau) repairPrimal(maxIter int) bool {
+	t.inPhase1 = false
+	budget := t.m + 64
+	for iter := 0; ; iter++ {
+		// Collect the infeasible row set I; success when it is empty.
+		infeasible := false
+		for i := 0; i < t.m; i++ {
+			if t.rhs[i] < -feasTol {
+				infeasible = true
+				break
+			}
+		}
+		if !infeasible {
+			for i := 0; i < t.m; i++ {
+				if t.rhs[i] < 0 {
+					t.rhs[i] = 0
+				}
+			}
+			t.stall, t.bland = 0, false
+			return true
+		}
+		if iter >= budget || t.pivots >= maxIter {
+			return false
+		}
+
+		// Entering column: steepest decrease of the infeasibility sum.
+		enter, bestD := -1, -costTol
+		for j := 0; j < t.artStart; j++ {
+			d := 0.0
+			for i := 0; i < t.m; i++ {
+				if t.rhs[i] < -feasTol {
+					d += t.rows[i][j]
+				}
+			}
+			if d < bestD {
+				enter, bestD = j, d
+			}
+		}
+		if enter < 0 {
+			return false // no improving column: numerically stuck (or truly infeasible)
+		}
+
+		// Ratio test over both breakpoint kinds.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][enter]
+			var ratio float64
+			switch {
+			case t.rhs[i] >= 0 && a > pivotTol:
+				ratio = t.rhs[i] / a // feasible basic driven to zero
+			case t.rhs[i] < -feasTol && a < -pivotTol:
+				ratio = t.rhs[i] / a // infeasible basic reaching feasibility
+			default:
+				continue
+			}
+			if ratio < bestRatio-1e-12 ||
+				(ratio <= bestRatio+1e-12 && leave >= 0 && t.basis[i] < t.basis[leave]) {
+				leave, bestRatio = i, ratio
+			}
+		}
+		if leave < 0 {
+			// dw/dθ < 0 guarantees a blocking infeasible row; reaching here
+			// means numerics broke down — fall back cold.
+			return false
+		}
+		t.pivot(leave, enter)
+	}
 }

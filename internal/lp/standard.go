@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"github.com/smartdpss/smartdpss/internal/scratch"
+)
 
 // Variable-recovery kinds used when mapping standard-form values back to the
 // caller's variables.
@@ -20,74 +24,92 @@ type varRecover struct {
 	base float64
 }
 
-// sfRow is one constraint row over standard-form columns.
+// sfRow is one constraint row over standard-form columns. coeffs is a view
+// into the standardForm's shared arena.
 type sfRow struct {
 	coeffs []float64
 	rel    Relation
 	rhs    float64
 }
 
-// standardForm is the problem rewritten over non-negative variables.
+// colSub is the per-variable substitution used while building rows.
+type colSub struct {
+	col, col2 int     // standard columns (col2 only for split)
+	scale     float64 // contribution of y[col] to x
+	base      float64 // constant part of x
+}
+
+// standardForm is the problem rewritten over non-negative variables. All
+// slices are owned by the struct and reused across builds (a Solver keeps
+// one standardForm alive across solves), so building allocates only when a
+// problem outgrows every previous one.
 type standardForm struct {
 	ncols   int
 	rows    []sfRow
 	costs   []float64
 	offset  float64 // constant added to the objective by substitutions
 	recover []varRecover
+
+	// build scratch, reused across calls
+	subs  []colSub
+	arena []float64 // backing storage for every row's coeffs
 }
 
-// toStandardForm rewrites the problem over non-negative variables,
-// translating finite bounds into shifts, sign flips, splits and explicit
-// upper-bound rows.
-func (p *Problem) toStandardForm() *standardForm {
-	sf := &standardForm{recover: make([]varRecover, len(p.vars))}
-
-	// Column assignment and per-variable substitution.
-	type colSub struct {
-		col, col2 int     // standard columns (col2 only for split)
-		scale     float64 // contribution of y[col] to x
-		base      float64 // constant part of x
+// buildStandardForm rewrites the problem over non-negative variables into
+// sf, translating finite bounds into shifts, sign flips, splits and
+// explicit upper-bound rows. The construction order — and therefore every
+// coefficient value — is identical to the historical allocating version,
+// so downstream simplex arithmetic is bit-for-bit unchanged.
+func (p *Problem) buildStandardForm(sf *standardForm) {
+	nv := len(p.vars)
+	if cap(sf.recover) < nv {
+		sf.recover = make([]varRecover, nv)
 	}
-	subs := make([]colSub, len(p.vars))
-	var upperRows []sfRow // filled after ncols is known
+	sf.recover = sf.recover[:nv]
+	if cap(sf.subs) < nv {
+		sf.subs = make([]colSub, nv)
+	}
+	sf.subs = sf.subs[:nv]
+	sf.ncols = 0
+	sf.offset = 0
 
+	// Column assignment and per-variable substitution. Upper-bounded
+	// shifted variables contribute one extra ≤ row each, appended after
+	// the caller's constraints in variable order.
+	nupper := 0
 	for i, v := range p.vars {
 		switch {
 		case v.lower == v.upper:
 			sf.recover[i] = varRecover{kind: recFixed, base: v.lower}
-			subs[i] = colSub{col: -1, base: v.lower}
+			sf.subs[i] = colSub{col: -1, base: v.lower}
 		case !math.IsInf(v.lower, -1):
 			col := sf.ncols
 			sf.ncols++
 			sf.recover[i] = varRecover{kind: recShifted, col: col, base: v.lower}
-			subs[i] = colSub{col: col, scale: 1, base: v.lower}
+			sf.subs[i] = colSub{col: col, scale: 1, base: v.lower}
 			if !math.IsInf(v.upper, 1) {
-				upperRows = append(upperRows, sfRow{
-					coeffs: []float64{float64(col)}, // placeholder, fixed below
-					rel:    LE,
-					rhs:    v.upper - v.lower,
-				})
+				nupper++
 			}
 		case !math.IsInf(v.upper, 1):
 			// lower = -Inf, upper finite: x = upper − y.
 			col := sf.ncols
 			sf.ncols++
 			sf.recover[i] = varRecover{kind: recFlipped, col: col, base: v.upper}
-			subs[i] = colSub{col: col, scale: -1, base: v.upper}
+			sf.subs[i] = colSub{col: col, scale: -1, base: v.upper}
 		default:
 			// Free variable: x = y⁺ − y⁻.
 			col := sf.ncols
 			col2 := sf.ncols + 1
 			sf.ncols += 2
 			sf.recover[i] = varRecover{kind: recSplit, col: col, col2: col2}
-			subs[i] = colSub{col: col, col2: col2, scale: 1}
+			sf.subs[i] = colSub{col: col, col2: col2, scale: 1}
 		}
 	}
 
 	// Objective.
-	sf.costs = make([]float64, sf.ncols)
+	sf.costs = scratch.Zeroed(sf.costs, sf.ncols)
 	for i, v := range p.vars {
-		s := subs[i]
+		s := sf.subs[i]
 		sf.offset += v.cost * s.base
 		if s.col >= 0 && s.scale != 0 {
 			sf.costs[s.col] += v.cost * s.scale
@@ -97,11 +119,22 @@ func (p *Problem) toStandardForm() *standardForm {
 		}
 	}
 
+	// Row storage: one arena slab per build, sliced per row.
+	nrows := len(p.cons) + nupper
+	sf.arena = scratch.Zeroed(sf.arena, nrows*sf.ncols)
+	if cap(sf.rows) < nrows {
+		sf.rows = make([]sfRow, nrows)
+	}
+	sf.rows = sf.rows[:nrows]
+	rowCoeffs := func(i int) []float64 {
+		return sf.arena[i*sf.ncols : (i+1)*sf.ncols : (i+1)*sf.ncols]
+	}
+
 	// Constraint rows.
-	for _, c := range p.cons {
-		row := sfRow{coeffs: make([]float64, sf.ncols), rel: c.rel, rhs: c.rhs}
+	for ci, c := range p.cons {
+		row := sfRow{coeffs: rowCoeffs(ci), rel: c.rel, rhs: c.rhs}
 		for _, t := range c.terms {
-			s := subs[t.Var]
+			s := sf.subs[t.Var]
 			row.rhs -= t.Coeff * s.base
 			if s.col < 0 {
 				continue
@@ -111,24 +144,26 @@ func (p *Problem) toStandardForm() *standardForm {
 				row.coeffs[s.col2] -= t.Coeff
 			}
 		}
-		sf.rows = append(sf.rows, row)
+		sf.rows[ci] = row
 	}
 
-	// Upper-bound rows (the placeholder coeffs hold the column index).
-	for _, ur := range upperRows {
-		col := int(ur.coeffs[0])
-		row := sfRow{coeffs: make([]float64, sf.ncols), rel: LE, rhs: ur.rhs}
-		row.coeffs[col] = 1
-		sf.rows = append(sf.rows, row)
+	// Upper-bound rows, in variable order.
+	ui := len(p.cons)
+	for i, v := range p.vars {
+		r := sf.recover[i]
+		if r.kind != recShifted || math.IsInf(v.upper, 1) {
+			continue
+		}
+		row := sfRow{coeffs: rowCoeffs(ui), rel: LE, rhs: v.upper - v.lower}
+		row.coeffs[r.col] = 1
+		sf.rows[ui] = row
+		ui++
 	}
-
-	return sf
 }
 
-// recoverValues maps a standard-form solution vector back to original
-// variable values.
-func (sf *standardForm) recoverValues(y []float64) []float64 {
-	out := make([]float64, len(sf.recover))
+// recoverValuesInto maps a standard-form solution vector back to original
+// variable values, writing into out (which must have len(sf.recover)).
+func (sf *standardForm) recoverValuesInto(y, out []float64) {
 	for i, r := range sf.recover {
 		switch r.kind {
 		case recFixed:
@@ -141,5 +176,4 @@ func (sf *standardForm) recoverValues(y []float64) []float64 {
 			out[i] = y[r.col] - y[r.col2]
 		}
 	}
-	return out
 }

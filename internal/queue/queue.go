@@ -18,8 +18,16 @@ type cohort struct {
 // Backlog is the delay-tolerant demand queue Q(τ). Energy is served FIFO
 // so that per-unit queueing delay can be measured exactly; the aggregate
 // dynamics follow Eq. (2): Q(τ+1) = max(Q(τ) − sdt(τ), 0) + ddt(τ).
+//
+// Cohorts live in a compacting ring: Serve advances a head index instead
+// of re-slicing, and Arrive reuses the drained prefix once the live
+// window would otherwise force the backing array to grow. Steady-state
+// simulation therefore enqueues without allocating, where the historical
+// slice-shift version leaked capacity at the front and reallocated
+// forever.
 type Backlog struct {
 	cohorts []cohort
+	head    int // cohorts[:head] are fully served and reusable
 	total   float64
 
 	// lifetime delay statistics over served energy
@@ -41,6 +49,17 @@ func (q *Backlog) Arrive(slot int, amount float64) {
 	if amount <= 0 {
 		return
 	}
+	if len(q.cohorts) == q.head {
+		// Empty: rewind to the start of the backing array.
+		q.cohorts = q.cohorts[:0]
+		q.head = 0
+	} else if q.head > 0 && len(q.cohorts) == cap(q.cohorts) {
+		// Compact the live window over the drained prefix instead of
+		// growing the backing array.
+		n := copy(q.cohorts, q.cohorts[q.head:])
+		q.cohorts = q.cohorts[:n]
+		q.head = 0
+	}
 	q.cohorts = append(q.cohorts, cohort{arrivalSlot: slot, remaining: amount})
 	q.total += amount
 }
@@ -53,8 +72,8 @@ func (q *Backlog) Serve(slot int, amount float64) float64 {
 		return 0
 	}
 	served := 0.0
-	for len(q.cohorts) > 0 && amount > 1e-12 {
-		c := &q.cohorts[0]
+	for q.head < len(q.cohorts) && amount > 1e-12 {
+		c := &q.cohorts[q.head]
 		take := math.Min(c.remaining, amount)
 		c.remaining -= take
 		amount -= take
@@ -69,7 +88,7 @@ func (q *Backlog) Serve(slot int, amount float64) float64 {
 			q.maxDelay = delay
 		}
 		if c.remaining <= 1e-12 {
-			q.cohorts = q.cohorts[1:]
+			q.head++
 		}
 	}
 	q.total = math.Max(0, q.total-served)
@@ -79,10 +98,10 @@ func (q *Backlog) Serve(slot int, amount float64) float64 {
 // OldestArrival returns the arrival slot of the oldest queued energy and
 // true, or 0 and false when the queue is empty.
 func (q *Backlog) OldestArrival() (int, bool) {
-	if len(q.cohorts) == 0 {
+	if q.head == len(q.cohorts) {
 		return 0, false
 	}
-	return q.cohorts[0].arrivalSlot, true
+	return q.cohorts[q.head].arrivalSlot, true
 }
 
 // ServedTotal returns the lifetime energy served from the queue in MWh.

@@ -1,0 +1,32 @@
+package scratch
+
+import "testing"
+
+func TestForReusesCapacity(t *testing.T) {
+	buf := make([]float64, 8)
+	buf[3] = 7
+	got := For(buf, 4)
+	if len(got) != 4 || cap(got) != 8 {
+		t.Fatalf("len=%d cap=%d, want 4/8", len(got), cap(got))
+	}
+	if got[3] != 7 {
+		t.Fatal("For must not clear contents")
+	}
+	grown := For(buf, 16)
+	if len(grown) != 16 {
+		t.Fatalf("len=%d, want 16", len(grown))
+	}
+}
+
+func TestZeroedClears(t *testing.T) {
+	buf := []int{1, 2, 3, 4}
+	got := Zeroed(buf, 3)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("got[%d] = %d, want 0", i, v)
+		}
+	}
+	if len(Zeroed[bool](nil, 5)) != 5 {
+		t.Fatal("Zeroed(nil, 5) must allocate")
+	}
+}

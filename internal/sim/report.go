@@ -222,6 +222,54 @@ func (r *Report) finalize(batt *battery.Battery, fleet *generator.Fleet, acct *m
 		r.BatteryMinMWh = batt.Level()
 		r.BatteryMaxMWh = batt.Level()
 	}
+	r.scrubZeros()
+}
+
+// zeroEps is the residual magnitude below which an accumulated report
+// value is numerical noise rather than signal: well under any printed
+// precision, far above float64 round-off from a month of accumulation.
+const zeroEps = 1e-9
+
+// cleanZero collapses negative zero and sub-epsilon residuals to +0.
+// Accumulating ±round-off (or IEEE negative zeros, which survive
+// summation: -0 + -0 = -0) can leave a semantically zero total with a
+// sign bit set, printing as "-0.00" and breaking byte-level comparisons
+// between otherwise identical runs.
+func cleanZero(v float64) float64 {
+	if v > -zeroEps && v < zeroEps {
+		return 0
+	}
+	return v
+}
+
+// scrubZeros normalizes every accumulated float the report exports —
+// summary fields, per-unit breakdowns and the optional per-slot series —
+// so sequential/parallel and pre/post-refactor runs can never differ by
+// a sign bit on a zero, in text or JSON output.
+func (r *Report) scrubZeros() {
+	for _, f := range []*float64{
+		&r.TotalCostUSD, &r.LTCostUSD, &r.RTCostUSD, &r.BatteryOpUSD,
+		&r.WasteCostUSD, &r.GenFuelUSD, &r.GenStartupUSD, &r.EmergencyCostUSD,
+		&r.TimeAvgCostUSD, &r.LTEnergyMWh, &r.RTEnergyMWh, &r.RenewableMWh,
+		&r.GenEnergyMWh, &r.WasteMWh, &r.UnservedMWh, &r.ServedDTMWh,
+		&r.BatteryInMWh, &r.BatteryOutMWh, &r.GenCO2Kg, &r.MeanDelaySlots,
+		&r.BacklogMaxMWh, &r.BacklogMeanMWh, &r.BatteryMinMWh, &r.BatteryMaxMWh,
+		&r.PeakGridMW, &r.PeakChargeUSD,
+	} {
+		*f = cleanZero(*f)
+	}
+	for i := range r.GenUnits {
+		u := &r.GenUnits[i]
+		u.EnergyMWh = cleanZero(u.EnergyMWh)
+		u.FuelUSD = cleanZero(u.FuelUSD)
+		u.StartupUSD = cleanZero(u.StartupUSD)
+		u.CO2Kg = cleanZero(u.CO2Kg)
+	}
+	for _, series := range [][]float64{r.CostSeries, r.BacklogSeries, r.BatterySeries} {
+		for i, v := range series {
+			series[i] = cleanZero(v)
+		}
+	}
 }
 
 // String renders a compact multi-line summary for logs and CLI output.

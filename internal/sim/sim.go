@@ -41,7 +41,12 @@ type CoarseObs struct {
 
 // FineObs is what a controller sees each fine slot τ.
 type FineObs struct {
-	Slot         int
+	Slot int
+	// Horizon is the total number of fine slots in the run (0 on
+	// hand-built observations: unknown). Controllers with lookahead arms
+	// clamp their projection windows to Horizon − Slot so they never
+	// forecast past the end of the trace.
+	Horizon      int
 	PriceRT      float64 // prt(τ) in USD/MWh
 	DemandDS     float64 // dds(τ), must be served now
 	DemandDT     float64 // ddt(τ), joins the queue this slot
@@ -323,6 +328,7 @@ func (e *engine) fineSlot(slot int) error {
 	units := e.fleet.Observe()
 	obs := FineObs{
 		Slot:         slot,
+		Horizon:      e.set.Horizon(),
 		PriceRT:      prt,
 		DemandDS:     dds,
 		DemandDT:     ddt,
@@ -407,11 +413,14 @@ func (e *engine) fineSlot(slot int) error {
 		}
 	}
 
+	// The balance residual is numerical round-off when it is sub-epsilon:
+	// normalize it (and IEEE negative zero) before it enters the
+	// accounting, so report totals cannot pick up a stray sign bit.
 	waste, unserved := 0.0, 0.0
 	if net >= 0 {
-		waste = net
+		waste = cleanZero(net)
 	} else {
-		unserved = -net
+		unserved = cleanZero(-net)
 	}
 
 	if err := e.batt.Apply(dec.Charge, dec.Discharge); err != nil {
@@ -485,35 +494,42 @@ func (e *engine) fineSlot(slot int) error {
 	return nil
 }
 
+// checkDecisionField validates one decision field against its admissible
+// maximum, clamping sub-tolerance overshoot and rejecting anything
+// larger. Field-by-field calls keep the decision off the heap — the old
+// pointer-table formulation forced every slot's Decision to escape.
+func checkDecisionField(name string, val *float64, max float64) error {
+	if math.IsNaN(*val) || math.IsInf(*val, 0) {
+		return fmt.Errorf("non-finite %s", name)
+	}
+	limit := math.Max(0, max)
+	if *val < -decisionTol || *val > limit+decisionTol {
+		return fmt.Errorf("%s = %g outside [0, %g]", name, *val, limit)
+	}
+	*val = clamp(*val, 0, limit)
+	return nil
+}
+
 // validateDecision checks the decision against the slot's admissible set,
 // clamping sub-tolerance overshoot and rejecting anything larger.
 func (e *engine) validateDecision(dec *Decision, obs FineObs) error {
-	fields := []struct {
-		name string
-		val  *float64
-		max  float64
-	}{
-		{"grt", &dec.Grt, math.Min(obs.RTHeadroom, e.cfg.SmaxMWh-obs.LongTermDue-obs.Renewable)},
-		{"serveDT", &dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax)},
-		{"charge", &dec.Charge, obs.MaxCharge},
-		{"discharge", &dec.Discharge, obs.MaxDischarge},
+	if err := checkDecisionField("grt", &dec.Grt,
+		math.Min(obs.RTHeadroom, e.cfg.SmaxMWh-obs.LongTermDue-obs.Renewable)); err != nil {
+		return err
+	}
+	if err := checkDecisionField("serveDT", &dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax)); err != nil {
+		return err
+	}
+	if err := checkDecisionField("charge", &dec.Charge, obs.MaxCharge); err != nil {
+		return err
+	}
+	if err := checkDecisionField("discharge", &dec.Discharge, obs.MaxDischarge); err != nil {
+		return err
 	}
 	if dec.GenerateUnits == nil {
-		fields = append(fields, struct {
-			name string
-			val  *float64
-			max  float64
-		}{"generate", &dec.Generate, obs.GenRequest})
-	}
-	for _, f := range fields {
-		if math.IsNaN(*f.val) || math.IsInf(*f.val, 0) {
-			return fmt.Errorf("non-finite %s", f.name)
+		if err := checkDecisionField("generate", &dec.Generate, obs.GenRequest); err != nil {
+			return err
 		}
-		limit := math.Max(0, f.max)
-		if *f.val < -decisionTol || *f.val > limit+decisionTol {
-			return fmt.Errorf("%s = %g outside [0, %g]", f.name, *f.val, limit)
-		}
-		*f.val = clamp(*f.val, 0, limit)
 	}
 	if dec.GenerateUnits != nil {
 		if len(dec.GenerateUnits) > len(obs.GenUnits) {

@@ -29,11 +29,19 @@ var traceCache = struct {
 	misses int64
 }{m: make(map[engine.TraceConfig]*traceEntry)}
 
+// tracePool recycles released trace clones: a sweep point that calls
+// Release hands its buffers to the next Traces call, which copies the
+// memoized master over them instead of allocating a fresh deep copy.
+// Entries of a different shape are handled transparently — CloneInto
+// reallocates any series that does not fit.
+var tracePool sync.Pool
+
 // Traces returns the synthetic trace set for tc, generating it at most
 // once per distinct configuration and handing out a private deep copy.
-// The clone is essential: scenarios mutate their traces (SetPenetration,
+// The copy is essential: scenarios mutate their traces (SetPenetration,
 // ScaleSystem, ApplyCooling), and a shared set would race and corrupt
-// other scenarios' inputs.
+// other scenarios' inputs. Call Release when a sweep point is done with
+// its copy to let the next point reuse the buffers.
 func Traces(tc engine.TraceConfig) (*engine.Traces, error) {
 	traceCache.mu.Lock()
 	e, ok := traceCache.m[tc]
@@ -54,7 +62,20 @@ func Traces(tc engine.TraceConfig) (*engine.Traces, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
+	if buf, ok := tracePool.Get().(*engine.Traces); ok {
+		return e.tr.CloneInto(buf), nil
+	}
 	return e.tr.Clone(), nil
+}
+
+// Release returns a trace set obtained from Traces to the clone pool so
+// a later sweep point can reuse its buffers. Callers must not touch the
+// set afterwards; releasing is optional (an unreleased set is simply
+// garbage-collected) and nil is a no-op.
+func Release(tr *engine.Traces) {
+	if tr != nil {
+		tracePool.Put(tr)
+	}
 }
 
 // TraceCacheStats reports cumulative cache hits and misses (a miss is a

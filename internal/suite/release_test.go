@@ -1,0 +1,61 @@
+package suite
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/smartdpss/smartdpss/internal/engine"
+)
+
+// TestTracesReleaseHandsOutPristineCopies mutates a clone, releases it
+// to the pool, and re-requests the same configuration: the next handout
+// must carry the memoized master's pristine values even when it reuses
+// the released buffers — CloneInto overwrites everything.
+func TestTracesReleaseHandsOutPristineCopies(t *testing.T) {
+	ResetTraceCache()
+	tc := engine.TraceConfig{Days: 1, Seed: 97, SolarCapacityMW: 2, PeakMW: 2}
+
+	first, err := Traces(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.TraceStatistics(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the clone thoroughly, then hand its buffers back.
+	first.ScaleSystem(7.5)
+	Release(first)
+
+	second, err := Traces(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engine.TraceStatistics(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("recycled handout is not pristine:\nwant %+v\ngot  %+v", want, got)
+	}
+
+	// And handouts stay isolated from each other.
+	third, err := Traces(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.ScaleSystem(3)
+	stats3, err := engine.TraceStatistics(third)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, stats3) {
+		t.Fatal("mutating one handout leaked into another")
+	}
+}
+
+// TestReleaseNilIsNoop pins the nil contract.
+func TestReleaseNilIsNoop(t *testing.T) {
+	Release(nil) // must not panic
+}

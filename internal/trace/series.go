@@ -55,6 +55,19 @@ func (s *Series) Clone() *Series {
 	return FromValues(s.Name, s.Unit, s.SlotMinutes, s.Values)
 }
 
+// CopyInto deep-copies s into dst, reusing dst's sample storage when it
+// is large enough, and returns dst (freshly allocated when nil). It is
+// the caller-owned-buffer counterpart of Clone for sweep loops that
+// clone many same-shape sets.
+func (s *Series) CopyInto(dst *Series) *Series {
+	if dst == nil {
+		dst = &Series{}
+	}
+	dst.Name, dst.Unit, dst.SlotMinutes = s.Name, s.Unit, s.SlotMinutes
+	dst.Values = append(dst.Values[:0], s.Values...)
+	return dst
+}
+
 // Scale multiplies every sample by k in place and returns the receiver.
 func (s *Series) Scale(k float64) *Series {
 	for i := range s.Values {

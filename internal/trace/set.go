@@ -98,17 +98,28 @@ func (s *Set) Validate() error {
 
 // Clone deep-copies the whole set.
 func (s *Set) Clone() *Set {
-	out := &Set{
-		DemandDS:  s.DemandDS.Clone(),
-		DemandDT:  s.DemandDT.Clone(),
-		Renewable: s.Renewable.Clone(),
-		PriceLT:   s.PriceLT.Clone(),
-		PriceRT:   s.PriceRT.Clone(),
+	return s.CloneInto(nil)
+}
+
+// CloneInto deep-copies the whole set into dst, reusing dst's series
+// storage where the shapes allow, and returns dst (freshly allocated
+// when nil). Sweep engines use it to recycle one buffer set across many
+// sweep points instead of allocating a full deep copy per point.
+func (s *Set) CloneInto(dst *Set) *Set {
+	if dst == nil {
+		dst = &Set{}
 	}
+	dst.DemandDS = s.DemandDS.CopyInto(dst.DemandDS)
+	dst.DemandDT = s.DemandDT.CopyInto(dst.DemandDT)
+	dst.Renewable = s.Renewable.CopyInto(dst.Renewable)
+	dst.PriceLT = s.PriceLT.CopyInto(dst.PriceLT)
+	dst.PriceRT = s.PriceRT.CopyInto(dst.PriceRT)
 	if s.FuelScale != nil {
-		out.FuelScale = s.FuelScale.Clone()
+		dst.FuelScale = s.FuelScale.CopyInto(dst.FuelScale)
+	} else {
+		dst.FuelScale = nil
 	}
-	return out
+	return dst
 }
 
 // ScaleSystem multiplies demand and renewable by β, modelling the system
