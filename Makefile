@@ -3,10 +3,10 @@
 
 GO ?= go
 
-# The perf-trajectory benchmark set (see BENCH_4.json and README "Performance").
+# The perf-trajectory benchmark set (see BENCH_5.json and README "Performance").
 PERF_BENCHES = BenchmarkDefaultsSimulation|BenchmarkAblationP5LP$$|BenchmarkAblationOfflineHorizonLP|BenchmarkFleetDispatch|BenchmarkSuiteSequential
 
-.PHONY: build test race bench lint docs suite golden cover perf
+.PHONY: build test race bench lint lint-docs docs suite golden cover perf
 
 build:
 	$(GO) build ./...
@@ -29,9 +29,14 @@ lint:
 	fi
 	$(GO) vet ./...
 
+# Package-comment lint: every package must carry a godoc package comment
+# (see scripts/lint-docs.sh for the exact rule).
+lint-docs:
+	./scripts/lint-docs.sh
+
 # Documentation surface: every godoc Example must pass (output lines are
-# checked verbatim), on top of the lint gate.
-docs: lint
+# checked verbatim), on top of the lint and package-comment gates.
+docs: lint lint-docs
 	$(GO) test -run Example ./...
 
 # Full one-month scenario suite (paper + extensions + provisioning +
@@ -51,11 +56,12 @@ cover:
 	$(GO) test -cover ./internal/suite ./internal/generator ./internal/baseline ./internal/lp
 
 # Regenerate the committed benchmark trajectory file: runs the key hot-path
-# benchmarks with -benchmem and rewrites BENCH_4.json's "current" block
-# (the pre-refactor "baseline" block is carried over unchanged). The bench
-# output goes through a file, not a pipe, so a failing benchmark run fails
-# the target instead of being masked by the parser's exit status.
+# benchmarks with -benchmem and rewrites BENCH_5.json's "current" block
+# (the pre-bounded-simplex "baseline" block is carried over unchanged; the
+# PR-4 trajectory survives in BENCH_4.json). The bench output goes through
+# a file, not a pipe, so a failing benchmark run fails the target instead
+# of being masked by the parser's exit status.
 perf:
 	$(GO) test -bench='$(PERF_BENCHES)' -benchmem -benchtime=20x -run '^$$' . > bench.out
-	$(GO) run ./cmd/perf -out BENCH_4.json -note "make perf" < bench.out
+	$(GO) run ./cmd/perf -out BENCH_5.json -note "make perf" < bench.out
 	@rm -f bench.out

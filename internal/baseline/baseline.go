@@ -126,19 +126,24 @@ func (c Config) Validate() error {
 // solver whose tableau buffers persist across the run's solves, the
 // problem rebuilt in place, and every slice the model builders need.
 //
-// Production solves run the exact cold pivot sequence with buffer reuse.
-// Basis warm-starting across consecutive same-shape solves is available
-// behind the warm flag and stays off here for two measured reasons:
-// these degenerate LPs have alternate optima, so a warm solve can land
-// on a different (equally optimal) vertex than the byte-pinned golden
+// Production solves use the bounded-variable simplex (capacity and box
+// limits as column bounds, not rows — the interval LP's tableau shrinks
+// ~40%) and run the cold pivot sequence with buffer reuse. Basis
+// warm-starting across consecutive same-shape solves is available behind
+// the warm flag and stays off here for two measured reasons: these
+// degenerate LPs have alternate optima, so a warm solve can land on a
+// different (equally optimal) vertex than the byte-pinned golden
 // snapshots replay; and at this problem scale the dense-tableau basis
 // re-installation plus feasibility repair costs more pivots than the
 // skipped phase 1 saves (see TestWarmIntervalSequencePivotOverhead).
+// Because warm bases only exist for the row formulation, setting warm
+// (or rowBounds) keeps the problem in the legacy row-per-bound form.
 // The zero value is ready to use.
 type lpState struct {
-	solver lp.Solver
-	prob   *lp.Problem
-	warm   bool
+	solver    lp.Solver
+	prob      *lp.Problem
+	warm      bool
+	rowBounds bool // keep the row-per-bound formulation (warm-start tests)
 
 	grt, u, c, d, w, e []lp.VarID
 	terms              []lp.Term // per-constraint build buffer
@@ -153,11 +158,15 @@ type lpState struct {
 	lastObjective  float64
 }
 
-// problem returns the reusable problem, reset for rebuilding.
+// problem returns the reusable problem, reset for rebuilding. The bound
+// mode is re-derived on every call (not just at creation) so flipping
+// warm or rowBounds between solves takes effect rather than being
+// silently latched.
 func (st *lpState) problem() *lp.Problem {
 	if st.prob == nil {
 		st.prob = lp.NewProblem()
 	}
+	st.prob.SetBounded(!st.warm && !st.rowBounds)
 	st.prob.Reset()
 	return st.prob
 }

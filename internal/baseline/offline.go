@@ -20,8 +20,13 @@ import (
 // pattern), so the controller's solver reuses every model and tableau
 // buffer across intervals and the whole sequence solves allocation-free
 // after the first interval. The solves themselves run the exact cold
-// pivot sequence — not basis warm-starts — so each interval reproduces
-// the historical optimal vertex bit for bit (see lpState).
+// row-formulation pivot sequence — not basis warm-starts, and not the
+// bounded-variable simplex — so each interval reproduces the historical
+// optimal vertex bit for bit: these interval LPs are degenerate (serving
+// the backlog earlier or later can be cost-neutral), the golden paper
+// figures pin this controller's replayed schedule byte for byte, and a
+// different-but-equally-optimal vertex would shift the reported delay
+// (see lpState and the lp package documentation).
 type OfflineOptimal struct {
 	cfg Config
 	set *trace.Set
@@ -43,7 +48,11 @@ func NewOfflineOptimal(cfg Config, set *trace.Set) (*OfflineOptimal, error) {
 	if err := set.Validate(); err != nil {
 		return nil, err
 	}
-	return &OfflineOptimal{cfg: cfg, set: set}, nil
+	o := &OfflineOptimal{cfg: cfg, set: set}
+	// Golden-pinned vertex: keep the row-per-bound formulation (see the
+	// type comment).
+	o.st.rowBounds = true
+	return o, nil
 }
 
 // Name implements sim.Controller.

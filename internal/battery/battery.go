@@ -8,6 +8,12 @@
 // the stored level by ηc·brc; delivering bdc to the load drains ηd·bdc
 // from the store. Each slot either charges or discharges, never both
 // (brc(τ)·bdc(τ) ≡ 0).
+//
+// The package owns the battery state machine and its parameter
+// validation. internal/sim executes charge/discharge decisions against
+// it, internal/core reads its limits for the P5 weights and the shifted
+// tracker X(t), internal/baseline copies the same limits into its LP
+// bounds, and internal/engine sizes it from Options (battery.Sized).
 package battery
 
 import (

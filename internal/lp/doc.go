@@ -1,10 +1,18 @@
 // Package lp provides a dense, two-phase primal simplex solver for small
 // and medium linear programs, written against the standard library only.
+// This comment is the solver's contract: the formulation it accepts, the
+// pivoting and anti-cycling rules it runs, the determinism it guarantees,
+// and the semantics of its two capability switches (variable bounds and
+// basis warm starts). Every layer above — the per-slot P5 solver in
+// internal/core, the interval/whole-horizon/receding-horizon LPs in
+// internal/baseline — programs against this contract.
 //
 // The SmartDPSS paper solves its per-slot subproblems (P2, P4, P5) "using
 // classical linear programming approaches, e.g., simplex method" with
 // toolbox solvers such as Matlab's linprog. Go has no such solver in the
 // standard library, so this package supplies the substrate.
+//
+// # Formulation
 //
 // The solver accepts minimization problems over bounded variables:
 //
@@ -13,11 +21,91 @@
 //	     lo ≤ x ≤ hi       element-wise (lo may be -Inf, hi may be +Inf)
 //
 // Internally the problem is rewritten to standard form (equalities over
-// non-negative variables) and solved with a two-phase tableau simplex.
-// Entering variables are chosen by Dantzig's rule, falling back to Bland's
-// rule when the objective stalls, which guarantees termination.
+// non-negative variables): finite lower bounds become shifts x = lo + y,
+// a variable bounded only above becomes x = hi − y, free variables split
+// into y⁺ − y⁻, and variables fixed at lo == hi are substituted out as
+// constants. What happens to a finite upper bound on a shifted variable
+// depends on the bound mode:
 //
-// The problems produced by SmartDPSS are tiny (2–6 variables per fine slot)
-// or moderate (a few hundred variables for the per-day offline LP); a dense
-// tableau is both simple and fast enough for those sizes.
+//   - Row mode (the default): the bound is lowered to one explicit
+//     y ≤ hi − lo tableau row. This is the historical formulation; its
+//     pivot sequence is frozen and byte-pinned by the golden suite.
+//   - Bounded mode (Problem.SetBounded): the bound is recorded as a
+//     column bound and handled natively by the bounded-variable
+//     (revised-bound) pivot loop. No row is emitted, shrinking the
+//     tableau by one row per upper-bounded variable — about 40% on the
+//     box-constrained interval LPs of this repository (for the default
+//     T = 24 interval LP: 242 rows → 145; for the one-row P5 LP: 5 → 1).
+//
+// # Pivoting and anti-cycling
+//
+// Both modes run the same two-phase dense tableau simplex: phase 1
+// minimizes the sum of artificial variables (infeasibility), phase 2 the
+// true objective with artificial columns banned. Entering columns are
+// chosen by Dantzig's rule (most negative reduced cost); when the active
+// objective fails to improve for 256 consecutive pivots the solver
+// switches permanently to Bland's rule, which guarantees termination on
+// degenerate problems (Beale's cycling example is a regression test).
+// The ratio test breaks ties by the smallest basis column.
+//
+// In bounded mode the ratio test admits two additional limits: a basic
+// variable reaching its own upper bound (the leaving column is rewritten
+// in terms of its complement ub − x before the pivot), and the entering
+// variable reaching its upper bound first (a bound flip — the column is
+// replaced by its complement everywhere and no basis change happens).
+// Nonbasic-at-upper-bound variables are therefore always represented as
+// at-zero complements, so the entering rule, Bland's rule and the stall
+// detector need no at-upper special case. Bound flips strictly improve
+// the active objective and count against the pivot budget.
+//
+// # Determinism
+//
+// A solve is a pure function of the problem: no randomness, no
+// time-dependence, no global state. Identical problems — same variables,
+// bounds, costs, constraint order and term order — produce bit-identical
+// pivot sequences, solutions and iteration counts, on every platform with
+// IEEE-754 float64. The golden scenario suite leans on this: the
+// OfflineOptimal benchmark replays row-mode interval LPs whose optimal
+// vertices are pinned byte for byte.
+//
+// Equivalence between the two modes is objective-level, not vertex-level:
+// both return the same status and (to round-off) the same optimal
+// objective, but on degenerate problems with alternate optima they may
+// return different, equally optimal vertices — the bounded pivot path is
+// shorter and visits different corners. Callers whose downstream output
+// is byte-pinned to historical runs must stay in row mode; everyone else
+// should prefer bounded mode for the smaller tableau. Equivalence is
+// gated three ways in the tests: brute-force vertex enumeration on random
+// boxes, row-vs-bound parity properties, and the byte-identical golden
+// suite.
+//
+// # Warm starts (negative result)
+//
+// Solver.SolveWarm re-installs the previous solve's optimal basis when
+// the next problem maps to the same standard-form shape, repairing slight
+// primal infeasibility in place instead of redoing phase 1. The
+// capability is correct and tested — and production does not use it, for
+// two reasons measured in PR 4 and recorded here so they are not
+// re-learned: (1) at this problem scale the basis re-installation plus
+// feasibility repair costs about as many pivots as the skipped phase 1
+// (707 vs 720 over a week of interval LPs), and (2) these degenerate LPs
+// have alternate optima, so a warm solve can land on a different vertex
+// than the golden-pinned cold path. Bounded-mode problems always solve
+// cold: a remembered basis records column membership only, not the
+// nonbasic-at-upper-bound set, so re-installing it could start from the
+// wrong solution point; SolveWarm silently falls back to Solve.
+//
+// # Memory model
+//
+// A Solver owns every working buffer (standard-form rewrite, tableau
+// arena, solution vector) and reuses them across solves; long sequences
+// of same-shape problems solve allocation-free once the buffers have
+// grown. Problem.Reset rebuilds a model in place, reusing per-row term
+// storage. The Solution returned by Solver.Solve borrows the solver's
+// buffers and is valid only until the next solve; Problem.Minimize is
+// the throwaway-solver convenience that detaches its values.
+//
+// The problems produced by SmartDPSS are tiny (2–6 variables per fine
+// slot) or moderate (a few hundred variables for the per-day offline LP);
+// a dense tableau is both simple and fast enough for those sizes.
 package lp

@@ -36,6 +36,17 @@ type tableau struct {
 	stall    int
 	pivots   int
 
+	// Bounded-variable state (Problem.SetBounded). Every column carries an
+	// upper bound (+Inf for slacks, artificials and unbounded structurals);
+	// flip[j] records that column j currently stands for the complement
+	// ub[j] − x of its variable, the reflection that keeps every nonbasic
+	// column "at zero" so the entering rule needs no at-upper special case.
+	// In row mode every ub is +Inf, flip stays all-false, and the pivot
+	// loop's arithmetic is bit-for-bit the historical sequence.
+	ub    []float64
+	flip  []bool
+	hasUB bool // any finite column bound (false in row mode)
+
 	mark    []int // column membership scratch for applyBasis
 	markGen int
 }
@@ -78,6 +89,25 @@ func (t *tableau) init(sf *standardForm) {
 	t.objVal, t.p1val = 0, 0
 	t.inPhase1, t.bland = false, false
 	t.stall, t.pivots = 0, 0
+
+	// Column bounds: structural columns inherit the standard form's bounds
+	// (finite only in bounded mode); slacks, surpluses and artificials are
+	// unbounded above.
+	t.ub = scratch.For(t.ub, n)
+	t.flip = scratch.Zeroed(t.flip, n)
+	t.hasUB = false
+	for j := 0; j < n; j++ {
+		t.ub[j] = math.Inf(1)
+	}
+	if sf.bounded {
+		copy(t.ub[:sf.ncols], sf.upper)
+		for j := 0; j < sf.ncols; j++ {
+			if !math.IsInf(t.ub[j], 1) {
+				t.hasUB = true
+				break
+			}
+		}
+	}
 
 	slackCol := sf.ncols
 	artCol := t.artStart
@@ -145,8 +175,8 @@ func flipRel(r Relation) Relation {
 	}
 }
 
-// iterate runs simplex pivots until optimality or unboundedness for the
-// current phase.
+// iterate runs simplex pivots (and, in bounded mode, bound flips) until
+// optimality or unboundedness for the current phase.
 func (t *tableau) iterate(maxIter int) (Status, error) {
 	for {
 		if t.pivots >= maxIter {
@@ -156,9 +186,19 @@ func (t *tableau) iterate(maxIter int) (Status, error) {
 		if enter < 0 {
 			return Optimal, nil
 		}
-		leave := t.chooseLeaving(enter)
+		leave, flip := t.chooseLeaving(enter)
+		if flip {
+			t.flipBound(enter)
+			continue
+		}
 		if leave < 0 {
 			return Unbounded, nil
+		}
+		if t.rows[leave][enter] < 0 {
+			// The blocking basic variable reaches its upper bound, not
+			// zero: rewrite its row in terms of the complement so the
+			// ordinary pivot drives that complement to zero.
+			t.reflectBasic(leave)
 		}
 		t.pivot(leave, enter)
 	}
@@ -199,24 +239,37 @@ func (t *tableau) chooseEntering() int {
 	return best
 }
 
-// chooseLeaving runs the ratio test for entering column e, breaking ties by
-// the smallest basis column (lexicographic Bland tie-break). Returns -1 when
-// the column is unbounded.
-func (t *tableau) chooseLeaving(e int) int {
+// chooseLeaving runs the ratio test for entering column e, breaking ties
+// by the smallest basis column (lexicographic Bland tie-break). In bounded
+// mode three limits compete: a basic variable driven to zero, a basic
+// variable driven to its upper bound (the reflection case, signalled by a
+// negative entry in its row), and the entering variable reaching its own
+// upper bound (a bound flip with no basis change, signalled by flip=true).
+// Rows win exact ties against the flip so the degenerate behavior stays
+// pivot-shaped. (row=-1, flip=false) means the column is unbounded.
+func (t *tableau) chooseLeaving(e int) (row int, flip bool) {
 	best := -1
 	bestRatio := math.Inf(1)
 	for i := 0; i < t.m; i++ {
 		a := t.rows[i][e]
-		if a <= pivotTol {
+		var ratio float64
+		switch {
+		case a > pivotTol:
+			ratio = t.rhs[i] / a
+		case t.hasUB && a < -pivotTol && !math.IsInf(t.ub[t.basis[i]], 1):
+			ratio = (t.ub[t.basis[i]] - t.rhs[i]) / -a
+		default:
 			continue
 		}
-		ratio := t.rhs[i] / a
 		if ratio < bestRatio-1e-12 ||
 			(ratio <= bestRatio+1e-12 && best >= 0 && t.basis[i] < t.basis[best]) {
 			best, bestRatio = i, ratio
 		}
 	}
-	return best
+	if t.hasUB && t.ub[e] < bestRatio-1e-12 {
+		return -1, true
+	}
+	return best, false
 }
 
 // pivot performs the Gauss-Jordan pivot on (row r, column e), updating both
@@ -267,9 +320,13 @@ func (t *tableau) pivot(r, e int) {
 	t.p1val = -t.p1obj[t.n]
 	t.basis[r] = e
 	t.pivots++
+	t.trackProgress(prevObj, prevP1)
+}
 
-	// Stall detection: switch to Bland's rule when the active objective has
-	// not improved for a while (anti-cycling guarantee).
+// trackProgress runs the stall detection shared by pivots and bound
+// flips: switch to Bland's rule when the active objective has not
+// improved for a while (anti-cycling guarantee).
+func (t *tableau) trackProgress(prevObj, prevP1 float64) {
 	improved := false
 	if t.inPhase1 {
 		improved = prevP1-t.p1val > improveE
@@ -284,6 +341,62 @@ func (t *tableau) pivot(r, e int) {
 			t.bland = true
 		}
 	}
+}
+
+// flipBound moves nonbasic column e from its active bound to the opposite
+// one by substituting the complement variable ub[e] − x everywhere the
+// column appears. No basis change happens; the move strictly improves the
+// active objective (the entering rule admitted e with a negative reduced
+// cost and ub[e] > 0), so flips cannot cycle. Counted against the pivot
+// budget like a pivot.
+func (t *tableau) flipBound(e int) {
+	prevObj, prevP1 := t.objVal, t.p1val
+	d := t.ub[e]
+	for i := 0; i < t.m; i++ {
+		ri := t.rows[i]
+		a := ri[e]
+		if a == 0 {
+			continue
+		}
+		t.rhs[i] -= a * d
+		ri[e] = -a
+		if t.rhs[i] < 0 && t.rhs[i] > -1e-11 {
+			t.rhs[i] = 0
+		}
+	}
+	for _, objRow := range [2][]float64{t.obj, t.p1obj} {
+		if f := objRow[e]; f != 0 {
+			objRow[t.n] -= f * d
+			objRow[e] = -f
+		}
+	}
+	t.objVal = -t.obj[t.n]
+	t.p1val = -t.p1obj[t.n]
+	t.flip[e] = !t.flip[e]
+	t.pivots++
+	t.trackProgress(prevObj, prevP1)
+}
+
+// reflectBasic rewrites basic row r in terms of the complement of its
+// basic variable (x = ub − x̃), used when the ratio test drives a basic
+// variable to its upper bound: after the reflection the complement sits
+// basic at ub − value ≥ 0 and the ordinary pivot drives it to zero. The
+// reflected variable keeps its column index and bound; only flip[column]
+// records the new orientation. Objective rows are untouched — a basic
+// column's reduced cost is zero, and the current solution point does not
+// move.
+func (t *tableau) reflectBasic(r int) {
+	b := t.basis[r]
+	row := t.rows[r]
+	for j := 0; j < t.n; j++ {
+		row[j] = -row[j]
+	}
+	row[b] = 1
+	t.rhs[r] = t.ub[b] - t.rhs[r]
+	if t.rhs[r] < 0 && t.rhs[r] > -1e-11 {
+		t.rhs[r] = 0
+	}
+	t.flip[b] = !t.flip[b]
 }
 
 // leavePhase1 transitions the tableau to phase 2: artificials still in the

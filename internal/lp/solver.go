@@ -13,7 +13,9 @@ import "github.com/smartdpss/smartdpss/internal/scratch"
 // standard-form shape, skipping phase 1 and most phase-2 pivots for
 // problem sequences that differ only in costs and right-hand sides; when
 // the remembered basis cannot be installed or is infeasible for the new
-// data it falls back to the exact cold path.
+// data it falls back to the exact cold path. Warm bases exist only for
+// the row formulation: bounded-mode problems (Problem.SetBounded) always
+// solve cold, and SolveWarm on them is exactly Solve.
 //
 // A Solver is not safe for concurrent use. The Solution returned by Solve
 // and SolveWarm borrows the solver's buffers and is valid only until the
@@ -57,6 +59,10 @@ func (s *Solver) run(p *Problem, warm bool) (Solution, error) {
 	if err := p.validate(); err != nil {
 		return Solution{}, err
 	}
+	// Bounded problems always solve cold: a remembered basis does not
+	// carry the nonbasic-at-upper-bound set, so re-installing it could
+	// silently start from the wrong solution point.
+	warm = warm && !p.bounded
 	p.buildStandardForm(&s.sf)
 	sf := &s.sf
 	t := &s.t
@@ -115,14 +121,29 @@ func (s *Solver) run(p *Problem, warm bool) (Solution, error) {
 	}
 
 	s.y = scratch.Zeroed(s.y, sf.ncols)
+	if t.hasUB {
+		// Nonbasic flipped columns sit at their upper bound; basic flipped
+		// columns hold the complement, undone below.
+		for j := 0; j < sf.ncols; j++ {
+			if t.flip[j] {
+				s.y[j] = t.ub[j]
+			}
+		}
+	}
 	for i := 0; i < t.m; i++ {
 		if col := t.basis[i]; col < sf.ncols {
-			s.y[col] = t.rhs[i]
+			if t.hasUB && t.flip[col] {
+				s.y[col] = t.ub[col] - t.rhs[i]
+			} else {
+				s.y[col] = t.rhs[i]
+			}
 		}
 	}
 	s.vals = scratch.Zeroed(s.vals, len(sf.recover))
 	sf.recoverValuesInto(s.y, s.vals)
-	s.rememberBasis(sf)
+	if !p.bounded {
+		s.rememberBasis(sf)
+	}
 	return Solution{
 		Status:     Optimal,
 		Objective:  t.objVal + sf.offset,

@@ -47,7 +47,9 @@ type standardForm struct {
 	ncols   int
 	rows    []sfRow
 	costs   []float64
-	offset  float64 // constant added to the objective by substitutions
+	upper   []float64 // per-column upper bound; +Inf when none or in row mode
+	bounded bool      // bound mode of the problem that built this form
+	offset  float64   // constant added to the objective by substitutions
 	recover []varRecover
 
 	// build scratch, reused across calls
@@ -56,10 +58,14 @@ type standardForm struct {
 }
 
 // buildStandardForm rewrites the problem over non-negative variables into
-// sf, translating finite bounds into shifts, sign flips, splits and
-// explicit upper-bound rows. The construction order — and therefore every
+// sf, translating finite bounds into shifts, sign flips and splits. In the
+// default row mode a finite upper bound on a shifted variable additionally
+// emits one explicit ≤ row; the construction order — and therefore every
 // coefficient value — is identical to the historical allocating version,
-// so downstream simplex arithmetic is bit-for-bit unchanged.
+// so downstream simplex arithmetic is bit-for-bit unchanged. In bounded
+// mode (Problem.SetBounded) those rows are not emitted: the bound is
+// recorded in sf.upper as a column bound for the bounded-variable pivot
+// loop instead.
 func (p *Problem) buildStandardForm(sf *standardForm) {
 	nv := len(p.vars)
 	if cap(sf.recover) < nv {
@@ -72,10 +78,12 @@ func (p *Problem) buildStandardForm(sf *standardForm) {
 	sf.subs = sf.subs[:nv]
 	sf.ncols = 0
 	sf.offset = 0
+	sf.bounded = p.bounded
 
-	// Column assignment and per-variable substitution. Upper-bounded
-	// shifted variables contribute one extra ≤ row each, appended after
-	// the caller's constraints in variable order.
+	// Column assignment and per-variable substitution. In row mode,
+	// upper-bounded shifted variables contribute one extra ≤ row each,
+	// appended after the caller's constraints in variable order; in
+	// bounded mode they contribute a column bound instead.
 	nupper := 0
 	for i, v := range p.vars {
 		switch {
@@ -87,7 +95,7 @@ func (p *Problem) buildStandardForm(sf *standardForm) {
 			sf.ncols++
 			sf.recover[i] = varRecover{kind: recShifted, col: col, base: v.lower}
 			sf.subs[i] = colSub{col: col, scale: 1, base: v.lower}
-			if !math.IsInf(v.upper, 1) {
+			if !math.IsInf(v.upper, 1) && !p.bounded {
 				nupper++
 			}
 		case !math.IsInf(v.upper, 1):
@@ -103,6 +111,19 @@ func (p *Problem) buildStandardForm(sf *standardForm) {
 			sf.ncols += 2
 			sf.recover[i] = varRecover{kind: recSplit, col: col, col2: col2}
 			sf.subs[i] = colSub{col: col, col2: col2, scale: 1}
+		}
+	}
+
+	// Column bounds (bounded mode only; all +Inf otherwise).
+	sf.upper = scratch.For(sf.upper, sf.ncols)
+	for j := range sf.upper {
+		sf.upper[j] = math.Inf(1)
+	}
+	if p.bounded {
+		for i, v := range p.vars {
+			if r := sf.recover[i]; r.kind == recShifted && !math.IsInf(v.upper, 1) {
+				sf.upper[r.col] = v.upper - v.lower
+			}
 		}
 	}
 
@@ -147,17 +168,20 @@ func (p *Problem) buildStandardForm(sf *standardForm) {
 		sf.rows[ci] = row
 	}
 
-	// Upper-bound rows, in variable order.
-	ui := len(p.cons)
-	for i, v := range p.vars {
-		r := sf.recover[i]
-		if r.kind != recShifted || math.IsInf(v.upper, 1) {
-			continue
+	// Upper-bound rows, in variable order (row mode only: bounded mode
+	// carries these limits in sf.upper).
+	if !p.bounded {
+		ui := len(p.cons)
+		for i, v := range p.vars {
+			r := sf.recover[i]
+			if r.kind != recShifted || math.IsInf(v.upper, 1) {
+				continue
+			}
+			row := sfRow{coeffs: rowCoeffs(ui), rel: LE, rhs: v.upper - v.lower}
+			row.coeffs[r.col] = 1
+			sf.rows[ui] = row
+			ui++
 		}
-		row := sfRow{coeffs: rowCoeffs(ui), rel: LE, rhs: v.upper - v.lower}
-		row.coeffs[r.col] = 1
-		sf.rows[ui] = row
-		ui++
 	}
 }
 

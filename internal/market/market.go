@@ -3,6 +3,13 @@
 // committed once per coarse slot and delivered evenly over its T fine
 // slots, and a real-time market purchased per fine slot, with the joint
 // grid draw capped by Pgrid (Eq. 5) and prices capped by Pmax.
+//
+// The package owns the purchase ledgers — committed long-term energy, its
+// per-slot delivery schedule, real-time buys and the headroom left under
+// the caps. internal/sim drives it slot by slot (charging every purchase
+// through it), and internal/engine configures it from Options; policy
+// packages never touch it directly, they see its state through the
+// observation structs.
 package market
 
 import (

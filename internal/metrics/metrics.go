@@ -3,6 +3,11 @@
 // quantiles over retained samples. Horizons in this repository are small
 // (hundreds to tens of thousands of slots), so retaining samples for exact
 // quantiles is cheaper than approximate sketches.
+//
+// The package owns the accumulator types only — no simulation semantics.
+// internal/sim feeds them while building its per-run Report, and
+// internal/experiments aggregates across seeds and sweep points with
+// them; nothing below those two layers imports this package.
 package metrics
 
 import (

@@ -9,6 +9,12 @@
 // upfront payment), both lie in [0, Pmax], the real-time series carries a
 // diurnal double peak, mean-reverting noise and occasional heavy-tailed
 // spikes, and day-to-day levels wander slowly.
+//
+// The package owns only the price-process generators and their
+// parameters. internal/engine is its sole consumer: trace generation
+// calls it once per run, stores the result in a trace.Set, and everything
+// downstream (policies, baselines, the simulator) reads prices from that
+// set, never from here.
 package pricing
 
 import (

@@ -2,6 +2,12 @@
 // delay-tolerant demand backlog Q(τ) (Eq. 2) with FIFO cohort tracking for
 // exact delay measurement, the ε-persistent delay-aware virtual queue Y(τ)
 // (Eq. 12), and the shifted battery tracker X(t) (Eq. 14).
+//
+// The package owns all queue state and its update rules; the backlog's
+// cohort ring is the allocation-free compacting buffer the PR-4 hot path
+// introduced. internal/sim owns a Backlog per run for arrivals, service
+// and delay accounting; internal/core additionally drives the virtual
+// queues Y and X that steer the Lyapunov drift-plus-penalty weights.
 package queue
 
 import (

@@ -5,6 +5,11 @@
 // contents for buffers the caller overwrites entirely, Zeroed clears
 // every element for buffers that accumulate — so call sites cannot
 // silently inherit stale data by picking a divergent local helper.
+//
+// The package owns nothing but the two generic helpers; it imports
+// nothing. Its consumers are the allocation-free hot paths: internal/lp
+// (tableau arena, standard-form scratch), internal/core (slot scratch)
+// and internal/baseline (LP model build buffers).
 package scratch
 
 // For returns buf resized to n, reallocating only on growth. Contents

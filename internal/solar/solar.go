@@ -9,6 +9,11 @@
 // substitute reproduces the trace properties SmartDPSS is sensitive to —
 // strict day/night intermittency, short winter days, day-to-day variability
 // and hour-scale autocorrelation — as documented in DESIGN.md.
+//
+// The package owns the irradiance model and its weather chain.
+// internal/engine is its sole consumer: trace generation scales the
+// output by the configured capacity and merges it with wind into the
+// renewable series of the trace.Set that everything downstream reads.
 package solar
 
 import (

@@ -11,6 +11,12 @@
 // into facility power — raising both the level and the variance of the
 // demand SmartDPSS must serve, since hot afternoons coincide with the
 // interactive peak.
+//
+// The package owns the temperature process and the PUE curve.
+// internal/engine is its sole consumer: when cooling is enabled it maps
+// the workload trace through the curve during trace generation, so the
+// simulator and policies only ever see the already-inflated facility
+// demand.
 package thermal
 
 import (

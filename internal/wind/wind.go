@@ -13,6 +13,11 @@
 // is weather-scale rather than astronomical — mixing the two (see the
 // facade's TraceConfig.WindCapacityMW) smooths the renewable profile,
 // which is exactly why operators pair them.
+//
+// The package owns the wind-speed process and the turbine curve.
+// internal/engine is its sole consumer: trace generation merges its
+// output with solar into the renewable series of the trace.Set that the
+// simulator and policies read.
 package wind
 
 import (

@@ -16,6 +16,11 @@
 // The pair is non-stationary and bursty — the "arbitrary demand" regime the
 // algorithm is designed for — and the combined demand is clipped at Pgrid
 // exactly as in the paper's preprocessing.
+//
+// The package owns the demand generators and their parameters.
+// internal/engine is its sole consumer: trace generation materializes the
+// two demand series into a trace.Set that the simulator and every policy
+// read from.
 package workload
 
 import (

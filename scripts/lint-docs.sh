@@ -1,0 +1,43 @@
+#!/bin/sh
+# lint-docs: fail when any package in the module lacks a package doc
+# comment. Run by `make lint-docs` and the CI docs job.
+#
+# The documentation surface is tested like code here (see the docs CI
+# job), so an undocumented package is a lint error, not a style nit: every
+# package must have at least one non-test .go file whose package clause is
+# immediately preceded by a doc comment (a `// Package ...` comment for
+# libraries, a `// Command ...`-style comment for main packages, or a
+# dedicated doc.go). Build-constraint and directive lines (`//go:...`) do
+# not count as documentation.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+	documented=0
+	for f in "$dir"/*.go; do
+		[ -e "$f" ] || continue
+		case "$f" in
+		*_test.go) continue ;;
+		esac
+		if awk '
+			/^package / { exit found ? 0 : 1 }
+			/^\/\/go:/ { next }
+			/^\/\// || /\*\// { found = 1; next }
+			/^$/ { found = 0; next }
+			{ found = 0 }
+		' "$f"; then
+			documented=1
+			break
+		fi
+	done
+	if [ "$documented" -eq 0 ]; then
+		echo "lint-docs: package $dir has no package doc comment" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "lint-docs: every package is documented"
