@@ -6,7 +6,7 @@ GO ?= go
 # The perf-trajectory benchmark set (see BENCH_5.json and README "Performance").
 PERF_BENCHES = BenchmarkDefaultsSimulation|BenchmarkAblationP5LP$$|BenchmarkAblationOfflineHorizonLP|BenchmarkFleetDispatch|BenchmarkSuiteSequential
 
-.PHONY: build test race bench lint lint-docs docs suite golden cover perf
+.PHONY: build test race bench lint lint-docs docs suite golden cover perf serve-smoke
 
 build:
 	$(GO) build ./...
@@ -51,9 +51,15 @@ golden:
 	$(GO) test ./internal/experiments -run 'TestSuiteGolden|TestGoldenFilesComplete' -v
 
 # Per-package coverage, mirroring the CI floors (suite 70%, generator 85%,
-# baseline 70%, lp 70%).
+# baseline 70%, lp 70%, sim 70%).
 cover:
-	$(GO) test -cover ./internal/suite ./internal/generator ./internal/baseline ./internal/lp
+	$(GO) test -cover ./internal/suite ./internal/generator ./internal/baseline ./internal/lp ./internal/sim
+
+# Service-mode smoke: start dpss-serve on a replay source, scrape
+# /metrics over HTTP, validate the OpenMetrics exposition, and prove a
+# checkpointed run resumes across processes (scripts/serve-smoke.sh).
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 # Regenerate the committed benchmark trajectory file: runs the key hot-path
 # benchmarks with -benchmem and rewrites BENCH_5.json's "current" block

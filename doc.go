@@ -81,14 +81,40 @@
 // are additionally pinned against committed golden snapshots
 // (internal/experiments/testdata/golden, enforced by TestSuiteGolden).
 //
+// # Batch and streaming: one computation, two drivers
+//
+// Simulate is a thin loop over the resumable session API. NewSession
+// builds a streaming session for the online policies (PolicySmartDPSS,
+// PolicyImpatient): each slot is Step(SlotInput) → Decision, then
+// Commit() → SlotOutcome, with Status() exposing live totals between
+// slots and Finish() producing the same Report Simulate returns.
+// NewReplaySession binds a session to a generated trace set (StepReplay
+// feeds the next row each slot) and accepts every policy, including the
+// clairvoyant offline benchmarks.
+//
+// The layering guarantee is byte-equivalence: driving a session slot by
+// slot — in one process, or split across processes via Snapshot/Restore
+// checkpoints — produces a Report byte-identical to batch Simulate over
+// the same inputs. Checkpoints embed a configuration digest, so Restore
+// refuses state from a differently configured run (ErrSnapshotMismatch)
+// instead of resuming one run's state under another run's physics; all
+// construction-time failures are branchable via errors.Is with
+// ErrInvalidOptions and friends, and field-level causes via errors.As
+// with *ValidationError.
+//
+// cmd/dpss-serve wraps the session in a long-lived daemon: a pluggable
+// ingest source (trace replay today; live telemetry adapters behind the
+// same interface), periodic atomic checkpoints for crash recovery, and
+// an OpenMetrics /metrics endpoint plus /healthz and /status.
+//
 // # Architecture: a facade over internal packages
 //
 // This package contains no logic of its own — it re-exports, via type
 // aliases and thin wrappers, the layers below:
 //
 //	smartdpss (public facade: aliases + wrappers, this package)
-//	  ├── internal/engine       Options/TraceConfig/Simulate — wires the
-//	  │     │                   pieces together behind the facade
+//	  ├── internal/engine       Options/TraceConfig/Simulate/Session —
+//	  │     │                   wires the pieces together behind the facade
 //	  │     ├── internal/core       the SmartDPSS controller (P4/P5)
 //	  │     ├── internal/baseline   Impatient, offline LPs, lookahead
 //	  │     ├── internal/sim        the slot-by-slot execution engine
@@ -97,13 +123,17 @@
 //	  │     ├── internal/market     the two-timescale grid account
 //	  │     └── internal/{workload,solar,wind,pricing,thermal,trace}
 //	  │                           synthetic input generators
+//	  ├── internal/serve        service harness for cmd/dpss-serve:
+//	  │                         ingest sources, checkpointing daemon,
+//	  │                         OpenMetrics exposition + validator
 //	  ├── internal/suite        scenario registry, deterministic worker
 //	  │                         pool (Map), memoized trace cache
 //	  └── internal/experiments  one registered runner per reproduced
 //	                            figure / extension / provisioning study
 //
 // Keeping the implementation internal means the public surface is the
-// stable, documented subset: policies, options, traces, reports, bounds
-// and the suite entry points. cmd/dpss-sim, cmd/trace-gen and
-// cmd/experiments are thin CLIs over the same facade.
+// stable, documented subset: policies, options, traces, reports, bounds,
+// the session API and the suite entry points. cmd/dpss-sim,
+// cmd/trace-gen, cmd/experiments and cmd/dpss-serve are thin CLIs over
+// the same facade.
 package smartdpss

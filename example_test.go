@@ -92,6 +92,69 @@ func ExampleSimulate_generator() {
 	// on-site generation cheaper: true
 }
 
+// ExampleNewSession drives the controller slot by slot through the
+// streaming session API and checkpoints it halfway: the resumed second
+// half completes the exact run the batch Simulate would have produced.
+func ExampleNewSession() {
+	tc := dpss.DefaultTraceConfig()
+	tc.Days = 2
+	traces, err := dpss.GenerateTraces(tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := dpss.DefaultOptions()
+
+	sess, err := dpss.NewSession(dpss.PolicySmartDPSS, opts, traces.Horizon())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// First half: in a live deployment each input would arrive from
+	// building telemetry; here the generated traces stand in.
+	for sess.Slot() < traces.Horizon()/2 {
+		if _, err := sess.Step(traces.InputAt(sess.Slot())); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sess.Commit(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	checkpoint, err := sess.Snapshot() // persist across restarts
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A fresh, identically configured session resumes bit-for-bit.
+	resumed, err := dpss.NewSession(dpss.PolicySmartDPSS, opts, traces.Horizon())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := resumed.Restore(checkpoint); err != nil {
+		log.Fatal(err)
+	}
+	for !resumed.Done() {
+		if _, err := resumed.Step(traces.InputAt(resumed.Slot())); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := resumed.Commit(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep, err := resumed.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	batch, err := dpss.Simulate(dpss.PolicySmartDPSS, opts, traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("slots:", rep.Slots)
+	fmt.Println("matches batch:", rep.TotalCostUSD == batch.TotalCostUSD)
+	// Output:
+	// slots: 48
+	// matches batch: true
+}
+
 // ExampleSimulate_lookahead compares SmartDPSS with an MPC controller
 // holding six hours of perfect foresight.
 func ExampleSimulate_lookahead() {

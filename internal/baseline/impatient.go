@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 
 	"github.com/smartdpss/smartdpss/internal/sim"
@@ -82,5 +84,29 @@ func (i *Impatient) PlanFine(obs sim.FineObs) sim.Decision {
 
 // RecordOutcome implements sim.Controller; Impatient keeps no state.
 func (i *Impatient) RecordOutcome(sim.Outcome) {}
+
+var _ sim.Snapshotter = (*Impatient)(nil)
+
+// impatientState is the policy's checkpoint form: only the trailing-mean
+// estimator survives across slots (Config is pinned by the session
+// checkpoint's config hash).
+type impatientState struct {
+	Est sim.TrailingMeansState `json:"est"`
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (i *Impatient) SnapshotState() ([]byte, error) {
+	return json.Marshal(impatientState{Est: i.est.State()})
+}
+
+// RestoreState implements sim.Snapshotter.
+func (i *Impatient) RestoreState(data []byte) error {
+	var s impatientState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("baseline: decode impatient state: %w", err)
+	}
+	i.est.Restore(s.Est)
+	return nil
+}
 
 func clamp(x, lo, hi float64) float64 { return math.Min(hi, math.Max(lo, x)) }

@@ -171,6 +171,48 @@ func (b *Battery) MaxDischargeNow() float64 {
 	return math.Max(0, math.Min(b.params.MaxDischargeMWh, avail))
 }
 
+// State is the battery's mutable state, exported for session checkpoints
+// (the configuration is not part of it — a checkpoint's config hash pins
+// that separately). All fields round-trip exactly through JSON, so a
+// restored battery continues bit-for-bit where the snapshot was taken.
+type State struct {
+	LevelMWh      float64 `json:"levelMWh"`
+	Ops           int     `json:"ops"`
+	ChargedMWh    float64 `json:"chargedMWh"`
+	DischargedMWh float64 `json:"dischargedMWh"`
+	OpCostUSD     float64 `json:"opCostUSD"`
+}
+
+// State captures the battery's mutable state for a checkpoint.
+func (b *Battery) State() State {
+	return State{
+		LevelMWh:      b.level,
+		Ops:           b.ops,
+		ChargedMWh:    b.chargedMWh,
+		DischargedMWh: b.dischargedMWh,
+		OpCostUSD:     b.opCostUSD,
+	}
+}
+
+// Restore overwrites the battery's mutable state from a checkpoint. The
+// level must lie within the configured bounds; lifetime counters are
+// taken verbatim.
+func (b *Battery) Restore(s State) error {
+	if s.LevelMWh < b.params.MinLevelMWh-1e-9 || s.LevelMWh > b.params.CapacityMWh+1e-9 {
+		return fmt.Errorf("%w: restored level %g outside [%g, %g]",
+			ErrBounds, s.LevelMWh, b.params.MinLevelMWh, b.params.CapacityMWh)
+	}
+	if s.Ops < 0 {
+		return errors.New("battery: negative restored ops count")
+	}
+	b.level = s.LevelMWh
+	b.ops = s.Ops
+	b.chargedMWh = s.ChargedMWh
+	b.dischargedMWh = s.DischargedMWh
+	b.opCostUSD = s.OpCostUSD
+	return nil
+}
+
 // Apply executes one slot of battery action: absorb charge MWh from the
 // supply and/or deliver discharge MWh to the load. Exactly one of the two
 // may be positive. The level, operation counter and cost are updated

@@ -687,30 +687,21 @@ func TraceStatistics(t *Traces) ([]SeriesStats, error) {
 	return out, nil
 }
 
-// Simulate runs the selected policy over the traces and returns its report.
+// Simulate runs the selected policy over the traces and returns its
+// report. It is a thin batch loop over a replay Session — batch and
+// streaming execution share one code path, so their reports are
+// byte-identical by construction.
 func Simulate(policy Policy, opts Options, traces *Traces) (*Report, error) {
-	if traces == nil {
-		return nil, errors.New("smartdpss: nil traces")
-	}
-	if opts.CarbonUSDPerTon < 0 || math.IsNaN(opts.CarbonUSDPerTon) || math.IsInf(opts.CarbonUSDPerTon, 0) {
-		return nil, errors.New("smartdpss: CarbonUSDPerTon must be finite and non-negative")
-	}
-	for i, u := range opts.Fleet {
-		if err := u.Validate(); err != nil {
-			return nil, fmt.Errorf("smartdpss: fleet unit %d: %w", i, err)
-		}
-	}
-	ctrl, err := newController(policy, opts, traces)
+	s, err := NewReplaySession(policy, opts, traces)
 	if err != nil {
 		return nil, err
 	}
-	if opts.ObservationNoise > 0 {
-		ctrl, err = sim.WithObservationNoise(ctrl, opts.NoiseSeed, opts.ObservationNoise)
-		if err != nil {
+	for !s.Done() {
+		if _, err := s.StepReplay(); err != nil {
 			return nil, err
 		}
 	}
-	return sim.Run(opts.simConfig(), traces.set, ctrl)
+	return s.Finish()
 }
 
 // newController instantiates the requested policy.

@@ -196,6 +196,35 @@ func (f *Fleet) SplitTotal(total float64) []float64 {
 	return reqs
 }
 
+// State captures every unit's mutable state in fleet order for a
+// checkpoint (nil for an empty fleet).
+func (f *Fleet) State() []State {
+	if len(f.units) == 0 {
+		return nil
+	}
+	states := make([]State, len(f.units))
+	for i, u := range f.units {
+		states[i] = u.State()
+	}
+	return states
+}
+
+// Restore overwrites every unit's mutable state from a checkpoint. The
+// state count must match the fleet size (the checkpoint's config hash
+// already pins the unit specs, this is a second line of defense).
+func (f *Fleet) Restore(states []State) error {
+	if len(states) != len(f.units) {
+		return fmt.Errorf("generator: checkpoint has %d unit states, fleet has %d units",
+			len(states), len(f.units))
+	}
+	for i, s := range states {
+		if err := f.units[i].Restore(s); err != nil {
+			return fmt.Errorf("unit %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // FleetTotals aggregates lifetime accounting across the units.
 type FleetTotals struct {
 	EnergyMWh  float64

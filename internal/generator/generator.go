@@ -27,6 +27,7 @@ package generator
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -244,6 +245,60 @@ func (g *Generator) RequestMax() float64 {
 	}
 	_, max := g.Window()
 	return max
+}
+
+// State is one unit's mutable state, exported for session checkpoints
+// (Params are pinned by the checkpoint's config hash, not stored here).
+type State struct {
+	Running    bool    `json:"running"`
+	OutputMWh  float64 `json:"outputMWh"`
+	Countdown  int     `json:"countdown"`
+	Fresh      bool    `json:"fresh"`
+	EnergyMWh  float64 `json:"energyMWh"`
+	FuelUSD    float64 `json:"fuelUSD"`
+	StartupUSD float64 `json:"startupUSD"`
+	CO2Kg      float64 `json:"co2Kg"`
+	Starts     int     `json:"starts"`
+	OpSlots    int     `json:"opSlots"`
+}
+
+// State captures the unit's mutable state for a checkpoint.
+func (g *Generator) State() State {
+	return State{
+		Running:    g.running,
+		OutputMWh:  g.output,
+		Countdown:  g.countdown,
+		Fresh:      g.fresh,
+		EnergyMWh:  g.energyMWh,
+		FuelUSD:    g.fuelUSD,
+		StartupUSD: g.startupUSD,
+		CO2Kg:      g.co2Kg,
+		Starts:     g.starts,
+		OpSlots:    g.opSlots,
+	}
+}
+
+// Restore overwrites the unit's mutable state from a checkpoint.
+func (g *Generator) Restore(s State) error {
+	if s.Countdown < 0 || s.Countdown > g.params.StartupLagSlots {
+		return fmt.Errorf("generator: restored countdown %d outside [0, %d]",
+			s.Countdown, g.params.StartupLagSlots)
+	}
+	if s.OutputMWh < 0 || s.OutputMWh > g.params.CapacityMWh+tol {
+		return fmt.Errorf("generator: restored output %g outside [0, %g]",
+			s.OutputMWh, g.params.CapacityMWh)
+	}
+	g.running = s.Running
+	g.output = s.OutputMWh
+	g.countdown = s.Countdown
+	g.fresh = s.Fresh
+	g.energyMWh = s.EnergyMWh
+	g.fuelUSD = s.FuelUSD
+	g.startupUSD = s.StartupUSD
+	g.co2Kg = s.CO2Kg
+	g.starts = s.Starts
+	g.opSlots = s.OpSlots
+	return nil
 }
 
 // Outcome reports one executed dispatch slot.

@@ -144,6 +144,49 @@ func (a *Account) BuyRealTime(amount, prt float64) (float64, error) {
 	return cost, nil
 }
 
+// State is the account's mutable state, exported for session checkpoints
+// (Params are pinned by the checkpoint's config hash, not stored here).
+type State struct {
+	LTDuePerSlot float64 `json:"ltDuePerSlot"`
+	LTPrice      float64 `json:"ltPrice"`
+	Active       bool    `json:"active"`
+	LTEnergyMWh  float64 `json:"ltEnergyMWh"`
+	RTEnergyMWh  float64 `json:"rtEnergyMWh"`
+	LTCostUSD    float64 `json:"ltCostUSD"`
+	RTCostUSD    float64 `json:"rtCostUSD"`
+}
+
+// State captures the account's mutable state for a checkpoint.
+func (a *Account) State() State {
+	return State{
+		LTDuePerSlot: a.ltDuePerSlot,
+		LTPrice:      a.ltPrice,
+		Active:       a.active,
+		LTEnergyMWh:  a.ltEnergyMWh,
+		RTEnergyMWh:  a.rtEnergyMWh,
+		LTCostUSD:    a.ltCostUSD,
+		RTCostUSD:    a.rtCostUSD,
+	}
+}
+
+// Restore overwrites the account's mutable state from a checkpoint.
+func (a *Account) Restore(s State) error {
+	if s.LTDuePerSlot < 0 || s.LTDuePerSlot > a.params.PgridMWh+1e-9 {
+		return fmt.Errorf("%w: restored gbef/T=%g", ErrGridCap, s.LTDuePerSlot)
+	}
+	if s.LTPrice < 0 || s.LTPrice > a.params.PmaxUSD {
+		return fmt.Errorf("%w: restored plt=%g", ErrPriceCap, s.LTPrice)
+	}
+	a.ltDuePerSlot = s.LTDuePerSlot
+	a.ltPrice = s.LTPrice
+	a.active = s.Active
+	a.ltEnergyMWh = s.LTEnergyMWh
+	a.rtEnergyMWh = s.RTEnergyMWh
+	a.ltCostUSD = s.LTCostUSD
+	a.rtCostUSD = s.RTCostUSD
+	return nil
+}
+
 // LongTermEnergy returns lifetime long-term energy delivered in MWh.
 func (a *Account) LongTermEnergy() float64 { return a.ltEnergyMWh }
 

@@ -76,6 +76,49 @@ func (s *Stream) Min() float64 { return s.min }
 // Max returns the largest sample (-Inf when empty).
 func (s *Stream) Max() float64 { return s.max }
 
+// StreamState is a stream's mutable state, exported for session
+// checkpoints. An empty stream stores zero Min/Max (the live ±Inf
+// sentinels do not survive JSON); Restore reinstates the sentinels from
+// N == 0, so the round trip is exact in both cases.
+type StreamState struct {
+	N       int       `json:"n"`
+	Mean    float64   `json:"mean"`
+	M2      float64   `json:"m2"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// State captures the stream's mutable state for a checkpoint.
+func (s *Stream) State() StreamState {
+	st := StreamState{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max}
+	if st.N == 0 {
+		st.Min, st.Max = 0, 0
+	}
+	if s.keep && len(s.samples) > 0 {
+		st.Samples = make([]float64, len(s.samples))
+		copy(st.Samples, s.samples)
+	}
+	return st
+}
+
+// Restore overwrites the stream's mutable state from a checkpoint,
+// keeping the stream's own keep-samples configuration.
+func (s *Stream) Restore(st StreamState) {
+	s.n = st.N
+	s.mean = st.Mean
+	s.m2 = st.M2
+	s.min = st.Min
+	s.max = st.Max
+	if st.N == 0 {
+		s.min, s.max = math.Inf(1), math.Inf(-1)
+	}
+	s.samples = s.samples[:0]
+	if s.keep {
+		s.samples = append(s.samples, st.Samples...)
+	}
+}
+
 // ErrNoSamples is returned by Quantile on an empty or sample-less stream.
 var ErrNoSamples = errors.New("metrics: no retained samples")
 

@@ -101,6 +101,57 @@ func (q *Backlog) Serve(slot int, amount float64) float64 {
 	return served
 }
 
+// CohortState is one live cohort in a backlog checkpoint.
+type CohortState struct {
+	ArrivalSlot  int     `json:"arrivalSlot"`
+	RemainingMWh float64 `json:"remainingMWh"`
+}
+
+// BacklogState is the backlog's mutable state, exported for session
+// checkpoints: the live FIFO window (drained cohorts are dropped — only
+// the compaction position changes, never the served arithmetic) plus the
+// running total and the lifetime delay statistics.
+type BacklogState struct {
+	Cohorts       []CohortState `json:"cohorts,omitempty"`
+	TotalMWh      float64       `json:"totalMWh"`
+	ServedMWh     float64       `json:"servedMWh"`
+	DelayWeighted float64       `json:"delayWeighted"`
+	MaxDelay      int           `json:"maxDelay"`
+}
+
+// State captures the backlog for a checkpoint.
+func (q *Backlog) State() BacklogState {
+	s := BacklogState{
+		TotalMWh:      q.total,
+		ServedMWh:     q.servedMWh,
+		DelayWeighted: q.delayWeighted,
+		MaxDelay:      q.maxDelay,
+	}
+	if live := q.cohorts[q.head:]; len(live) > 0 {
+		s.Cohorts = make([]CohortState, len(live))
+		for i, c := range live {
+			s.Cohorts[i] = CohortState{ArrivalSlot: c.arrivalSlot, RemainingMWh: c.remaining}
+		}
+	}
+	return s
+}
+
+// Restore overwrites the backlog from a checkpoint. The total is restored
+// verbatim (it is maintained incrementally during a run, so recomputing
+// it from the cohorts could differ by round-off and break bit-exact
+// resumption).
+func (q *Backlog) Restore(s BacklogState) {
+	q.cohorts = q.cohorts[:0]
+	q.head = 0
+	for _, c := range s.Cohorts {
+		q.cohorts = append(q.cohorts, cohort{arrivalSlot: c.ArrivalSlot, remaining: c.RemainingMWh})
+	}
+	q.total = s.TotalMWh
+	q.servedMWh = s.ServedMWh
+	q.delayWeighted = s.DelayWeighted
+	q.maxDelay = s.MaxDelay
+}
+
 // OldestArrival returns the arrival slot of the oldest queued energy and
 // true, or 0 and false when the queue is empty.
 func (q *Backlog) OldestArrival() (int, bool) {
@@ -149,6 +200,12 @@ func (d *Delay) Epsilon() float64 { return d.epsilon }
 
 // Value returns Y(τ).
 func (d *Delay) Value() float64 { return d.value }
+
+// Restore overwrites Y(τ) from a checkpoint (negative values clamp to 0,
+// the queue's own floor).
+func (d *Delay) Restore(value float64) {
+	d.value = math.Max(0, value)
+}
 
 // Update advances Y given the energy served this slot and whether the
 // backlog was non-empty at the start of the slot.

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that data is a well-formed OpenMetrics 1.0
+// text exposition: `# TYPE` declared before a family's samples, sample
+// names carrying the suffix their type requires (`_total` for counters,
+// `_info` for info), float-parseable values, syntactically valid label
+// sets, contiguous family blocks, and a final `# EOF` line with nothing
+// after it. It is the shared gate of the unit tests and the serve-smoke
+// CI script; it validates structure, not metric semantics.
+func ValidateExposition(data []byte) error {
+	text := string(data)
+	if text == "" {
+		return fmt.Errorf("openmetrics: empty exposition")
+	}
+	if !strings.HasSuffix(text, "\n") {
+		return fmt.Errorf("openmetrics: exposition must end with a newline")
+	}
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	if lines[len(lines)-1] != "# EOF" {
+		return fmt.Errorf("openmetrics: last line is %q, want \"# EOF\"", lines[len(lines)-1])
+	}
+
+	types := map[string]string{} // family → type
+	closed := map[string]bool{}  // families whose sample block has ended
+	currentFamily := ""          // family of the sample block in progress
+	sawEOF := false
+
+	for i, line := range lines {
+		lineNo := i + 1
+		if sawEOF {
+			return fmt.Errorf("openmetrics: line %d: content after # EOF", lineNo)
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if line == "" {
+			return fmt.Errorf("openmetrics: line %d: blank line", lineNo)
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateMeta(line, types); err != nil {
+				return fmt.Errorf("openmetrics: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		family, err := validateSample(line, types)
+		if err != nil {
+			return fmt.Errorf("openmetrics: line %d: %w", lineNo, err)
+		}
+		if family != currentFamily {
+			if closed[family] {
+				return fmt.Errorf("openmetrics: line %d: samples of family %q are not contiguous", lineNo, family)
+			}
+			if currentFamily != "" {
+				closed[currentFamily] = true
+			}
+			currentFamily = family
+		}
+	}
+	return nil
+}
+
+// validateMeta checks a `# TYPE`/`# HELP`/`# UNIT` line and records TYPE
+// declarations.
+func validateMeta(line string, types map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q (want \"# TYPE|HELP|UNIT name ...\")", line)
+	}
+	keyword, name := fields[1], fields[2]
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric family name %q", name)
+	}
+	switch keyword {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE line for %q missing a type", name)
+		}
+		typ := fields[3]
+		switch typ {
+		case "counter", "gauge", "info", "stateset", "summary", "histogram", "gaugehistogram", "unknown":
+		default:
+			return fmt.Errorf("unknown metric type %q for family %q", typ, name)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for family %q", name)
+		}
+		types[name] = typ
+	case "HELP", "UNIT":
+		// Free text / unit name; nothing further to check structurally.
+	default:
+		return fmt.Errorf("unknown comment keyword %q", keyword)
+	}
+	return nil
+}
+
+// validateSample checks one sample line and returns the family it
+// belongs to.
+func validateSample(line string, types map[string]string) (string, error) {
+	name, rest := line, ""
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name, rest = line[:i], line[i:]
+	}
+	if !validMetricName(name) {
+		return "", fmt.Errorf("invalid sample name %q", name)
+	}
+
+	if strings.HasPrefix(rest, "{") {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return "", fmt.Errorf("sample %q: %w", name, err)
+		}
+		rest = rest[end:]
+	}
+	value := strings.TrimSpace(rest)
+	// A timestamp may follow the value; both fields must parse as floats.
+	for _, f := range strings.Fields(value) {
+		if _, err := strconv.ParseFloat(f, 64); err != nil {
+			return "", fmt.Errorf("sample %q: non-float field %q", name, f)
+		}
+	}
+	if value == "" {
+		return "", fmt.Errorf("sample %q has no value", name)
+	}
+
+	family, err := resolveFamily(name, types)
+	if err != nil {
+		return "", err
+	}
+	return family, nil
+}
+
+// resolveFamily maps a sample name to its declared family, enforcing the
+// suffix rules of the declared type.
+func resolveFamily(name string, types map[string]string) (string, error) {
+	if typ, ok := types[name]; ok {
+		switch typ {
+		case "counter":
+			return "", fmt.Errorf("counter family %q sample must use the _total suffix", name)
+		case "info":
+			return "", fmt.Errorf("info family %q sample must use the _info suffix", name)
+		default:
+			return name, nil
+		}
+	}
+	for _, s := range []struct{ suffix, typ string }{
+		{"_total", "counter"},
+		{"_created", "counter"},
+		{"_info", "info"},
+		{"_bucket", "histogram"},
+		{"_sum", "histogram"},
+		{"_count", "histogram"},
+	} {
+		family, found := strings.CutSuffix(name, s.suffix)
+		if !found {
+			continue
+		}
+		typ, declared := types[family]
+		if !declared {
+			continue
+		}
+		switch {
+		case typ == s.typ:
+			return family, nil
+		case s.suffix == "_sum" || s.suffix == "_count":
+			// Shared by summary/histogram families.
+			if typ == "summary" || typ == "gaugehistogram" {
+				return family, nil
+			}
+		}
+		return "", fmt.Errorf("sample %q: suffix %q not valid for %s family %q", name, s.suffix, typ, family)
+	}
+	return "", fmt.Errorf("sample %q has no preceding # TYPE declaration", name)
+}
+
+// scanLabels validates a `{name="value",...}` block starting at s[0] and
+// returns the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' && s[i] != '}' && s[i] != ',' {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("label without '=' in %q", s)
+		}
+		if !validLabelName(s[start:i]) {
+			return 0, fmt.Errorf("invalid label name %q", s[start:i])
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value must be quoted")
+		}
+		i++ // past opening quote
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++ // escape consumes the next byte
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

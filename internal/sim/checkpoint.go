@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"github.com/smartdpss/smartdpss/internal/battery"
+	"github.com/smartdpss/smartdpss/internal/generator"
+	"github.com/smartdpss/smartdpss/internal/market"
+	"github.com/smartdpss/smartdpss/internal/queue"
+)
+
+// CheckpointVersion is the on-disk checkpoint format version. Restore
+// rejects any other value with ErrSnapshotMismatch: a format change gets
+// a new version, never a silent reinterpretation.
+const CheckpointVersion = 1
+
+// Checkpoint is the JSON image of a session between two slots: every
+// mutable component state plus the controller's own blob. Configuration
+// is NOT stored — it is pinned by ConfigHash, a digest of the session's
+// Config, controller name, horizon, slot length and the caller's
+// fingerprint. Restore therefore requires an identically configured
+// session and fails with ErrSnapshotMismatch otherwise, instead of
+// silently resuming one run's state under another run's physics.
+//
+// All float64 fields round-trip exactly through Go's JSON encoding
+// (shortest-representation formatting is read back to the identical
+// bits), so a restored session continues bit-for-bit.
+type Checkpoint struct {
+	Version    int    `json:"version"`
+	ConfigHash string `json:"configHash"`
+	Controller string `json:"controller"`
+
+	Slot        int `json:"slot"`
+	Horizon     int `json:"horizon"`
+	SlotMinutes int `json:"slotMinutes"`
+
+	Battery battery.State      `json:"battery"`
+	Market  market.State       `json:"market"`
+	Backlog queue.BacklogState `json:"backlog"`
+	Fleet   []generator.State  `json:"fleet,omitempty"`
+	Report  ReportState        `json:"report"`
+
+	// ControllerState is the controller's Snapshotter blob
+	// (policy-specific: virtual queues, trailing means, RNG position).
+	ControllerState json.RawMessage `json:"controllerState,omitempty"`
+}
+
+// configHash digests everything that must match between the session that
+// snapshots and the session that restores.
+func configHash(cfg Config, controller string, horizon, slotMinutes int, fingerprint string) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	// Config contains only exported scalar/struct/slice fields, so the
+	// encode cannot fail; the encoder writes a trailing newline, which is
+	// as good a field separator as any.
+	_ = enc.Encode(struct {
+		Fingerprint string
+		Config      Config
+		Controller  string
+		Horizon     int
+		SlotMinutes int
+	}{fingerprint, cfg, controller, horizon, slotMinutes})
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ConfigHash returns the session's configuration digest (the value a
+// matching checkpoint carries). The digest is computed on first use and
+// cached, so pure batch runs that never checkpoint skip the hashing —
+// that keeps the hot path's allocation budget unchanged.
+func (s *Session) ConfigHash() string {
+	if s.hash == "" {
+		fp := ""
+		if s.fingerprint != nil {
+			fp = s.fingerprint()
+		}
+		s.hash = configHash(s.cfg, s.ctrl.Name(), s.horizon, s.slotMinutes, fp)
+	}
+	return s.hash
+}
+
+// Snapshot captures the full simulation state as a self-describing JSON
+// checkpoint. It is only valid between slots: with a Step pending Commit
+// it fails with ErrPendingDecision, and after Finish with
+// ErrSessionFinished. The controller must implement Snapshotter
+// (ErrSnapshotUnsupported otherwise).
+func (s *Session) Snapshot() ([]byte, error) {
+	if s.finished {
+		return nil, ErrSessionFinished
+	}
+	if s.pending {
+		return nil, ErrPendingDecision
+	}
+	snap, ok := s.ctrl.(Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("%w: controller %q", ErrSnapshotUnsupported, s.ctrl.Name())
+	}
+	ctrlState, err := snap.SnapshotState()
+	if err != nil {
+		return nil, fmt.Errorf("sim: controller snapshot: %w", err)
+	}
+	cp := Checkpoint{
+		Version:         CheckpointVersion,
+		ConfigHash:      s.ConfigHash(),
+		Controller:      s.ctrl.Name(),
+		Slot:            s.slot,
+		Horizon:         s.horizon,
+		SlotMinutes:     s.slotMinutes,
+		Battery:         s.batt.State(),
+		Market:          s.acct.State(),
+		Backlog:         s.backlog.State(),
+		Fleet:           s.fleet.State(),
+		Report:          s.rep.state(),
+		ControllerState: ctrlState,
+	}
+	return json.Marshal(cp)
+}
+
+// Restore reinstates a checkpoint onto this session, which must be
+// configured identically to the one that produced it (same Config,
+// controller, horizon, slot length and fingerprint — enforced through
+// the embedded hash). The session may be fresh or mid-run; either way
+// its entire state is overwritten and execution resumes bit-for-bit at
+// the checkpoint's slot.
+func (s *Session) Restore(data []byte) error {
+	if s.pending {
+		return ErrPendingDecision
+	}
+	snap, ok := s.ctrl.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("%w: controller %q", ErrSnapshotUnsupported, s.ctrl.Name())
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return fmt.Errorf("sim: decode checkpoint: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return fmt.Errorf("%w: checkpoint version %d, want %d",
+			ErrSnapshotMismatch, cp.Version, CheckpointVersion)
+	}
+	if cp.ConfigHash != s.ConfigHash() {
+		return fmt.Errorf("%w: config hash %.12s, session has %.12s",
+			ErrSnapshotMismatch, cp.ConfigHash, s.ConfigHash())
+	}
+	if cp.Controller != s.ctrl.Name() {
+		return fmt.Errorf("%w: checkpoint controller %q, session has %q",
+			ErrSnapshotMismatch, cp.Controller, s.ctrl.Name())
+	}
+	if cp.Slot < 0 || cp.Slot > cp.Horizon {
+		return fmt.Errorf("%w: checkpoint slot %d outside [0, %d]",
+			ErrSnapshotMismatch, cp.Slot, cp.Horizon)
+	}
+	if err := s.batt.Restore(cp.Battery); err != nil {
+		return fmt.Errorf("sim: restore battery: %w", err)
+	}
+	if err := s.acct.Restore(cp.Market); err != nil {
+		return fmt.Errorf("sim: restore market: %w", err)
+	}
+	if err := s.fleet.Restore(cp.Fleet); err != nil {
+		return fmt.Errorf("sim: restore fleet: %w", err)
+	}
+	s.backlog.Restore(cp.Backlog)
+	s.rep = restoreReport(cp.Report, s.ctrl.Name(), s.horizon, s.cfg.KeepSeries)
+	if err := snap.RestoreState(cp.ControllerState); err != nil {
+		return fmt.Errorf("sim: restore controller: %w", err)
+	}
+	s.slot = cp.Slot
+	s.finished = false
+	return nil
+}

@@ -44,3 +44,24 @@ func (m *TrailingMeans) Means() (dds, ddt, renewable float64) {
 func (m *TrailingMeans) Reset() {
 	*m = TrailingMeans{}
 }
+
+// TrailingMeansState is the accumulator in checkpoint form.
+type TrailingMeansState struct {
+	SumDS  float64 `json:"sumDS"`
+	SumDT  float64 `json:"sumDT"`
+	SumRen float64 `json:"sumRen"`
+	N      int     `json:"n"`
+}
+
+// State captures the accumulator for a checkpoint.
+func (m *TrailingMeans) State() TrailingMeansState {
+	return TrailingMeansState{SumDS: m.sumDS, SumDT: m.sumDT, SumRen: m.sumRen, N: m.n}
+}
+
+// Restore overwrites the accumulator from a checkpoint.
+func (m *TrailingMeans) Restore(s TrailingMeansState) {
+	m.sumDS = s.SumDS
+	m.sumDT = s.SumDT
+	m.sumRen = s.SumRen
+	m.n = s.N
+}

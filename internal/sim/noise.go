@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -18,6 +20,13 @@ type NoisyController struct {
 	inner Controller
 	rng   *rand.Rand
 	frac  float64
+
+	// seed and draws position the RNG for checkpoints: math/rand exposes
+	// no state extraction, but the stream is fully determined by the seed
+	// and the number of draws consumed, so a restore re-seeds and replays
+	// draws discards (see RestoreState).
+	seed  int64
+	draws uint64
 }
 
 var _ Controller = (*NoisyController)(nil)
@@ -36,6 +45,7 @@ func WithObservationNoise(inner Controller, seed int64, frac float64) (*NoisyCon
 		inner: inner,
 		rng:   rand.New(rand.NewSource(seed)),
 		frac:  frac,
+		seed:  seed,
 	}, nil
 }
 
@@ -97,5 +107,55 @@ func (n *NoisyController) PlanFine(obs FineObs) Decision {
 func (n *NoisyController) RecordOutcome(out Outcome) { n.inner.RecordOutcome(out) }
 
 func (n *NoisyController) factor() float64 {
+	n.draws++
 	return 1 + n.frac*(2*n.rng.Float64()-1)
+}
+
+var _ Snapshotter = (*NoisyController)(nil)
+
+// noisyState is the wrapper's checkpoint form: the RNG position (seed +
+// draws consumed) and the inner controller's own blob. The noise
+// fraction is configuration and stays outside.
+type noisyState struct {
+	Seed  int64           `json:"seed"`
+	Draws uint64          `json:"draws"`
+	Inner json.RawMessage `json:"inner,omitempty"`
+}
+
+// SnapshotState implements Snapshotter. The wrapped controller must
+// itself be a Snapshotter, or ErrSnapshotUnsupported is returned.
+func (n *NoisyController) SnapshotState() ([]byte, error) {
+	snap, ok := n.inner.(Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("%w: wrapped controller %q", ErrSnapshotUnsupported, n.inner.Name())
+	}
+	inner, err := snap.SnapshotState()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(noisyState{Seed: n.seed, Draws: n.draws, Inner: inner})
+}
+
+// RestoreState implements Snapshotter. The RNG is repositioned by
+// re-seeding and discarding the recorded number of draws — the uniform
+// stream then continues exactly where the snapshot left it.
+func (n *NoisyController) RestoreState(data []byte) error {
+	snap, ok := n.inner.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("%w: wrapped controller %q", ErrSnapshotUnsupported, n.inner.Name())
+	}
+	var s noisyState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("sim: decode noise state: %w", err)
+	}
+	if s.Seed != n.seed {
+		return fmt.Errorf("%w: noise seed %d, session has %d", ErrSnapshotMismatch, s.Seed, n.seed)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	for i := uint64(0); i < s.Draws; i++ {
+		rng.Float64()
+	}
+	n.rng = rng
+	n.draws = s.Draws
+	return snap.RestoreState(s.Inner)
 }

@@ -140,6 +140,52 @@ func newReport(controller string, horizon int, keepSeries bool) *Report {
 	return r
 }
 
+// ReportState is the in-progress report in checkpoint form: the running
+// accumulators (the exported Report fields, finalize-derived ones still
+// zero mid-run) plus the streaming statistics and the availability
+// counter that live in unexported fields.
+type ReportState struct {
+	Summary       Report              `json:"summary"`
+	CostStream    metrics.StreamState `json:"costStream"`
+	BacklogStream metrics.StreamState `json:"backlogStream"`
+	Unavailable   int                 `json:"unavailable"`
+}
+
+// state captures the in-progress report for a checkpoint.
+func (r *Report) state() ReportState {
+	return ReportState{
+		Summary:       *r,
+		CostStream:    r.costStream.State(),
+		BacklogStream: r.backlogStream.State(),
+		Unavailable:   r.unavailable,
+	}
+}
+
+// restoreReport rebuilds an in-progress report from a checkpoint. The
+// session's own keepSeries setting governs the series (the config hash
+// pins it to the snapshotting session's anyway); with series kept, the
+// recorded prefix is copied into fresh capacity-horizon buffers so
+// appends stay allocation-free for the rest of the run.
+func restoreReport(s ReportState, controller string, horizon int, keepSeries bool) *Report {
+	r := newReport(controller, horizon, keepSeries)
+	costs, backlogs, batteries := r.CostSeries, r.BacklogSeries, r.BatterySeries
+	costStream, backlogStream := r.costStream, r.backlogStream
+	*r = s.Summary
+	r.Controller = controller
+	r.costStream, r.backlogStream = costStream, backlogStream
+	r.costStream.Restore(s.CostStream)
+	r.backlogStream.Restore(s.BacklogStream)
+	r.unavailable = s.Unavailable
+	if keepSeries {
+		r.CostSeries = append(costs[:0], s.Summary.CostSeries...)
+		r.BacklogSeries = append(backlogs[:0], s.Summary.BacklogSeries...)
+		r.BatterySeries = append(batteries[:0], s.Summary.BatterySeries...)
+	} else {
+		r.CostSeries, r.BacklogSeries, r.BatterySeries = nil, nil, nil
+	}
+	return r
+}
+
 func (r *Report) recordSlot(rec slotRecord) {
 	r.Slots++
 	r.TotalCostUSD += rec.cost

@@ -1,0 +1,593 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/smartdpss/smartdpss/internal/battery"
+	"github.com/smartdpss/smartdpss/internal/generator"
+	"github.com/smartdpss/smartdpss/internal/market"
+	"github.com/smartdpss/smartdpss/internal/queue"
+)
+
+// SlotInput is one fine slot's exogenous inputs as a streaming caller
+// supplies them: the trace row that batch Run reads from a trace.Set.
+// All energies are MWh per fine slot, prices USD/MWh.
+type SlotInput struct {
+	// DemandDS is dds(τ), the delay-sensitive demand served this slot.
+	DemandDS float64 `json:"demandDS"`
+	// DemandDT is ddt(τ), the delay-tolerant demand joining the backlog.
+	DemandDT float64 `json:"demandDT"`
+	// Renewable is r(τ), the renewable production.
+	Renewable float64 `json:"renewable"`
+	// PriceRT is prt(τ), the real-time market price.
+	PriceRT float64 `json:"priceRT"`
+	// PriceLT is plt(t), the long-term market price. It is read only at
+	// coarse boundaries (slot ≡ 0 mod T) but must be populated every
+	// slot so a snapshot/restore cycle never changes what a boundary
+	// sees.
+	PriceLT float64 `json:"priceLT"`
+	// FuelScale is the slot's fuel-price multiplier. Callers without a
+	// fuel market MUST pass 1 (the engine honors the value verbatim —
+	// including 0, which means free fuel — exactly as batch Run honors
+	// trace.Set.FuelScaleAt).
+	FuelScale float64 `json:"fuelScale"`
+}
+
+// validate rejects non-finite inputs up front: a NaN demand would sail
+// through the slot arithmetic and poison every accumulator downstream.
+func (in SlotInput) validate() error {
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"DemandDS", in.DemandDS}, {"DemandDT", in.DemandDT},
+		{"Renewable", in.Renewable}, {"PriceRT", in.PriceRT},
+		{"PriceLT", in.PriceLT}, {"FuelScale", in.FuelScale},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return &ValidationError{Field: f.name, Reason: "non-finite value"}
+		}
+	}
+	return nil
+}
+
+// SlotOutcome is one committed slot: the outcome the controller saw, the
+// decision actually executed after the physical rescue chain, and the
+// slot's cost contribution to the paper's Cost(τ).
+type SlotOutcome struct {
+	Outcome
+	// Executed is the decision after validation clamps and the rescue
+	// chain (real-time top-up, curtailed deferrable service, extra
+	// discharge); it is what the physical state advanced with.
+	Executed Decision
+	// CostUSD is the slot's Cost(τ): long-term share, real-time buy, UPS
+	// operation, waste penalty, and generation fuel + startup.
+	CostUSD float64
+}
+
+// Snapshotter is implemented by controllers whose internal state can be
+// checkpointed. SnapshotState returns an opaque blob (conventionally
+// JSON) that RestoreState accepts on a freshly constructed controller of
+// the same configuration; the session embeds it in its Checkpoint.
+// Controllers without it (the offline benchmarks, which precompute plans
+// from the full trace) make Session.Snapshot fail with
+// ErrSnapshotUnsupported.
+type Snapshotter interface {
+	SnapshotState() ([]byte, error)
+	RestoreState([]byte) error
+}
+
+// Session is a resumable step-wise simulation: the batch slot loop of
+// Run split at its natural seam so callers — a streaming daemon, a test
+// harness, Run itself — drive one slot at a time.
+//
+// The protocol per slot is Step(input) → Decision, then Commit() →
+// SlotOutcome. Step plans: it opens the coarse interval at boundaries
+// (PlanCoarse → market commitment), advances the fleet's synchronization
+// countdowns, builds the controller's observation and validates the
+// planned decision. Commit executes: fleet dispatch, the physical rescue
+// chain, battery/market/backlog updates, report accounting and the
+// controller's outcome callback. After the last Commit (or earlier, for
+// a truncated run), Finish() finalizes and returns the Report.
+//
+// Between slots — never between a Step and its Commit — the full
+// simulation state can be captured with Snapshot and later reinstated
+// with Restore, on this session or an identically configured one in
+// another process. A run resumed from a snapshot is bit-identical to one
+// that never stopped: every component restores its state verbatim.
+//
+// Sessions are not safe for concurrent use.
+type Session struct {
+	cfg         Config
+	ctrl        Controller
+	horizon     int
+	slotMinutes int
+	fingerprint func() string
+	hash        string // lazily computed by ConfigHash
+
+	batt    *battery.Battery
+	fleet   *generator.Fleet
+	acct    *market.Account
+	backlog *queue.Backlog
+	rep     *Report
+
+	slot     int
+	finished bool
+
+	// pending Step awaiting Commit
+	pending bool
+	pIn     SlotInput
+	pObs    FineObs
+	pDec    Decision
+}
+
+// NewSession builds a session over horizon fine slots of slotMinutes
+// each. fingerprint supplies an opaque caller-defined configuration
+// label folded into the checkpoint hash — engine.Session passes a
+// digest of its Options so checkpoints cannot cross configurations that
+// map to the same sim.Config (e.g. different V parameters); pass nil
+// when the sim.Config is the whole configuration. It is a function, not
+// a string, so batch runs that never checkpoint never pay for
+// computing it (ConfigHash calls it lazily, at most once).
+func NewSession(cfg Config, ctrl Controller, horizon, slotMinutes int, fingerprint func() string) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctrl == nil {
+		return nil, &ValidationError{Field: "Controller", Reason: "nil controller"}
+	}
+	if ctrl.CoarseSlots() <= 0 {
+		return nil, fmt.Errorf("sim: controller %q has non-positive T", ctrl.Name())
+	}
+	if horizon < 0 {
+		return nil, &ValidationError{Field: "Horizon", Reason: "negative horizon"}
+	}
+	if slotMinutes <= 0 {
+		return nil, &ValidationError{Field: "SlotMinutes", Reason: "must be positive"}
+	}
+	batt, err := battery.New(cfg.Battery)
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := generator.NewFleet(cfg.fleetSpecs())
+	if err != nil {
+		return nil, err
+	}
+	acct, err := market.NewAccount(cfg.Market)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		cfg:         cfg,
+		ctrl:        ctrl,
+		horizon:     horizon,
+		slotMinutes: slotMinutes,
+		fingerprint: fingerprint,
+		batt:        batt,
+		fleet:       fleet,
+		acct:        acct,
+		backlog:     queue.NewBacklog(),
+		rep:         newReport(ctrl.Name(), horizon, cfg.KeepSeries),
+	}, nil
+}
+
+// Slot returns the index of the next fine slot to Step (equivalently,
+// the number of committed slots).
+func (s *Session) Slot() int { return s.slot }
+
+// Horizon returns the total number of fine slots.
+func (s *Session) Horizon() int { return s.horizon }
+
+// SlotMinutes returns the fine-slot length in minutes.
+func (s *Session) SlotMinutes() int { return s.slotMinutes }
+
+// Pending reports whether a planned decision awaits Commit.
+func (s *Session) Pending() bool { return s.pending }
+
+// Finished reports whether Finish has run.
+func (s *Session) Finished() bool { return s.finished }
+
+// ControllerName returns the controller's report name.
+func (s *Session) ControllerName() string { return s.ctrl.Name() }
+
+// Controller returns the session's controller (for capability probing,
+// e.g. solver-failure counters on a metrics surface).
+func (s *Session) Controller() Controller { return s.ctrl }
+
+// Status is a live mid-run view of the session for monitoring surfaces:
+// running report accumulators plus the current physical state. It reads
+// from the in-progress report, so derived figures (time averages,
+// availability ratios) are intentionally absent — Finish computes those.
+type Status struct {
+	Slot    int `json:"slot"`
+	Horizon int `json:"horizon"`
+
+	TotalCostUSD     float64 `json:"totalCostUSD"`
+	LTCostUSD        float64 `json:"ltCostUSD"`
+	RTCostUSD        float64 `json:"rtCostUSD"`
+	BatteryOpUSD     float64 `json:"batteryOpUSD"`
+	WasteCostUSD     float64 `json:"wasteCostUSD"`
+	GenFuelUSD       float64 `json:"genFuelUSD"`
+	GenStartupUSD    float64 `json:"genStartupUSD"`
+	EmergencyCostUSD float64 `json:"emergencyCostUSD"`
+
+	LTEnergyMWh  float64 `json:"ltEnergyMWh"`
+	RTEnergyMWh  float64 `json:"rtEnergyMWh"`
+	RenewableMWh float64 `json:"renewableMWh"`
+	GenEnergyMWh float64 `json:"genEnergyMWh"`
+	WasteMWh     float64 `json:"wasteMWh"`
+	UnservedMWh  float64 `json:"unservedMWh"`
+	ServedDTMWh  float64 `json:"servedDTMWh"`
+	GenCO2Kg     float64 `json:"genCO2Kg"`
+
+	BacklogMWh  float64 `json:"backlogMWh"`
+	BatteryMWh  float64 `json:"batteryMWh"`
+	BatteryOps  int     `json:"batteryOps"`
+	PeakGridMW  float64 `json:"peakGridMW"`
+	Unavailable int     `json:"unavailable"`
+}
+
+// Status returns the live mid-run view.
+func (s *Session) Status() Status {
+	return Status{
+		Slot:             s.slot,
+		Horizon:          s.horizon,
+		TotalCostUSD:     s.rep.TotalCostUSD,
+		LTCostUSD:        s.rep.LTCostUSD,
+		RTCostUSD:        s.rep.RTCostUSD,
+		BatteryOpUSD:     s.rep.BatteryOpUSD,
+		WasteCostUSD:     s.rep.WasteCostUSD,
+		GenFuelUSD:       s.rep.GenFuelUSD,
+		GenStartupUSD:    s.rep.GenStartupUSD,
+		EmergencyCostUSD: s.rep.EmergencyCostUSD,
+		LTEnergyMWh:      s.acct.LongTermEnergy(),
+		RTEnergyMWh:      s.acct.RealTimeEnergy(),
+		RenewableMWh:     s.rep.RenewableMWh,
+		GenEnergyMWh:     s.rep.GenEnergyMWh,
+		WasteMWh:         s.rep.WasteMWh,
+		UnservedMWh:      s.rep.UnservedMWh,
+		ServedDTMWh:      s.rep.ServedDTMWh,
+		GenCO2Kg:         s.rep.GenCO2Kg,
+		BacklogMWh:       s.backlog.Len(),
+		BatteryMWh:       s.batt.Level(),
+		BatteryOps:       s.batt.Ops(),
+		PeakGridMW:       s.rep.PeakGridMW,
+		Unavailable:      s.rep.unavailable,
+	}
+}
+
+// Step plans the next fine slot: at a coarse boundary it first runs
+// PlanCoarse and commits the long-term purchase, then it advances the
+// fleet, builds the controller's observation from the input, and
+// validates the planned decision. The returned Decision is the
+// controller's plan after validation clamps but before the rescue chain;
+// the decision actually executed comes back from Commit.
+func (s *Session) Step(in SlotInput) (Decision, error) {
+	if s.finished {
+		return Decision{}, ErrSessionFinished
+	}
+	if s.pending {
+		return Decision{}, ErrPendingDecision
+	}
+	if s.slot >= s.horizon {
+		return Decision{}, fmt.Errorf("%w: slot %d of horizon %d", ErrHorizonExhausted, s.slot, s.horizon)
+	}
+	if err := in.validate(); err != nil {
+		return Decision{}, err
+	}
+
+	slot := s.slot
+	T := s.ctrl.CoarseSlots()
+	if slot%T == 0 {
+		if err := s.coarseBoundary(in, slot, minInt(T, s.horizon-slot)); err != nil {
+			return Decision{}, err
+		}
+	}
+
+	// Advance every unit's synchronization countdown before the
+	// controller observes the fleet, so a unit coming online this slot is
+	// visible (and dispatchable) rather than silently shut down.
+	s.fleet.Tick()
+	units := s.fleet.Observe()
+	obs := FineObs{
+		Slot:         slot,
+		Horizon:      s.horizon,
+		PriceRT:      in.PriceRT,
+		DemandDS:     in.DemandDS,
+		DemandDT:     in.DemandDT,
+		Renewable:    in.Renewable,
+		LongTermDue:  s.acct.LongTermDue(),
+		RTHeadroom:   s.acct.RealTimeHeadroom(),
+		Battery:      s.batt.Level(),
+		MaxCharge:    s.batt.MaxChargeNow(),
+		MaxDischarge: s.batt.MaxDischargeNow(),
+		Backlog:      s.backlog.Len(),
+		SdtMax:       s.cfg.SdtMaxMWh,
+		Smax:         s.cfg.SmaxMWh,
+		FuelScale:    in.FuelScale,
+		GenUnits:     units,
+	}
+	for _, u := range units {
+		obs.GenRunning = obs.GenRunning || u.Running
+		obs.GenMinMWh += u.MinMWh
+		obs.GenMaxMWh += u.MaxMWh
+		obs.GenRequest += u.RequestMax
+	}
+	dec := s.ctrl.PlanFine(obs)
+	if err := s.validateDecision(&dec, obs); err != nil {
+		return Decision{}, fmt.Errorf("sim: slot %d controller %q: %w", slot, s.ctrl.Name(), err)
+	}
+
+	s.pending = true
+	s.pIn = in
+	s.pObs = obs
+	s.pDec = dec
+	return dec, nil
+}
+
+func (s *Session) coarseBoundary(in SlotInput, slot, slots int) error {
+	obs := CoarseObs{
+		Slot:         slot,
+		Interval:     slot / s.ctrl.CoarseSlots(),
+		Slots:        slots,
+		PriceLT:      in.PriceLT,
+		DemandDS:     in.DemandDS,
+		DemandDT:     in.DemandDT,
+		Renewable:    in.Renewable,
+		Battery:      s.batt.Level(),
+		MaxDischarge: s.batt.MaxDischargeNow(),
+		Backlog:      s.backlog.Len(),
+		FuelScale:    in.FuelScale,
+	}
+	gbef := s.ctrl.PlanCoarse(obs)
+	if math.IsNaN(gbef) || math.IsInf(gbef, 0) {
+		return fmt.Errorf("sim: controller %q returned non-finite gbef", s.ctrl.Name())
+	}
+	gbef = clamp(gbef, 0, s.cfg.Market.PgridMWh*float64(slots))
+	if err := s.acct.BeginCoarse(gbef, obs.PriceLT, slots); err != nil {
+		return fmt.Errorf("sim: coarse plan at slot %d: %w", slot, err)
+	}
+	return nil
+}
+
+// Commit executes the pending decision against the physical state and
+// advances the session to the next slot.
+func (s *Session) Commit() (SlotOutcome, error) {
+	if s.finished {
+		return SlotOutcome{}, ErrSessionFinished
+	}
+	if !s.pending {
+		return SlotOutcome{}, ErrNoPendingDecision
+	}
+
+	var (
+		slot = s.slot
+		in   = s.pIn
+		obs  = s.pObs
+		dec  = s.pDec
+		dds  = in.DemandDS
+		ddt  = in.DemandDT
+		r    = in.Renewable
+		prt  = in.PriceRT
+	)
+
+	// Dispatch the on-site fleet first: its delivered energy is
+	// committed supply for the balance below (a no-op when no fleet is
+	// configured). A per-unit plan is executed as given; an aggregate
+	// request is split across the units in merit order.
+	requests := dec.GenerateUnits
+	if requests == nil {
+		requests = s.fleet.SplitTotal(dec.Generate)
+	}
+	var gen generator.Outcome
+	for _, out := range s.fleet.Dispatch(requests, obs.FuelScale) {
+		gen.DeliveredMWh += out.DeliveredMWh
+		gen.FuelUSD += out.FuelUSD
+		gen.StartupUSD += out.StartupUSD
+		gen.CO2Kg += out.CO2Kg
+	}
+
+	// Execute the slot: the balance residual becomes waste or unserved
+	// delay-sensitive energy, so Eq. (4) holds by construction:
+	//   s(τ) + bdc(τ) − brc(τ) = dds_served + sdt(τ) + W(τ).
+	supply := obs.LongTermDue + dec.Grt + r + gen.DeliveredMWh
+	net := supply + dec.Discharge - dds - dec.ServeDT - dec.Charge
+
+	// Physical rescue chain for residual deficits. A grid-connected
+	// datacenter cannot under-draw by plan: unplanned consumption settles
+	// reactively on the real-time market within the Pgrid cap; deferrable
+	// service is curtailed next (the energy simply stays queued); the
+	// inline UPS bridges what remains; only then is delay-sensitive load
+	// shed (the availability role the paper assigns to the Bmin reserve,
+	// Sec. II-B.4).
+	if net < 0 && dec.Charge > 0 {
+		cancel := math.Min(dec.Charge, -net)
+		dec.Charge -= cancel
+		net += cancel
+	}
+	if net < 0 {
+		headroom := s.acct.RealTimeHeadroom() - dec.Grt
+		smaxRoom := s.cfg.SmaxMWh - (obs.LongTermDue + dec.Grt + r + gen.DeliveredMWh)
+		topup := math.Min(-net, math.Max(0, math.Min(headroom, smaxRoom)))
+		if topup > 0 {
+			dec.Grt += topup
+			supply += topup
+			net += topup
+		}
+	}
+	if net < 0 && dec.ServeDT > 0 {
+		cut := math.Min(dec.ServeDT, -net)
+		dec.ServeDT -= cut
+		net += cut
+	}
+	if net < 0 && dec.Charge <= decisionTol {
+		dec.Charge = 0
+		extra := math.Min(obs.MaxDischarge-dec.Discharge, -net)
+		if extra > 0 {
+			dec.Discharge += extra
+			net += extra
+		}
+	}
+
+	// The balance residual is numerical round-off when it is sub-epsilon:
+	// normalize it (and IEEE negative zero) before it enters the
+	// accounting, so report totals cannot pick up a stray sign bit.
+	waste, unserved := 0.0, 0.0
+	if net >= 0 {
+		waste = cleanZero(net)
+	} else {
+		unserved = cleanZero(-net)
+	}
+
+	if err := s.batt.Apply(dec.Charge, dec.Discharge); err != nil {
+		return SlotOutcome{}, fmt.Errorf("sim: slot %d battery: %w", slot, err)
+	}
+	ltCost, err := s.acct.SettleLongTermSlot()
+	if err != nil {
+		return SlotOutcome{}, fmt.Errorf("sim: slot %d settle: %w", slot, err)
+	}
+	rtCost, err := s.acct.BuyRealTime(dec.Grt, prt)
+	if err != nil {
+		return SlotOutcome{}, fmt.Errorf("sim: slot %d real-time buy: %w", slot, err)
+	}
+
+	backlogBefore := s.backlog.Len()
+	served := s.backlog.Serve(slot, dec.ServeDT)
+	if math.Abs(served-dec.ServeDT) > decisionTol {
+		return SlotOutcome{}, fmt.Errorf("sim: slot %d served %g != requested %g", slot, served, dec.ServeDT)
+	}
+	s.backlog.Arrive(slot, ddt)
+
+	// Verify the balance identity (engine invariant).
+	lhs := supply + dec.Discharge - dec.Charge
+	rhs := (dds - unserved) + served + waste
+	if math.Abs(lhs-rhs) > 1e-6 {
+		return SlotOutcome{}, fmt.Errorf("sim: slot %d energy balance violated: %g != %g", slot, lhs, rhs)
+	}
+
+	opCost := 0.0
+	if dec.Charge > 0 || dec.Discharge > 0 {
+		opCost = s.cfg.Battery.OpCostUSD
+	}
+	wasteCost := waste * s.cfg.WasteCostUSD
+	slotCost := ltCost + rtCost + opCost + wasteCost + gen.FuelUSD + gen.StartupUSD
+
+	slotHours := float64(s.slotMinutes) / 60
+	gridDraw := obs.LongTermDue + dec.Grt
+	s.rep.recordSlot(slotRecord{
+		slot:          slot,
+		gridDrawMW:    gridDraw / slotHours,
+		nearPeak:      gridDraw > 0.95*s.cfg.Market.PgridMWh,
+		cost:          slotCost,
+		ltCost:        ltCost,
+		rtCost:        rtCost,
+		opCost:        opCost,
+		wasteCost:     wasteCost,
+		waste:         waste,
+		unserved:      unserved,
+		emergencyCost: unserved * s.cfg.EmergencyCostUSD,
+		backlog:       s.backlog.Len(),
+		battery:       s.batt.Level(),
+		renewable:     r,
+		served:        served,
+		genMWh:        gen.DeliveredMWh,
+		genFuelUSD:    gen.FuelUSD,
+		genStartUSD:   gen.StartupUSD,
+		genCO2Kg:      gen.CO2Kg,
+		batteryMoved:  dec.Charge > 0 || dec.Discharge > 0,
+		available:     s.batt.Available() && unserved <= decisionTol,
+	})
+
+	out := Outcome{
+		Slot:          slot,
+		ServedDT:      served,
+		BacklogBefore: backlogBefore,
+		BacklogAfter:  s.backlog.Len(),
+		Waste:         waste,
+		Unserved:      unserved,
+		Battery:       s.batt.Level(),
+	}
+	s.ctrl.RecordOutcome(out)
+
+	s.pending = false
+	s.slot++
+	return SlotOutcome{Outcome: out, Executed: dec, CostUSD: slotCost}, nil
+}
+
+// Finish finalizes and returns the report. It may run before the horizon
+// is exhausted (a truncated run reports the committed slots); afterwards
+// the session accepts no further calls.
+func (s *Session) Finish() (*Report, error) {
+	if s.finished {
+		return nil, ErrSessionFinished
+	}
+	if s.pending {
+		return nil, ErrPendingDecision
+	}
+	s.finished = true
+	s.rep.finalize(s.batt, s.fleet, s.acct, s.backlog)
+	s.rep.PeakChargeUSD = s.rep.PeakGridMW * s.cfg.PeakChargeUSDPerMW
+	return s.rep, nil
+}
+
+// checkDecisionField validates one decision field against its admissible
+// maximum, clamping sub-tolerance overshoot and rejecting anything
+// larger. Field-by-field calls keep the decision off the heap — the old
+// pointer-table formulation forced every slot's Decision to escape.
+func checkDecisionField(name string, val *float64, max float64) error {
+	if math.IsNaN(*val) || math.IsInf(*val, 0) {
+		return fmt.Errorf("non-finite %s", name)
+	}
+	limit := math.Max(0, max)
+	if *val < -decisionTol || *val > limit+decisionTol {
+		return fmt.Errorf("%s = %g outside [0, %g]", name, *val, limit)
+	}
+	*val = clamp(*val, 0, limit)
+	return nil
+}
+
+// validateDecision checks the decision against the slot's admissible set,
+// clamping sub-tolerance overshoot and rejecting anything larger.
+func (s *Session) validateDecision(dec *Decision, obs FineObs) error {
+	if err := checkDecisionField("grt", &dec.Grt,
+		math.Min(obs.RTHeadroom, s.cfg.SmaxMWh-obs.LongTermDue-obs.Renewable)); err != nil {
+		return err
+	}
+	if err := checkDecisionField("serveDT", &dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax)); err != nil {
+		return err
+	}
+	if err := checkDecisionField("charge", &dec.Charge, obs.MaxCharge); err != nil {
+		return err
+	}
+	if err := checkDecisionField("discharge", &dec.Discharge, obs.MaxDischarge); err != nil {
+		return err
+	}
+	if dec.GenerateUnits == nil {
+		if err := checkDecisionField("generate", &dec.Generate, obs.GenRequest); err != nil {
+			return err
+		}
+	}
+	if dec.GenerateUnits != nil {
+		if len(dec.GenerateUnits) > len(obs.GenUnits) {
+			return fmt.Errorf("generateUnits has %d entries for a %d-unit fleet",
+				len(dec.GenerateUnits), len(obs.GenUnits))
+		}
+		for u := range dec.GenerateUnits {
+			val := &dec.GenerateUnits[u]
+			if math.IsNaN(*val) || math.IsInf(*val, 0) {
+				return fmt.Errorf("non-finite generateUnits[%d]", u)
+			}
+			limit := math.Max(0, obs.GenUnits[u].RequestMax)
+			if *val < -decisionTol || *val > limit+decisionTol {
+				return fmt.Errorf("generateUnits[%d] = %g outside [0, %g]", u, *val, limit)
+			}
+			*val = clamp(*val, 0, limit)
+		}
+	}
+	if dec.Charge > decisionTol && dec.Discharge > decisionTol {
+		return errors.New("charge and discharge in the same slot")
+	}
+	return nil
+}

@@ -18,7 +18,6 @@ import (
 	"github.com/smartdpss/smartdpss/internal/battery"
 	"github.com/smartdpss/smartdpss/internal/generator"
 	"github.com/smartdpss/smartdpss/internal/market"
-	"github.com/smartdpss/smartdpss/internal/queue"
 	"github.com/smartdpss/smartdpss/internal/trace"
 )
 
@@ -219,6 +218,9 @@ func (c Config) fleetSpecs() []generator.Params {
 }
 
 // Run simulates the controller over the trace set and returns the report.
+// It is a thin batch loop over a Session: every slot Steps with the
+// trace row and Commits, so batch and streaming execution share one code
+// path and produce byte-identical reports.
 func Run(cfg Config, set *trace.Set, ctrl Controller) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -226,332 +228,32 @@ func Run(cfg Config, set *trace.Set, ctrl Controller) (*Report, error) {
 	if err := set.Validate(); err != nil {
 		return nil, err
 	}
-	if ctrl.CoarseSlots() <= 0 {
-		return nil, fmt.Errorf("sim: controller %q has non-positive T", ctrl.Name())
-	}
-
-	batt, err := battery.New(cfg.Battery)
+	s, err := NewSession(cfg, ctrl, set.Horizon(), set.DemandDS.SlotMinutes, nil)
 	if err != nil {
 		return nil, err
 	}
-	fleet, err := generator.NewFleet(cfg.fleetSpecs())
-	if err != nil {
-		return nil, err
+	for slot := 0; slot < s.horizon; slot++ {
+		if _, err := s.Step(InputAt(set, slot)); err != nil {
+			return nil, err
+		}
+		if _, err := s.Commit(); err != nil {
+			return nil, err
+		}
 	}
-	acct, err := market.NewAccount(cfg.Market)
-	if err != nil {
-		return nil, err
-	}
-	e := &engine{
-		cfg:     cfg,
-		set:     set,
-		ctrl:    ctrl,
-		batt:    batt,
-		fleet:   fleet,
-		acct:    acct,
-		backlog: queue.NewBacklog(),
-		rep:     newReport(ctrl.Name(), set.Horizon(), cfg.KeepSeries),
-	}
-	if err := e.run(); err != nil {
-		return nil, err
-	}
-	return e.rep, nil
+	return s.Finish()
 }
 
-// engine holds the mutable simulation state for one run.
-type engine struct {
-	cfg     Config
-	set     *trace.Set
-	ctrl    Controller
-	batt    *battery.Battery
-	fleet   *generator.Fleet
-	acct    *market.Account
-	backlog *queue.Backlog
-	rep     *Report
-}
-
-func (e *engine) run() error {
-	horizon := e.set.Horizon()
-	T := e.ctrl.CoarseSlots()
-
-	for slot := 0; slot < horizon; slot++ {
-		if slot%T == 0 {
-			if err := e.coarseBoundary(slot, minInt(T, horizon-slot)); err != nil {
-				return err
-			}
-		}
-		if err := e.fineSlot(slot); err != nil {
-			return err
-		}
+// InputAt reads slot's row of the trace set as a session input (the
+// bridge batch Run and replay sources share).
+func InputAt(set *trace.Set, slot int) SlotInput {
+	return SlotInput{
+		DemandDS:  set.DemandDS.At(slot),
+		DemandDT:  set.DemandDT.At(slot),
+		Renewable: set.Renewable.At(slot),
+		PriceRT:   set.PriceRT.At(slot),
+		PriceLT:   set.PriceLT.At(slot),
+		FuelScale: set.FuelScaleAt(slot),
 	}
-	e.rep.finalize(e.batt, e.fleet, e.acct, e.backlog)
-	e.rep.PeakChargeUSD = e.rep.PeakGridMW * e.cfg.PeakChargeUSDPerMW
-	return nil
-}
-
-func (e *engine) coarseBoundary(slot, slots int) error {
-	obs := CoarseObs{
-		Slot:         slot,
-		Interval:     slot / e.ctrl.CoarseSlots(),
-		Slots:        slots,
-		PriceLT:      e.set.PriceLT.At(slot),
-		DemandDS:     e.set.DemandDS.At(slot),
-		DemandDT:     e.set.DemandDT.At(slot),
-		Renewable:    e.set.Renewable.At(slot),
-		Battery:      e.batt.Level(),
-		MaxDischarge: e.batt.MaxDischargeNow(),
-		Backlog:      e.backlog.Len(),
-		FuelScale:    e.set.FuelScaleAt(slot),
-	}
-	gbef := e.ctrl.PlanCoarse(obs)
-	if math.IsNaN(gbef) || math.IsInf(gbef, 0) {
-		return fmt.Errorf("sim: controller %q returned non-finite gbef", e.ctrl.Name())
-	}
-	gbef = clamp(gbef, 0, e.cfg.Market.PgridMWh*float64(slots))
-	if err := e.acct.BeginCoarse(gbef, obs.PriceLT, slots); err != nil {
-		return fmt.Errorf("sim: coarse plan at slot %d: %w", slot, err)
-	}
-	return nil
-}
-
-func (e *engine) fineSlot(slot int) error {
-	var (
-		dds = e.set.DemandDS.At(slot)
-		ddt = e.set.DemandDT.At(slot)
-		r   = e.set.Renewable.At(slot)
-		prt = e.set.PriceRT.At(slot)
-	)
-	// Advance every unit's synchronization countdown before the
-	// controller observes the fleet, so a unit coming online this slot is
-	// visible (and dispatchable) rather than silently shut down.
-	e.fleet.Tick()
-	units := e.fleet.Observe()
-	obs := FineObs{
-		Slot:         slot,
-		Horizon:      e.set.Horizon(),
-		PriceRT:      prt,
-		DemandDS:     dds,
-		DemandDT:     ddt,
-		Renewable:    r,
-		LongTermDue:  e.acct.LongTermDue(),
-		RTHeadroom:   e.acct.RealTimeHeadroom(),
-		Battery:      e.batt.Level(),
-		MaxCharge:    e.batt.MaxChargeNow(),
-		MaxDischarge: e.batt.MaxDischargeNow(),
-		Backlog:      e.backlog.Len(),
-		SdtMax:       e.cfg.SdtMaxMWh,
-		Smax:         e.cfg.SmaxMWh,
-		FuelScale:    e.set.FuelScaleAt(slot),
-		GenUnits:     units,
-	}
-	for _, u := range units {
-		obs.GenRunning = obs.GenRunning || u.Running
-		obs.GenMinMWh += u.MinMWh
-		obs.GenMaxMWh += u.MaxMWh
-		obs.GenRequest += u.RequestMax
-	}
-	dec := e.ctrl.PlanFine(obs)
-	if err := e.validateDecision(&dec, obs); err != nil {
-		return fmt.Errorf("sim: slot %d controller %q: %w", slot, e.ctrl.Name(), err)
-	}
-
-	// Dispatch the on-site fleet first: its delivered energy is
-	// committed supply for the balance below (a no-op when no fleet is
-	// configured). A per-unit plan is executed as given; an aggregate
-	// request is split across the units in merit order.
-	requests := dec.GenerateUnits
-	if requests == nil {
-		requests = e.fleet.SplitTotal(dec.Generate)
-	}
-	var gen generator.Outcome
-	for _, out := range e.fleet.Dispatch(requests, obs.FuelScale) {
-		gen.DeliveredMWh += out.DeliveredMWh
-		gen.FuelUSD += out.FuelUSD
-		gen.StartupUSD += out.StartupUSD
-		gen.CO2Kg += out.CO2Kg
-	}
-
-	// Execute the slot: the balance residual becomes waste or unserved
-	// delay-sensitive energy, so Eq. (4) holds by construction:
-	//   s(τ) + bdc(τ) − brc(τ) = dds_served + sdt(τ) + W(τ).
-	supply := obs.LongTermDue + dec.Grt + r + gen.DeliveredMWh
-	net := supply + dec.Discharge - dds - dec.ServeDT - dec.Charge
-
-	// Physical rescue chain for residual deficits. A grid-connected
-	// datacenter cannot under-draw by plan: unplanned consumption settles
-	// reactively on the real-time market within the Pgrid cap; deferrable
-	// service is curtailed next (the energy simply stays queued); the
-	// inline UPS bridges what remains; only then is delay-sensitive load
-	// shed (the availability role the paper assigns to the Bmin reserve,
-	// Sec. II-B.4).
-	if net < 0 && dec.Charge > 0 {
-		cancel := math.Min(dec.Charge, -net)
-		dec.Charge -= cancel
-		net += cancel
-	}
-	if net < 0 {
-		headroom := e.acct.RealTimeHeadroom() - dec.Grt
-		smaxRoom := e.cfg.SmaxMWh - (obs.LongTermDue + dec.Grt + r + gen.DeliveredMWh)
-		topup := math.Min(-net, math.Max(0, math.Min(headroom, smaxRoom)))
-		if topup > 0 {
-			dec.Grt += topup
-			supply += topup
-			net += topup
-		}
-	}
-	if net < 0 && dec.ServeDT > 0 {
-		cut := math.Min(dec.ServeDT, -net)
-		dec.ServeDT -= cut
-		net += cut
-	}
-	if net < 0 && dec.Charge <= decisionTol {
-		dec.Charge = 0
-		extra := math.Min(obs.MaxDischarge-dec.Discharge, -net)
-		if extra > 0 {
-			dec.Discharge += extra
-			net += extra
-		}
-	}
-
-	// The balance residual is numerical round-off when it is sub-epsilon:
-	// normalize it (and IEEE negative zero) before it enters the
-	// accounting, so report totals cannot pick up a stray sign bit.
-	waste, unserved := 0.0, 0.0
-	if net >= 0 {
-		waste = cleanZero(net)
-	} else {
-		unserved = cleanZero(-net)
-	}
-
-	if err := e.batt.Apply(dec.Charge, dec.Discharge); err != nil {
-		return fmt.Errorf("sim: slot %d battery: %w", slot, err)
-	}
-	ltCost, err := e.acct.SettleLongTermSlot()
-	if err != nil {
-		return fmt.Errorf("sim: slot %d settle: %w", slot, err)
-	}
-	rtCost, err := e.acct.BuyRealTime(dec.Grt, prt)
-	if err != nil {
-		return fmt.Errorf("sim: slot %d real-time buy: %w", slot, err)
-	}
-
-	backlogBefore := e.backlog.Len()
-	served := e.backlog.Serve(slot, dec.ServeDT)
-	if math.Abs(served-dec.ServeDT) > decisionTol {
-		return fmt.Errorf("sim: slot %d served %g != requested %g", slot, served, dec.ServeDT)
-	}
-	e.backlog.Arrive(slot, ddt)
-
-	// Verify the balance identity (engine invariant).
-	lhs := supply + dec.Discharge - dec.Charge
-	rhs := (dds - unserved) + served + waste
-	if math.Abs(lhs-rhs) > 1e-6 {
-		return fmt.Errorf("sim: slot %d energy balance violated: %g != %g", slot, lhs, rhs)
-	}
-
-	opCost := 0.0
-	if dec.Charge > 0 || dec.Discharge > 0 {
-		opCost = e.cfg.Battery.OpCostUSD
-	}
-	wasteCost := waste * e.cfg.WasteCostUSD
-	slotCost := ltCost + rtCost + opCost + wasteCost + gen.FuelUSD + gen.StartupUSD
-
-	slotHours := float64(e.set.DemandDS.SlotMinutes) / 60
-	gridDraw := obs.LongTermDue + dec.Grt
-	e.rep.recordSlot(slotRecord{
-		slot:          slot,
-		gridDrawMW:    gridDraw / slotHours,
-		nearPeak:      gridDraw > 0.95*e.cfg.Market.PgridMWh,
-		cost:          slotCost,
-		ltCost:        ltCost,
-		rtCost:        rtCost,
-		opCost:        opCost,
-		wasteCost:     wasteCost,
-		waste:         waste,
-		unserved:      unserved,
-		emergencyCost: unserved * e.cfg.EmergencyCostUSD,
-		backlog:       e.backlog.Len(),
-		battery:       e.batt.Level(),
-		renewable:     r,
-		served:        served,
-		genMWh:        gen.DeliveredMWh,
-		genFuelUSD:    gen.FuelUSD,
-		genStartUSD:   gen.StartupUSD,
-		genCO2Kg:      gen.CO2Kg,
-		batteryMoved:  dec.Charge > 0 || dec.Discharge > 0,
-		available:     e.batt.Available() && unserved <= decisionTol,
-	})
-
-	e.ctrl.RecordOutcome(Outcome{
-		Slot:          slot,
-		ServedDT:      served,
-		BacklogBefore: backlogBefore,
-		BacklogAfter:  e.backlog.Len(),
-		Waste:         waste,
-		Unserved:      unserved,
-		Battery:       e.batt.Level(),
-	})
-	return nil
-}
-
-// checkDecisionField validates one decision field against its admissible
-// maximum, clamping sub-tolerance overshoot and rejecting anything
-// larger. Field-by-field calls keep the decision off the heap — the old
-// pointer-table formulation forced every slot's Decision to escape.
-func checkDecisionField(name string, val *float64, max float64) error {
-	if math.IsNaN(*val) || math.IsInf(*val, 0) {
-		return fmt.Errorf("non-finite %s", name)
-	}
-	limit := math.Max(0, max)
-	if *val < -decisionTol || *val > limit+decisionTol {
-		return fmt.Errorf("%s = %g outside [0, %g]", name, *val, limit)
-	}
-	*val = clamp(*val, 0, limit)
-	return nil
-}
-
-// validateDecision checks the decision against the slot's admissible set,
-// clamping sub-tolerance overshoot and rejecting anything larger.
-func (e *engine) validateDecision(dec *Decision, obs FineObs) error {
-	if err := checkDecisionField("grt", &dec.Grt,
-		math.Min(obs.RTHeadroom, e.cfg.SmaxMWh-obs.LongTermDue-obs.Renewable)); err != nil {
-		return err
-	}
-	if err := checkDecisionField("serveDT", &dec.ServeDT, math.Min(obs.Backlog, obs.SdtMax)); err != nil {
-		return err
-	}
-	if err := checkDecisionField("charge", &dec.Charge, obs.MaxCharge); err != nil {
-		return err
-	}
-	if err := checkDecisionField("discharge", &dec.Discharge, obs.MaxDischarge); err != nil {
-		return err
-	}
-	if dec.GenerateUnits == nil {
-		if err := checkDecisionField("generate", &dec.Generate, obs.GenRequest); err != nil {
-			return err
-		}
-	}
-	if dec.GenerateUnits != nil {
-		if len(dec.GenerateUnits) > len(obs.GenUnits) {
-			return fmt.Errorf("generateUnits has %d entries for a %d-unit fleet",
-				len(dec.GenerateUnits), len(obs.GenUnits))
-		}
-		for u := range dec.GenerateUnits {
-			val := &dec.GenerateUnits[u]
-			if math.IsNaN(*val) || math.IsInf(*val, 0) {
-				return fmt.Errorf("non-finite generateUnits[%d]", u)
-			}
-			limit := math.Max(0, obs.GenUnits[u].RequestMax)
-			if *val < -decisionTol || *val > limit+decisionTol {
-				return fmt.Errorf("generateUnits[%d] = %g outside [0, %g]", u, *val, limit)
-			}
-			*val = clamp(*val, 0, limit)
-		}
-	}
-	if dec.Charge > decisionTol && dec.Discharge > decisionTol {
-		return errors.New("charge and discharge in the same slot")
-	}
-	return nil
 }
 
 func clamp(x, lo, hi float64) float64 { return math.Min(hi, math.Max(lo, x)) }

@@ -1,0 +1,94 @@
+package smartdpss_test
+
+import (
+	"errors"
+	"testing"
+
+	dpss "github.com/smartdpss/smartdpss"
+)
+
+// TestSessionSentinels: the public error identities must be branchable
+// through the facade with errors.Is / errors.As.
+func TestSessionSentinels(t *testing.T) {
+	t.Run("invalid options", func(t *testing.T) {
+		opts := dpss.DefaultOptions()
+		opts.CarbonUSDPerTon = -1
+		_, err := dpss.NewSession(dpss.PolicySmartDPSS, opts, 24)
+		if !errors.Is(err, dpss.ErrInvalidOptions) {
+			t.Errorf("err = %v, want ErrInvalidOptions", err)
+		}
+	})
+	t.Run("snapshot mismatch", func(t *testing.T) {
+		a, err := dpss.NewSession(dpss.PolicySmartDPSS, dpss.DefaultOptions(), 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := a.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		other := dpss.DefaultOptions()
+		other.V = 9
+		b, err := dpss.NewSession(dpss.PolicySmartDPSS, other, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Restore(blob); !errors.Is(err, dpss.ErrSnapshotMismatch) {
+			t.Errorf("err = %v, want ErrSnapshotMismatch", err)
+		}
+	})
+	t.Run("snapshot unsupported", func(t *testing.T) {
+		traces := testTraces(t, 2)
+		s, err := dpss.NewReplaySession(dpss.PolicyOfflineOptimal, dpss.DefaultOptions(), traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Snapshot(); !errors.Is(err, dpss.ErrSnapshotUnsupported) {
+			t.Errorf("err = %v, want ErrSnapshotUnsupported", err)
+		}
+	})
+	t.Run("horizon exhausted", func(t *testing.T) {
+		traces := testTraces(t, 2)
+		s, err := dpss.NewReplaySession(dpss.PolicySmartDPSS, dpss.DefaultOptions(), traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !s.Done() {
+			if _, err := s.StepReplay(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, err = s.Step(traces.InputAt(0))
+		if !errors.Is(err, dpss.ErrHorizonExhausted) {
+			t.Errorf("err = %v, want ErrHorizonExhausted", err)
+		}
+	})
+}
+
+// TestSimulateMatchesReplaySession pins the layering contract of the
+// redesigned API at the outermost surface: batch Simulate is the replay
+// session loop, byte for byte.
+func TestSimulateMatchesReplaySession(t *testing.T) {
+	traces := testTraces(t, 7)
+	batch, err := dpss.Simulate(dpss.PolicySmartDPSS, dpss.DefaultOptions(), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dpss.NewReplaySession(dpss.PolicySmartDPSS, dpss.DefaultOptions(), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done() {
+		if _, err := s.StepReplay(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.TotalCostUSD != rep.TotalCostUSD || batch.Slots != rep.Slots ||
+		batch.MeanDelaySlots != rep.MeanDelaySlots {
+		t.Errorf("session run diverged: batch cost %g vs %g", batch.TotalCostUSD, rep.TotalCostUSD)
+	}
+}
