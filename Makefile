@@ -3,10 +3,16 @@
 
 GO ?= go
 
-# The perf-trajectory benchmark set (see BENCH_5.json and README "Performance").
+# The perf-trajectory benchmark set (see BENCH_7.json and README
+# "Performance"). BenchmarkAblationOfflineHorizonLP (unanchored) matches
+# both the sparse default and its Dense reference variant, so cmd/perf
+# can gate their same-run speedup ratio.
 PERF_BENCHES = BenchmarkDefaultsSimulation|BenchmarkAblationP5LP$$|BenchmarkAblationOfflineHorizonLP|BenchmarkFleetDispatch|BenchmarkSuiteSequential
 
-.PHONY: build test race bench lint lint-docs docs suite golden cover perf serve-smoke
+# Fuzzing budget for the `fuzz` target (CI smoke uses the default).
+FUZZTIME ?= 30s
+
+.PHONY: build test race bench fuzz lint lint-docs docs suite golden cover perf serve-smoke
 
 build:
 	$(GO) build ./...
@@ -18,9 +24,17 @@ race:
 	$(GO) test -race ./...
 
 # Benchmark smoke: one iteration of every benchmark, including the
-# provision-family point (BenchmarkProvisionGrid).
+# provision-family point (BenchmarkProvisionGrid). -short skips the
+# year-long annual LP (minutes even at one iteration) and the explicit
+# timeout keeps a hung benchmark from stalling CI silently.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	$(GO) test -bench=. -benchtime=1x -short -timeout 15m -run '^$$' .
+
+# Dense-vs-sparse LP parity fuzzing (FuzzSparseSolveParity): random
+# staircase LPs, dense tableau and sparse revised simplex must agree on
+# status and objective. Override the budget with FUZZTIME=5m.
+fuzz:
+	$(GO) test ./internal/lp -run '^$$' -fuzz FuzzSparseSolveParity -fuzztime $(FUZZTIME)
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -39,10 +53,12 @@ lint-docs:
 docs: lint lint-docs
 	$(GO) test -run Example ./...
 
-# Full one-month scenario suite (paper + extensions + provisioning +
-# fleet) on all cores.
+# Full scenario suite (paper + extensions + provisioning + fleet + the
+# year-long annual family) on all cores. The annual scenario solves the
+# 8760-slot horizon LP on the sparse simplex — minutes, not hours, but
+# still the slowest row of the suite.
 suite:
-	$(GO) run ./cmd/experiments -run paper,ext,provision,fleet
+	$(GO) run ./cmd/experiments -run paper,ext,provision,fleet,annual
 
 # Golden-file regression gate: diff the paper suite against the
 # committed snapshots. Regenerate intentionally with:
@@ -51,7 +67,7 @@ golden:
 	$(GO) test ./internal/experiments -run 'TestSuiteGolden|TestGoldenFilesComplete' -v
 
 # Per-package coverage, mirroring the CI floors (suite 70%, generator 85%,
-# baseline 70%, lp 70%, sim 70%).
+# baseline 70%, lp 95%, sim 70%).
 cover:
 	$(GO) test -cover ./internal/suite ./internal/generator ./internal/baseline ./internal/lp ./internal/sim
 
@@ -62,12 +78,15 @@ serve-smoke:
 	./scripts/serve-smoke.sh
 
 # Regenerate the committed benchmark trajectory file: runs the key hot-path
-# benchmarks with -benchmem and rewrites BENCH_5.json's "current" block
-# (the pre-bounded-simplex "baseline" block is carried over unchanged; the
-# PR-4 trajectory survives in BENCH_4.json). The bench output goes through
-# a file, not a pipe, so a failing benchmark run fails the target instead
-# of being masked by the parser's exit status.
+# benchmarks with -benchmem and rewrites BENCH_7.json's "current" block
+# (the pre-sparse-simplex "baseline" block is carried over unchanged; the
+# PR-5/PR-4 trajectories survive in BENCH_5.json/BENCH_4.json). The
+# year-long annual LP joins at one iteration — its wall-clock is minutes,
+# so 20x would take an hour. The bench output goes through a file, not a
+# pipe, so a failing benchmark run fails the target instead of being
+# masked by the parser's exit status.
 perf:
 	$(GO) test -bench='$(PERF_BENCHES)' -benchmem -benchtime=20x -run '^$$' . > bench.out
-	$(GO) run ./cmd/perf -out BENCH_5.json -note "make perf" < bench.out
+	$(GO) test -bench=BenchmarkAblationOfflineAnnualLP -benchmem -benchtime=1x -run '^$$' . >> bench.out
+	$(GO) run ./cmd/perf -out BENCH_7.json -note "make perf" < bench.out
 	@rm -f bench.out

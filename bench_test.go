@@ -121,16 +121,24 @@ func benchP5Path(b *testing.B, useLP bool) {
 // BenchmarkAblationOfflineDayLP measures the paper's per-interval offline
 // benchmark (31 small LPs for a week: 7).
 func BenchmarkAblationOfflineDayLP(b *testing.B) {
-	benchOffline(b, dpss.PolicyOfflineOptimal)
+	benchOffline(b, dpss.PolicyOfflineOptimal, false)
 }
 
 // BenchmarkAblationOfflineHorizonLP measures the single whole-horizon LP
-// (the cross-interval planner the day decomposition gives up).
+// (the cross-interval planner the day decomposition gives up), on the
+// default sparse staircase path.
 func BenchmarkAblationOfflineHorizonLP(b *testing.B) {
-	benchOffline(b, dpss.PolicyOfflineHorizon)
+	benchOffline(b, dpss.PolicyOfflineHorizon, false)
 }
 
-func benchOffline(b *testing.B, pol dpss.Policy) {
+// BenchmarkAblationOfflineHorizonLPDense forces the same horizon LP onto
+// the legacy dense chain formulation — the reference the sparse path's
+// speedup ratio is gated against (cmd/perf asserts sparse ≤ 0.70×dense).
+func BenchmarkAblationOfflineHorizonLPDense(b *testing.B) {
+	benchOffline(b, dpss.PolicyOfflineHorizon, true)
+}
+
+func benchOffline(b *testing.B, pol dpss.Policy, horizonDense bool) {
 	b.Helper()
 	tc := dpss.DefaultTraceConfig()
 	tc.Days = 3
@@ -140,10 +148,36 @@ func benchOffline(b *testing.B, pol dpss.Policy) {
 	}
 	opts := dpss.DefaultOptions()
 	opts.T = 12
+	opts.HorizonLPDense = horizonDense
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dpss.Simulate(pol, opts, traces); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOfflineAnnualLP measures the year-long (8760-slot)
+// whole-horizon LP — the scale the sparse revised simplex exists for.
+// A dense-tableau counterpart is deliberately absent: the chain form's
+// quadratic constraint matrix does not fit in memory at this horizon.
+// Skipped under -short so `make bench`'s one-iteration smoke stays fast.
+func BenchmarkAblationOfflineAnnualLP(b *testing.B) {
+	if testing.Short() {
+		b.Skip("year-long horizon LP in -short mode")
+	}
+	tc := dpss.DefaultTraceConfig()
+	tc.Days = 365
+	traces, err := dpss.GenerateTraces(tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := dpss.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpss.Simulate(dpss.PolicyOfflineHorizon, opts, traces); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -196,14 +230,16 @@ func BenchmarkFleetDispatch(b *testing.B) {
 	}
 }
 
-// benchSuite runs the full scenario suite (paper figures plus
-// extensions) through the registry at a fixed pool width.
+// benchSuite runs the full one-month scenario suite (paper figures plus
+// extensions, provisioning and fleet) through the registry at a fixed
+// pool width. The selectors are explicit so the year-long annual family
+// never rides into this benchmark's workload.
 func benchSuite(b *testing.B, parallel int) {
 	b.Helper()
 	cfg := dpss.SuiteConfig{Days: 7, Seed: 1, SkipOffline: true, Seeds: 3, Parallel: parallel}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tables, err := dpss.RunSuite(cfg)
+		tables, err := dpss.RunSuite(cfg, "paper", "ext", "provision", "fleet")
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -57,9 +57,24 @@ type File struct {
 // multiplicative headroom the check allows (buffer-growth paths can
 // differ by a few allocations between environments).
 var gated = map[string]float64{
-	"BenchmarkDefaultsSimulation": 1.10,
-	"BenchmarkFleetDispatch":      1.10,
-	"BenchmarkAblationP5LP":       1.10,
+	"BenchmarkDefaultsSimulation":       1.10,
+	"BenchmarkFleetDispatch":            1.10,
+	"BenchmarkAblationP5LP":             1.10,
+	"BenchmarkAblationOfflineHorizonLP": 1.10,
+}
+
+// speedupGates are same-run ns/op ratio assertions: each entry requires
+// fast ≤ maxRatio × slow whenever both benchmarks appear in the parsed
+// input. Comparing two measurements from the same run keeps the gate
+// machine-load independent (both sides see the same CPU), unlike an
+// absolute ns/op threshold. The horizon entry is the sparse revised
+// simplex's reason to exist: if the sparse staircase path stops clearly
+// beating the dense chain reference, the migration has regressed.
+var speedupGates = []struct {
+	fast, slow string
+	maxRatio   float64
+}{
+	{"BenchmarkAblationOfflineHorizonLP", "BenchmarkAblationOfflineHorizonLPDense", 0.70},
 }
 
 var benchLine = regexp.MustCompile(
@@ -101,6 +116,9 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("perf: allocation gate passed against %s\n", *check)
+		if err := gateSpeedups(results); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	if *out != "" {
@@ -162,6 +180,30 @@ func gate(fresh map[string]Result, committed *File) error {
 		}
 		fmt.Printf("perf: %s at %d allocs/op (committed %d, limit %d)\n",
 			name, got.AllocsPerOp, want.AllocsPerOp, limit)
+	}
+	return nil
+}
+
+// gateSpeedups enforces the same-run ns/op ratio gates. A gate only
+// fires when both of its benchmarks were measured in this run, so
+// partial benchmark selections skip it rather than failing.
+func gateSpeedups(fresh map[string]Result) error {
+	for _, g := range speedupGates {
+		fast, okF := fresh[g.fast]
+		slow, okS := fresh[g.slow]
+		if !okF || !okS {
+			continue
+		}
+		if slow.NsPerOp <= 0 {
+			return fmt.Errorf("%s measured at %.0f ns/op; cannot gate a ratio against it",
+				g.slow, slow.NsPerOp)
+		}
+		ratio := fast.NsPerOp / slow.NsPerOp
+		if ratio > g.maxRatio {
+			return fmt.Errorf("%s/%s ratio %.3f exceeds %.2f: the sparse path no longer beats the dense reference",
+				g.fast, g.slow, ratio, g.maxRatio)
+		}
+		fmt.Printf("perf: %s at %.3fx of %s (gate %.2f)\n", g.fast, ratio, g.slow, g.maxRatio)
 	}
 	return nil
 }

@@ -74,6 +74,13 @@ type Config struct {
 	// Fleet is the multi-unit on-site generation fleet in dispatch
 	// order (nil: none). Each unit gets its own relaxed LP variables.
 	Fleet []generator.Params
+	// HorizonDense forces OfflineHorizon onto the legacy dense-tableau
+	// chain formulation instead of the sparse staircase form. The two
+	// reach the same optimal objective (gated by the LP parity harness);
+	// the knob exists for the dense-reference benchmark and for
+	// debugging, not for production — the dense chain form is quadratic
+	// in the horizon and cannot reach annual scale.
+	HorizonDense bool
 }
 
 // DefaultConfig mirrors core.DefaultParams for the shared constants.
@@ -144,6 +151,7 @@ type lpState struct {
 	prob      *lp.Problem
 	warm      bool
 	rowBounds bool // keep the row-per-bound formulation (warm-start tests)
+	sparse    bool // route solves through the sparse revised simplex
 
 	grt, u, c, d, w, e []lp.VarID
 	terms              []lp.Term // per-constraint build buffer
@@ -167,6 +175,10 @@ func (st *lpState) problem() *lp.Problem {
 		st.prob = lp.NewProblem()
 	}
 	st.prob.SetBounded(!st.warm && !st.rowBounds)
+	// The sparse revised simplex matches the dense objective but not
+	// necessarily the dense vertex, so the golden-pinned row-bound mode
+	// and the warm-start mode (dense-only machinery) always force it off.
+	st.prob.SetSparse(st.sparse && !st.warm && !st.rowBounds)
 	st.prob.Reset()
 	return st.prob
 }

@@ -11,9 +11,13 @@ import (
 
 // OfflineHorizon is the fully clairvoyant benchmark: one linear program
 // spanning the entire horizon, with a long-term purchase variable per
-// coarse interval and cross-interval battery planning. It lower-bounds the
-// per-interval OfflineOptimal and is intended for short horizons (the
-// dense tableau grows quadratically with the horizon).
+// coarse interval and cross-interval battery planning. It lower-bounds
+// the per-interval OfflineOptimal. By default it solves the staircase
+// state-variable formulation on the sparse revised simplex, which keeps
+// the constraint matrix linear in the horizon and reaches annual (8760
+// slot) studies; Config.HorizonDense selects the legacy dense chain
+// formulation, which reaches the same objective but is quadratic in the
+// horizon.
 type OfflineHorizon struct {
 	cfg Config
 	set *trace.Set
@@ -73,12 +77,198 @@ func (o *OfflineHorizon) PlanFine(obs sim.FineObs) sim.Decision {
 // RecordOutcome implements sim.Controller; the plan is precomputed.
 func (o *OfflineHorizon) RecordOutcome(sim.Outcome) {}
 
-// solve builds and solves the full-horizon LP. The structure matches
-// solveInterval, with one gbef per coarse interval, battery dynamics and
-// service causality chained across the whole horizon, and the same
-// "served by interval end" deadline so the two offline benchmarks differ
-// only in cross-interval planning.
+// solve dispatches to the staircase sparse formulation (default) or the
+// legacy dense chain formulation (Config.HorizonDense). Both optimize
+// the identical objective over the identical feasible set; only the
+// constraint-matrix encoding — and therefore the solver path and,
+// possibly, the reported vertex among alternate optima — differs.
 func (o *OfflineHorizon) solve() error {
+	if o.cfg.HorizonDense {
+		return o.solveChain()
+	}
+	return o.solveStair()
+}
+
+// solveStair builds the whole-horizon LP in staircase state-variable
+// form: explicit battery-level variables B_i and cumulative-served
+// variables U_i turn the chain formulation's O(H²) prefix rows into one
+// equality and two column bounds per slot, so the matrix has O(1)
+// nonzeros per row and the sparse revised simplex solves it at annual
+// scale. The objective is an exact substitution of the chain form
+// (B_i = b0 + Σ ηc·c_j − ηd·d_j, U_i = Σ u_j), so the optimal value is
+// identical; the reported vertex may be a different, equally optimal one.
+func (o *OfflineHorizon) solveStair() error {
+	cfg, set := o.cfg, o.set
+	st := &o.st
+	bat := cfg.Battery
+	inf := math.Inf(1)
+	H := set.Horizon()
+	T := cfg.T
+	K := (H + T - 1) / T
+
+	st.sparse = true
+	defer func() { st.sparse = false }()
+	prob := st.problem()
+
+	gbef := make([]lp.VarID, K)
+	intervalLen := make([]int, K)
+	for k := 0; k < K; k++ {
+		n := minInt(T, H-k*T)
+		intervalLen[k] = n
+		plt := set.PriceLT.At(k * T)
+		gbef[k] = prob.AddVariable("gbef", 0, float64(n)*cfg.PgridMWh, plt)
+	}
+
+	grt, u, c, d, w, e := st.varIDs(H)
+	bl := make([]lp.VarID, H) // battery level after slot i
+	us := make([]lp.VarID, H) // cumulative served through slot i
+	units := cfg.genUnits()
+	var g [][][]lp.VarID
+	if len(units) > 0 {
+		g = make([][][]lp.VarID, H)
+	}
+	proxy := 0.0
+	if bat.MaxChargeMWh > 0 {
+		proxy = bat.OpCostUSD / math.Max(bat.MaxChargeMWh, bat.MaxDischargeMWh)
+	}
+	avail := 0.0
+	for i := 0; i < H; i++ {
+		prt := set.PriceRT.At(i)
+		grt[i] = prob.AddVariable("", 0, cfg.PgridMWh, prt)
+		u[i] = prob.AddVariable("", 0, cfg.SdtMaxMWh, 0)
+		c[i] = prob.AddVariable("", 0, bat.MaxChargeMWh, proxy)
+		d[i] = prob.AddVariable("", 0, bat.MaxDischargeMWh, proxy)
+		w[i] = prob.AddVariable("", 0, inf, cfg.WasteCostUSD)
+		e[i] = prob.AddVariable("", 0, inf, cfg.EmergencyCostUSD)
+		if g != nil {
+			g[i] = addFleetVars(prob, units, i, T, set.FuelScaleAt(i))
+		}
+		avail += set.DemandDT.At(i)
+		bl[i] = prob.AddVariable("B", bat.MinLevelMWh, bat.CapacityMWh, 0)
+		us[i] = prob.AddVariable("U", 0, avail, 0)
+	}
+
+	b0 := bat.InitialMWh
+	for i := 0; i < H; i++ {
+		k := i / T
+		invN := 1.0 / float64(intervalLen[k])
+		dds := set.DemandDS.At(i)
+		r := set.Renewable.At(i)
+
+		balance := append(st.terms[:0],
+			lp.Term{Var: gbef[k], Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+			lp.Term{Var: d[i], Coeff: 1},
+			lp.Term{Var: e[i], Coeff: 1},
+			lp.Term{Var: u[i], Coeff: -1},
+			lp.Term{Var: c[i], Coeff: -1},
+			lp.Term{Var: w[i], Coeff: -1},
+		)
+		if g != nil {
+			balance = appendFleetTerms(balance, g[i])
+		}
+		st.terms = balance
+		prob.AddConstraint(lp.EQ, dds-r, balance...)
+		prob.AddConstraint(lp.LE, cfg.PgridMWh,
+			lp.Term{Var: gbef[k], Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+		)
+		smax := append(st.terms[:0],
+			lp.Term{Var: gbef[k], Coeff: invN},
+			lp.Term{Var: grt[i], Coeff: 1},
+		)
+		if g != nil {
+			smax = appendFleetTerms(smax, g[i])
+		}
+		st.terms = smax
+		prob.AddConstraint(lp.LE, cfg.SmaxMWh-r, smax...)
+
+		// Battery state transition: B_i − B_{i−1} = ηc·c_i − ηd·d_i,
+		// with the initial level folded into slot 0's right-hand side.
+		// The chain form's level-window rows become B_i's bounds.
+		if i == 0 {
+			prob.AddConstraint(lp.EQ, b0,
+				lp.Term{Var: bl[0], Coeff: 1},
+				lp.Term{Var: c[0], Coeff: -bat.ChargeEff},
+				lp.Term{Var: d[0], Coeff: bat.DischargeEff},
+			)
+		} else {
+			prob.AddConstraint(lp.EQ, 0,
+				lp.Term{Var: bl[i], Coeff: 1},
+				lp.Term{Var: bl[i-1], Coeff: -1},
+				lp.Term{Var: c[i], Coeff: -bat.ChargeEff},
+				lp.Term{Var: d[i], Coeff: bat.DischargeEff},
+			)
+		}
+
+		// Served accumulator: U_i − U_{i−1} = u_i; service causality
+		// (U_i ≤ arrivals through slot i) is U_i's upper bound.
+		if i == 0 {
+			prob.AddConstraint(lp.EQ, 0,
+				lp.Term{Var: us[0], Coeff: 1},
+				lp.Term{Var: u[0], Coeff: -1},
+			)
+		} else {
+			prob.AddConstraint(lp.EQ, 0,
+				lp.Term{Var: us[i], Coeff: 1},
+				lp.Term{Var: us[i-1], Coeff: -1},
+				lp.Term{Var: u[i], Coeff: -1},
+			)
+		}
+	}
+
+	// Per-interval deadlines against the cumulative-served variable,
+	// with a penalized slack each — two nonzeros per row instead of the
+	// chain form's end-index-long prefix.
+	arrived := 0.0
+	for k := 0; k < K; k++ {
+		end := k*T + intervalLen[k]
+		for i := k * T; i < end; i++ {
+			arrived += set.DemandDT.At(i)
+		}
+		slack := prob.AddVariable("slack", 0, inf, cfg.EmergencyCostUSD)
+		prob.AddConstraint(lp.GE, arrived,
+			lp.Term{Var: us[end-1], Coeff: 1},
+			lp.Term{Var: slack, Coeff: 1},
+		)
+	}
+
+	sol, err := st.solve(prob)
+	if err != nil {
+		return fmt.Errorf("baseline: horizon LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return fmt.Errorf("baseline: horizon LP: %v", sol.Status)
+	}
+
+	o.gbef = make([]float64, K)
+	for k := 0; k < K; k++ {
+		o.gbef[k] = sol.Value(gbef[k])
+	}
+	o.plan = make([]sim.Decision, H)
+	for i := 0; i < H; i++ {
+		dec := sim.Decision{
+			Grt:       sol.Value(grt[i]),
+			ServeDT:   sol.Value(u[i]),
+			Charge:    sol.Value(c[i]),
+			Discharge: sol.Value(d[i]),
+		}
+		if g != nil {
+			dec.GenerateUnits = genPlanUnits(&sol, g[i])
+		}
+		netPlanChargeDischarge(&dec, bat.ChargeEff, bat.DischargeEff)
+		o.plan[i] = dec
+	}
+	return nil
+}
+
+// solveChain builds and solves the legacy dense chain formulation. The
+// structure matches solveInterval, with one gbef per coarse interval,
+// battery dynamics and service causality chained across the whole
+// horizon as j ≤ i prefix rows, and the same "served by interval end"
+// deadline so the two offline benchmarks differ only in cross-interval
+// planning.
+func (o *OfflineHorizon) solveChain() error {
 	cfg, set := o.cfg, o.set
 	st := &o.st
 	bat := cfg.Battery

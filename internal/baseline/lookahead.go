@@ -9,6 +9,11 @@ import (
 	"github.com/smartdpss/smartdpss/internal/trace"
 )
 
+// sparseWindowSlots is the foresight width at which the receding-horizon
+// window LP switches from the dense tableau to the sparse revised
+// simplex (see Lookahead.solveWindow).
+const sparseWindowSlots = 48
+
 // Lookahead is a receding-horizon (MPC) controller with W fine slots of
 // perfect foresight — the "T-Step Lookahead" family the paper contrasts
 // with in its related work ([29], [30]). At every fine slot it solves a
@@ -105,6 +110,12 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 		return sim.Decision{}, fmt.Errorf("baseline: empty window")
 	}
 
+	// Wide foresight windows route through the sparse revised simplex:
+	// the window LP's prefix rows grow quadratically with n, and past
+	// sparseWindowSlots the revised path's per-pivot cost wins even on
+	// that encoding. Narrow windows stay on the dense tableau, whose
+	// fixed costs are lower at tiny sizes.
+	st.sparse = n >= sparseWindowSlots
 	prob := st.problem()
 	grt, u, c, d, w, e := st.varIDs(n)
 	units := l.cfg.genUnits()

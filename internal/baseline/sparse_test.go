@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/smartdpss/smartdpss/internal/generator"
+	"github.com/smartdpss/smartdpss/internal/sim"
+)
+
+// testFleet is a small two-unit fleet exercising the commitment-linking
+// rows (startup cost, minimum stable load) in the horizon LPs.
+func testFleet() []generator.Params {
+	return []generator.Params{
+		{CapacityMWh: 1.5, MinLoadMWh: 0.3, FuelUSDPerMWh: 40, StartupUSD: 20},
+		{CapacityMWh: 0.8, FuelUSDPerMWh: 25},
+	}
+}
+
+// TestHorizonStairMatchesChainObjective is the baseline-level parity gate
+// of the sparse migration: the staircase state-variable form solved by
+// the revised simplex and the legacy dense chain form must reach the same
+// optimal LP objective (the vertex may differ — alternate optima),
+// across horizon lengths and fleet configurations.
+func TestHorizonStairMatchesChainObjective(t *testing.T) {
+	for _, days := range []int{1, 3} {
+		set := testTraces(t, days)
+		for _, fleet := range []bool{false, true} {
+			cfg := DefaultConfig()
+			cfg.T = 12
+			if fleet {
+				cfg.Fleet = testFleet()
+			}
+
+			stair, err := NewOfflineHorizon(cfg, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense := cfg
+			dense.HorizonDense = true
+			chain, err := NewOfflineHorizon(dense, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			so := stair.st.lastObjective
+			co := chain.st.lastObjective
+			tol := 1e-7 * (1 + math.Abs(co))
+			if math.Abs(so-co) > tol {
+				t.Errorf("days=%d fleet=%v: staircase objective %.10g != chain objective %.10g (diff %g)",
+					days, fleet, so, co, so-co)
+			}
+		}
+	}
+}
+
+// TestHorizonStairPlanReplaysComparably: beyond objective parity, the
+// replayed (executed) cost of the staircase plan must be within clamping
+// noise of the chain plan's — alternate optima may pick different
+// vertices, but not materially worse schedules.
+func TestHorizonStairPlanReplaysComparably(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.T = 12
+	set := testTraces(t, 3)
+
+	stair, err := NewOfflineHorizon(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stairRep, err := sim.Run(simConfig(cfg), set, stair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := cfg
+	dense.HorizonDense = true
+	chain, err := NewOfflineHorizon(dense, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainRep, err := sim.Run(simConfig(dense), set, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stairRep.TotalCostUSD > chainRep.TotalCostUSD*1.02+1 {
+		t.Errorf("staircase replay $%.2f materially worse than chain replay $%.2f",
+			stairRep.TotalCostUSD, chainRep.TotalCostUSD)
+	}
+	if stairRep.UnservedMWh > 1e-6 {
+		t.Errorf("staircase plan left %g MWh unserved", stairRep.UnservedMWh)
+	}
+}
+
+// TestLookaheadSparseWindowMatchesDense pins the Lookahead routing
+// threshold: a window at sparseWindowSlots solves on the revised simplex
+// and must replay to essentially the cost of the same window forced
+// through the dense tableau. (The window model is identical; only the
+// solver path differs, so any gap is alternate-optima clamping noise.)
+func TestLookaheadSparseWindowMatchesDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays two full lookahead runs")
+	}
+	cfg := DefaultConfig()
+	cfg.T = 12
+	set := testTraces(t, 2)
+
+	la, err := NewLookahead(cfg, set, sparseWindowSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseRep, err := sim.Run(simConfig(cfg), set, la)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ld, err := NewLookahead(cfg, set, sparseWindowSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the dense tableau on the same window width by raising the
+	// instance's routing decision: rowBounds keeps SetSparse off without
+	// touching the model build.
+	ld.fine.rowBounds = true
+	denseRep, err := sim.Run(simConfig(cfg), set, ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Abs(sparseRep.TotalCostUSD-denseRep.TotalCostUSD) >
+		0.02*math.Abs(denseRep.TotalCostUSD)+1 {
+		t.Errorf("sparse-window lookahead $%.2f deviates from dense $%.2f",
+			sparseRep.TotalCostUSD, denseRep.TotalCostUSD)
+	}
+}
+
+// TestOfflineOptimalStaysOnDenseRowPath pins the alternate-optima
+// contract from the golden migrations: OfflineOptimal must keep solving
+// on the row-per-bound dense formulation — never bounded, never sparse —
+// because the fig6v golden replays that exact pivot sequence's vertex.
+// A future migration that flips either flag moves the golden vertex
+// silently; this test makes it loud instead.
+func TestOfflineOptimalStaysOnDenseRowPath(t *testing.T) {
+	cfg := DefaultConfig()
+	set := testTraces(t, 2)
+	o, err := NewOfflineOptimal(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.st.rowBounds {
+		t.Fatal("OfflineOptimal no longer sets rowBounds: the golden-pinned vertex is unprotected")
+	}
+	if o.st.sparse {
+		t.Fatal("OfflineOptimal has the sparse flag set: the golden-pinned vertex is unprotected")
+	}
+	// problem() re-derives the solve mode from those flags on every call;
+	// with rowBounds up, SetSparse must stay off even if sparse were set.
+	prob := o.st.problem()
+	if prob.Sparse() {
+		t.Fatal("row-bound problem reports sparse mode")
+	}
+}

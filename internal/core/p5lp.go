@@ -10,7 +10,10 @@ import (
 // p5LPScratch holds the LP reference path's reusable substrate: the
 // problem rebuilt in place each slot and the solver whose tableau buffers
 // persist across the run's near-identical solves. The zero value is ready
-// to use.
+// to use. These per-slot LPs are a handful of variables and one row, so
+// they deliberately stay on the dense tableau — the sparse revised
+// simplex (lp.Problem.SetSparse) only pays off on the large structured
+// horizon LPs; at this size its factorization overhead would dominate.
 type p5LPScratch struct {
 	solver lp.Solver
 	prob   *lp.Problem

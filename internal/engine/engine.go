@@ -97,6 +97,11 @@ type Options struct {
 	// LookaheadWindow is the foresight length (fine slots) of
 	// PolicyLookahead; zero defaults to one coarse interval (T).
 	LookaheadWindow int
+	// HorizonLPDense forces PolicyOfflineHorizon onto the legacy dense
+	// chain LP instead of the sparse staircase formulation. Same optimal
+	// objective, quadratic in the horizon — a benchmark/debugging knob
+	// that cannot reach annual scale.
+	HorizonLPDense bool
 	// GeneratorMW is the dispatchable on-site generation capacity in MW
 	// (arXiv:1303.6775's self-generation source). Zero disables the
 	// generator entirely, reproducing generator-free results exactly;
@@ -267,6 +272,7 @@ func (o Options) baselineConfig() baseline.Config {
 	c.Battery = batteryParams(o)
 	c.Generator = generatorParams(o)
 	c.Fleet = fleetParams(o)
+	c.HorizonDense = o.HorizonLPDense
 	return c
 }
 

@@ -18,6 +18,12 @@ const (
 	// granularity, the unit-commitment lookahead window, and the
 	// carbon-price cost/emissions frontier.
 	TagFleet = "fleet"
+	// TagAnnual marks the year-long (8760-slot) scenario family
+	// unlocked by the sparse revised simplex. It is outside the default
+	// paper/ext split so the one-month determinism and golden harnesses
+	// never pay for a year of simulation; `make suite` opts in
+	// explicitly.
+	TagAnnual = "annual"
 	// TagSweep marks scenarios whose runner fans a multi-point sweep
 	// out on the worker pool.
 	TagSweep = "sweep"
@@ -152,6 +158,12 @@ func init() {
 			Description: "FLEET-3 — cost vs emissions frontier under a carbon price sweep",
 			Tags:        []string{TagFleet, TagSweep},
 			Run:         FleetCO2,
+		},
+		{
+			Name:        "ext-annual",
+			Description: "ANNUAL-1 — year-long comparison with an 8760-slot horizon LP (sparse simplex)",
+			Tags:        []string{TagAnnual, TagSweep, TagSlow},
+			Run:         ExtAnnual,
 		},
 	} {
 		suite.Register(s)

@@ -1,11 +1,13 @@
-// Package lp provides a dense, two-phase primal simplex solver for small
-// and medium linear programs, written against the standard library only.
-// This comment is the solver's contract: the formulation it accepts, the
-// pivoting and anti-cycling rules it runs, the determinism it guarantees,
-// and the semantics of its two capability switches (variable bounds and
-// basis warm starts). Every layer above — the per-slot P5 solver in
-// internal/core, the interval/whole-horizon/receding-horizon LPs in
-// internal/baseline — programs against this contract.
+// Package lp provides a two-phase primal simplex solver for small and
+// medium linear programs — a dense tableau by default, a sparse revised
+// simplex behind Problem.SetSparse for large structured models — written
+// against the standard library only. This comment is the solver's
+// contract: the formulation it accepts, the pivoting and anti-cycling
+// rules it runs, the determinism it guarantees, and the semantics of its
+// capability switches (variable bounds, basis warm starts, sparsity).
+// Every layer above — the per-slot P5 solver in internal/core, the
+// interval/whole-horizon/receding-horizon LPs in internal/baseline —
+// programs against this contract.
 //
 // The SmartDPSS paper solves its per-slot subproblems (P2, P4, P5) "using
 // classical linear programming approaches, e.g., simplex method" with
@@ -95,6 +97,60 @@
 // nonbasic-at-upper-bound set, so re-installing it could start from the
 // wrong solution point; SolveWarm silently falls back to Solve.
 //
+// # Sparse revised simplex (Problem.SetSparse)
+//
+// The dense tableau costs O(rows·cols) per pivot and O(rows·cols) memory
+// regardless of how sparse the model is; the whole-horizon staircase LPs
+// of internal/baseline have a handful of nonzeros per row, so at annual
+// scale (8760 slots: ~70k columns, ~44k rows) the tableau would need
+// tens of gigabytes before the first pivot. Problem.SetSparse routes the
+// solve through a revised simplex that never materializes the tableau:
+//
+//   - The standard-form constraint matrix is built directly in
+//     compressed sparse row/column storage, skipping the dense arena.
+//   - The basis is held as an LU factorization computed by
+//     Gilbert–Peierls sparse elimination with partial pivoting, columns
+//     preordered by ascending nonzero count (a deterministic, cheap
+//     approximation of Markowitz ordering). A rank-deficient basis is
+//     patched in place with placeholder unit columns (never priced)
+//     rather than failing.
+//   - Pivots update the factorization through a product-form eta file;
+//     the basis is refactorized from scratch after 64 etas or when the
+//     accumulated eta fill exceeds 16 nonzeros per row, whichever comes
+//     first, and the basic solution is recomputed from the fresh factors
+//     to shed accumulated round-off.
+//   - Phase 1 runs composite pricing (bound-violation signs, no
+//     artificial variables) from a triangular crash basis; pricing is
+//     rotating partial pricing with the same stall-triggered switch to
+//     Bland's rule as the dense path.
+//
+// Sparse solves reuse the Solver's arena/Reset memory model: all
+// factorization and pricing buffers persist across solves, and the
+// returned Solution borrows them exactly like a dense solve's.
+//
+// The equivalence contract matches bounded mode: same status, same
+// optimal objective (the property/fuzz parity harness in this package
+// gates dense-vs-sparse agreement to 1e-9 over randomized staircase and
+// box LPs), but possibly a different equally-optimal vertex on
+// degenerate problems — golden-pinned callers must stay dense. On any
+// numerical trouble (singular bases beyond repair, stall limits, NaNs
+// after refactorization) the solver transparently falls back to the
+// dense tableau, so SetSparse can never change a result, only how fast
+// it is computed. Determinism holds exactly as for the dense path:
+// identical problems produce bit-identical pivot sequences and
+// objectives.
+//
+// When is dense still the right choice? Below roughly a thousand
+// variables the tableau's simplicity wins: the per-slot P5 LPs
+// (internal/core) and the interval LPs stay dense, and the
+// receding-horizon controller only switches to sparse for foresight
+// windows of 48+ slots. Cost per pivot in the sparse path is dominated
+// by dense-vector FTRAN/BTRAN work proportional to the row count, so
+// whole-horizon solve time grows roughly quadratically with the horizon
+// in practice — an 8760-slot year solves in minutes where the dense
+// tableau could not solve it at all; hyper-sparse solves are the next
+// lever if that ceases to be enough.
+//
 // # Memory model
 //
 // A Solver owns every working buffer (standard-form rewrite, tableau
@@ -106,6 +162,8 @@
 // the throwaway-solver convenience that detaches its values.
 //
 // The problems produced by SmartDPSS are tiny (2–6 variables per fine
-// slot) or moderate (a few hundred variables for the per-day offline LP);
-// a dense tableau is both simple and fast enough for those sizes.
+// slot) or moderate (a few hundred variables for the per-day offline
+// LP); a dense tableau is both simple and fast enough for those sizes.
+// The whole-horizon and wide-window LPs are the exception and ride the
+// sparse path above.
 package lp

@@ -1,0 +1,390 @@
+package lp
+
+import "github.com/smartdpss/smartdpss/internal/scratch"
+
+// luPivotTol is the smallest pivot magnitude factorize accepts before
+// declaring a column numerically dependent and patching the basis with a
+// placeholder unit column (see factorize). It sits well below the ratio
+// test's pivotTol so a basis the pivot loop was willing to enter is
+// normally factorizable as-is.
+const luPivotTol = 1e-10
+
+// Eta-file refactorization cadence: the basis is refactorized from
+// scratch after maxEtas product-form updates, or earlier when the eta
+// file's fill exceeds etaFillFactor nonzeros per row. Both triggers are
+// deterministic functions of the pivot sequence, so solve results do not
+// depend on timing or memory pressure.
+const (
+	maxEtas       = 64
+	etaFillFactor = 16
+)
+
+// basisLU holds an LU factorization of the simplex basis in product
+// form: a sequence of elimination stages L_k (each clearing one pivot
+// row) and a permuted upper-triangular factor, plus an eta file of
+// rank-one updates appended by pivots since the last refactorization.
+// The factorization is computed column-by-column in the style of
+// Gilbert–Peierls: a depth-first search over the partially built L graph
+// finds the fill pattern of each incoming column, and the numeric
+// elimination then touches only that pattern. Columns are processed in
+// ascending nonzero count — a cheap, deterministic approximation of
+// Markowitz ordering that keeps fill near zero on the staircase bases
+// the horizon LPs produce (most columns are singletons or couple two
+// adjacent slots).
+//
+// All storage is flat and reused across factorizations; after the first
+// few solves of a fixed-shape problem sequence the type allocates
+// nothing.
+type basisLU struct {
+	m  int
+	nk int // elimination steps completed (== m after factorize)
+
+	// L stages in elimination order. Stage k eliminates pivot row
+	// prow[k]; its off-pivot multipliers are lrow/lval[lstart[k]:lstart[k+1]].
+	lstart []int32
+	lrow   []int32
+	lval   []float64
+
+	// U columns in elimination order. Column k's off-diagonal entries
+	// sit in rows that are pivot rows of earlier stages; urow stores the
+	// elimination index of that stage (always < k).
+	ustart []int32
+	urow   []int32
+	uval   []float64
+	udiag  []float64
+
+	prow   []int32 // elimination step -> pivot row
+	pcol   []int32 // elimination step -> basis position
+	kOfRow []int32 // row -> elimination step, -1 while unpivoted
+
+	// Eta file: product-form updates appended by pivots. Eta e replaces
+	// basis position epos[e]; ediag[e] is the pivot element of the
+	// update column and erow/eval its off-pivot entries (basis
+	// positions).
+	neta   int
+	estart []int32
+	erow   []int32
+	eval   []float64
+	epos   []int32
+	ediag  []float64
+
+	// deficient counts the basis positions the last factorize had to
+	// patch with placeholder unit columns (numerically dependent basis).
+	deficient int
+
+	// scratch, reused across calls
+	x     []float64 // dense accumulator, kept all-zero between columns
+	mark  []bool    // visited rows of the current column's DFS
+	stack []int32   // DFS node stack
+	si    []int32   // DFS per-depth child cursor
+	topo  []int32   // DFS postorder (reverse = topological)
+	order []int32   // positions in factorization order
+	cnt   []int32   // counting-sort buckets
+	tk    []float64 // btran intermediate, by elimination index
+}
+
+// factorize rebuilds the LU factors from the current basis of rs and
+// clears the eta file. Numerically dependent columns are replaced in
+// rs's basis by placeholder unit columns (fixed at zero), which restores
+// nonsingularity without aborting the solve; the caller observes the
+// patch through lu.deficient and rs's updated statuses.
+func (lu *basisLU) factorize(rs *revised) {
+	m := rs.m
+	lu.m = m
+	lu.nk = 0
+	lu.neta = 0
+	lu.deficient = 0
+	lu.lstart = append(lu.lstart[:0], 0)
+	lu.lrow = lu.lrow[:0]
+	lu.lval = lu.lval[:0]
+	lu.ustart = append(lu.ustart[:0], 0)
+	lu.urow = lu.urow[:0]
+	lu.uval = lu.uval[:0]
+	lu.udiag = scratch.For(lu.udiag, m)
+	lu.prow = scratch.For(lu.prow, m)
+	lu.pcol = scratch.For(lu.pcol, m)
+	lu.kOfRow = scratch.For(lu.kOfRow, m)
+	lu.estart = append(lu.estart[:0], 0)
+	lu.erow = lu.erow[:0]
+	lu.eval = lu.eval[:0]
+	lu.epos = lu.epos[:0]
+	lu.ediag = lu.ediag[:0]
+	for i := range lu.kOfRow {
+		lu.kOfRow[i] = -1
+	}
+	lu.x = scratch.Zeroed(lu.x, m)
+	lu.mark = scratch.Zeroed(lu.mark, m)
+	lu.stack = scratch.For(lu.stack, m)
+	lu.si = scratch.For(lu.si, m)
+	lu.topo = lu.topo[:0]
+	lu.tk = scratch.For(lu.tk, m)
+
+	lu.sortByColumnNnz(rs)
+
+	for _, pos := range lu.order {
+		lu.factorColumn(rs, int(pos))
+	}
+}
+
+// sortByColumnNnz fills lu.order with the basis positions sorted by
+// ascending nonzero count of their columns (stable counting sort, so the
+// order is deterministic). Sparsest-first processing is the Markowitz
+// approximation: singleton columns become free pivots and the staircase
+// coupling columns eliminate against an almost fully pivoted front.
+func (lu *basisLU) sortByColumnNnz(rs *revised) {
+	m := rs.m
+	lu.order = scratch.For(lu.order, m)
+	lu.cnt = scratch.Zeroed(lu.cnt, m+2)
+	nnzOf := func(pos int) int32 {
+		v := rs.basisVar[pos]
+		if int(v) >= rs.n { // placeholder unit column
+			return 1
+		}
+		return rs.colStart[v+1] - rs.colStart[v]
+	}
+	for pos := 0; pos < m; pos++ {
+		nz := nnzOf(pos)
+		if int(nz) > m {
+			nz = int32(m)
+		}
+		lu.cnt[nz+1]++
+	}
+	for i := 1; i < len(lu.cnt); i++ {
+		lu.cnt[i] += lu.cnt[i-1]
+	}
+	for pos := 0; pos < m; pos++ {
+		nz := nnzOf(pos)
+		if int(nz) > m {
+			nz = int32(m)
+		}
+		lu.order[lu.cnt[nz]] = int32(pos)
+		lu.cnt[nz]++
+	}
+}
+
+// factorColumn eliminates one basis column: symbolic DFS for the fill
+// pattern, numeric elimination over that pattern in topological order,
+// then pivot selection (largest magnitude, ties to the smallest row
+// index for determinism).
+func (lu *basisLU) factorColumn(rs *revised, pos int) {
+	v := int(rs.basisVar[pos])
+
+	// Scatter the column and run the reachability DFS from each nonzero.
+	lu.topo = lu.topo[:0]
+	if v >= rs.n {
+		r := int32(v - rs.n)
+		lu.x[r] = 1
+		lu.dfs(r)
+	} else {
+		for i := rs.colStart[v]; i < rs.colStart[v+1]; i++ {
+			r := rs.colRow[i]
+			lu.x[r] += rs.colVal[i]
+			if !lu.mark[r] {
+				lu.dfs(r)
+			}
+		}
+	}
+
+	// Numeric elimination: reverse postorder is a topological order of
+	// the pivotal stages reached, so each stage sees fully updated input.
+	for ti := len(lu.topo) - 1; ti >= 0; ti-- {
+		r := lu.topo[ti]
+		k := lu.kOfRow[r]
+		if k < 0 {
+			continue
+		}
+		t := lu.x[r]
+		if t == 0 {
+			continue
+		}
+		for i := lu.lstart[k]; i < lu.lstart[k+1]; i++ {
+			lu.x[lu.lrow[i]] -= lu.lval[i] * t
+		}
+	}
+
+	// Pivot selection among non-pivotal rows of the pattern.
+	best := -1.0
+	pr := int32(-1)
+	for _, r := range lu.topo {
+		if lu.kOfRow[r] >= 0 {
+			continue
+		}
+		a := lu.x[r]
+		if a < 0 {
+			a = -a
+		}
+		if a > best || (a == best && r < pr) {
+			best, pr = a, r
+		}
+	}
+
+	k := int32(lu.nk)
+	if best <= luPivotTol {
+		// Numerically dependent column: patch the basis position with a
+		// placeholder unit column on the smallest unpivoted row. The
+		// placeholder is fixed at zero, so the solve continues on a
+		// nearby nonsingular basis; composite phase 1 re-establishes
+		// feasibility if the demoted variable was carrying value.
+		for _, r := range lu.topo { // clear the failed pattern first
+			lu.x[r] = 0
+			lu.mark[r] = false
+		}
+		pr = -1
+		for r := 0; r < lu.m; r++ {
+			if lu.kOfRow[r] < 0 {
+				pr = int32(r)
+				break
+			}
+		}
+		rs.demoteToPlaceholder(pos, pr)
+		lu.deficient++
+		lu.udiag[k] = 1
+		lu.prow[k] = pr
+		lu.pcol[k] = int32(pos)
+		lu.kOfRow[pr] = k
+		lu.lstart = append(lu.lstart, int32(len(lu.lrow)))
+		lu.ustart = append(lu.ustart, int32(len(lu.urow)))
+		lu.nk++
+		return
+	}
+
+	diag := lu.x[pr]
+	for _, r := range lu.topo {
+		xv := lu.x[r]
+		if k2 := lu.kOfRow[r]; k2 >= 0 {
+			if xv != 0 {
+				lu.urow = append(lu.urow, k2)
+				lu.uval = append(lu.uval, xv)
+			}
+		} else if r != pr && xv != 0 {
+			lu.lrow = append(lu.lrow, r)
+			lu.lval = append(lu.lval, xv/diag)
+		}
+		lu.x[r] = 0
+		lu.mark[r] = false
+	}
+	lu.udiag[k] = diag
+	lu.prow[k] = pr
+	lu.pcol[k] = int32(pos)
+	lu.kOfRow[pr] = k
+	lu.lstart = append(lu.lstart, int32(len(lu.lrow)))
+	lu.ustart = append(lu.ustart, int32(len(lu.urow)))
+	lu.nk++
+}
+
+// dfs marks every row reachable from r through already-built L stages
+// and appends the visited rows in postorder to lu.topo.
+func (lu *basisLU) dfs(r int32) {
+	top := 0
+	lu.stack[top] = r
+	lu.si[top] = 0
+	lu.mark[r] = true
+	for top >= 0 {
+		node := lu.stack[top]
+		k := lu.kOfRow[node]
+		advanced := false
+		if k >= 0 {
+			for i := lu.lstart[k] + lu.si[top]; i < lu.lstart[k+1]; i++ {
+				child := lu.lrow[i]
+				lu.si[top] = i - lu.lstart[k] + 1
+				if !lu.mark[child] {
+					lu.mark[child] = true
+					top++
+					lu.stack[top] = child
+					lu.si[top] = 0
+					advanced = true
+					break
+				}
+			}
+		}
+		if !advanced {
+			lu.topo = append(lu.topo, node)
+			top--
+		}
+	}
+}
+
+// ftran solves B·w = a. The input a is a dense row-space vector of
+// length m and is consumed as scratch; w (length m, basis-position
+// space) receives the result.
+func (lu *basisLU) ftran(a, w []float64) {
+	for k := 0; k < lu.nk; k++ {
+		t := a[lu.prow[k]]
+		if t != 0 {
+			for i := lu.lstart[k]; i < lu.lstart[k+1]; i++ {
+				a[lu.lrow[i]] -= lu.lval[i] * t
+			}
+		}
+	}
+	for k := lu.nk - 1; k >= 0; k-- {
+		y := a[lu.prow[k]] / lu.udiag[k]
+		if y != 0 {
+			for i := lu.ustart[k]; i < lu.ustart[k+1]; i++ {
+				a[lu.prow[lu.urow[i]]] -= lu.uval[i] * y
+			}
+		}
+		w[lu.pcol[k]] = y
+	}
+	for e := 0; e < lu.neta; e++ {
+		r := lu.epos[e]
+		t := w[r] / lu.ediag[e]
+		w[r] = t
+		if t != 0 {
+			for i := lu.estart[e]; i < lu.estart[e+1]; i++ {
+				w[lu.erow[i]] -= lu.eval[i] * t
+			}
+		}
+	}
+}
+
+// btran solves Bᵀ·y = c. The input c is a basis-position-space vector of
+// length m and is consumed as scratch; y (length m, row space) receives
+// the result.
+func (lu *basisLU) btran(c, y []float64) {
+	for e := lu.neta - 1; e >= 0; e-- {
+		r := lu.epos[e]
+		s := c[r]
+		for i := lu.estart[e]; i < lu.estart[e+1]; i++ {
+			s -= lu.eval[i] * c[lu.erow[i]]
+		}
+		c[r] = s / lu.ediag[e]
+	}
+	for k := 0; k < lu.nk; k++ {
+		s := c[lu.pcol[k]]
+		for i := lu.ustart[k]; i < lu.ustart[k+1]; i++ {
+			s -= lu.uval[i] * lu.tk[lu.urow[i]]
+		}
+		lu.tk[k] = s / lu.udiag[k]
+	}
+	for k := 0; k < lu.nk; k++ {
+		y[lu.prow[k]] = lu.tk[k]
+	}
+	for k := lu.nk - 1; k >= 0; k-- {
+		s := y[lu.prow[k]]
+		for i := lu.lstart[k]; i < lu.lstart[k+1]; i++ {
+			s -= lu.lval[i] * y[lu.lrow[i]]
+		}
+		y[lu.prow[k]] = s
+	}
+}
+
+// addEta appends the product-form update for a pivot that replaced basis
+// position r with a column whose ftran image is w.
+func (lu *basisLU) addEta(w []float64, r int) {
+	for i, wi := range w {
+		if i != r && wi != 0 {
+			lu.erow = append(lu.erow, int32(i))
+			lu.eval = append(lu.eval, wi)
+		}
+	}
+	lu.estart = append(lu.estart, int32(len(lu.erow)))
+	lu.epos = append(lu.epos, int32(r))
+	lu.ediag = append(lu.ediag, w[r])
+	lu.neta++
+}
+
+// needsRefactor reports whether the eta file has grown past the cadence
+// limits (see maxEtas/etaFillFactor).
+func (lu *basisLU) needsRefactor() bool {
+	return lu.neta >= maxEtas || len(lu.eval) > etaFillFactor*lu.m
+}

@@ -1,0 +1,311 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeRevisedBasis builds a minimal revised state whose CSC holds the
+// given dense columns and whose basis is cols[0..m-1] in position order,
+// so basisLU can be unit-tested against hand-picked (including singular)
+// matrices without running the simplex.
+func makeRevisedBasis(cols [][]float64) *revised {
+	n := len(cols)
+	m := len(cols[0])
+	rs := &revised{m: m, n: n, nstruct: n}
+	rs.colStart = make([]int32, n+1)
+	for j, col := range cols {
+		cnt := int32(0)
+		for _, v := range col {
+			if v != 0 {
+				cnt++
+			}
+		}
+		rs.colStart[j+1] = rs.colStart[j] + cnt
+	}
+	rs.colRow = make([]int32, rs.colStart[n])
+	rs.colVal = make([]float64, rs.colStart[n])
+	at := 0
+	for _, col := range cols {
+		for i, v := range col {
+			if v != 0 {
+				rs.colRow[at] = int32(i)
+				rs.colVal[at] = v
+				at++
+			}
+		}
+	}
+	rs.cost = make([]float64, n)
+	rs.ub = make([]float64, n)
+	for j := range rs.ub {
+		rs.ub[j] = math.Inf(1)
+	}
+	rs.status = make([]uint8, n+m)
+	rs.posOf = make([]int32, n+m)
+	for j := range rs.posOf {
+		rs.posOf[j] = -1
+	}
+	rs.basisVar = make([]int32, m)
+	for i := 0; i < m; i++ {
+		rs.basisVar[i] = int32(i)
+		rs.status[i] = inBasis
+		rs.posOf[i] = int32(i)
+	}
+	return rs
+}
+
+// denseBasis materializes the current basis of rs as a dense matrix
+// B[row][pos].
+func denseBasis(rs *revised) [][]float64 {
+	b := make([][]float64, rs.m)
+	for i := range b {
+		b[i] = make([]float64, rs.m)
+	}
+	col := make([]float64, rs.m)
+	for pos := 0; pos < rs.m; pos++ {
+		for i := range col {
+			col[i] = 0
+		}
+		rs.addColTimes(rs.basisVar[pos], 1, col)
+		for i, v := range col {
+			b[i][pos] = v
+		}
+	}
+	return b
+}
+
+// denseSolve solves B x = rhs by Gaussian elimination with partial
+// pivoting; the reference the LU results are checked against.
+func denseSolve(bIn [][]float64, rhsIn []float64) []float64 {
+	m := len(bIn)
+	b := make([][]float64, m)
+	for i := range b {
+		b[i] = append([]float64(nil), bIn[i]...)
+	}
+	rhs := append([]float64(nil), rhsIn...)
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < m; k++ {
+		pr := k
+		for i := k + 1; i < m; i++ {
+			if math.Abs(b[i][k]) > math.Abs(b[pr][k]) {
+				pr = i
+			}
+		}
+		b[k], b[pr] = b[pr], b[k]
+		rhs[k], rhs[pr] = rhs[pr], rhs[k]
+		for i := k + 1; i < m; i++ {
+			f := b[i][k] / b[k][k]
+			if f == 0 {
+				continue
+			}
+			for j := k; j < m; j++ {
+				b[i][j] -= f * b[k][j]
+			}
+			rhs[i] -= f * rhs[k]
+		}
+	}
+	x := make([]float64, m)
+	for k := m - 1; k >= 0; k-- {
+		s := rhs[k]
+		for j := k + 1; j < m; j++ {
+			s -= b[k][j] * x[j]
+		}
+		x[k] = s / b[k][k]
+	}
+	return x
+}
+
+func transpose(b [][]float64) [][]float64 {
+	m := len(b)
+	tr := make([][]float64, m)
+	for i := range tr {
+		tr[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			tr[i][j] = b[j][i]
+		}
+	}
+	return tr
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// randomSparseCols generates m random sparse columns guaranteed
+// nonsingular (a shuffled diagonal plus random fill), in the density
+// range the staircase bases live in.
+func randomSparseCols(r *rand.Rand, m int) [][]float64 {
+	cols := make([][]float64, m)
+	diag := r.Perm(m)
+	for j := range cols {
+		col := make([]float64, m)
+		col[diag[j]] = 1 + r.Float64()*3
+		for k := 0; k < 1+r.Intn(3); k++ {
+			col[r.Intn(m)] += math.Round((r.Float64()*4-2)*4) / 4
+		}
+		// Keep the planted pivot decisively nonzero.
+		if math.Abs(col[diag[j]]) < 0.5 {
+			col[diag[j]] = 2
+		}
+		cols[j] = col
+	}
+	return cols
+}
+
+// TestLUFactorSolveAgainstDenseReference: ftran and btran on random
+// sparse bases must match dense Gaussian elimination.
+func TestLUFactorSolveAgainstDenseReference(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + r.Intn(12)
+		rs := makeRevisedBasis(randomSparseCols(r, m))
+		rs.lu.factorize(rs)
+		if rs.lu.deficient > 0 {
+			// Planted-diagonal columns are nonsingular; a patch here
+			// would mean factorize lost the matrix.
+			t.Fatalf("trial %d: unexpected deficiency on a nonsingular basis", trial)
+		}
+		b := denseBasis(rs)
+		a := make([]float64, m)
+		for i := range a {
+			a[i] = math.Round((r.Float64()*10-5)*8) / 8
+		}
+		want := denseSolve(b, a)
+		got := make([]float64, m)
+		rs.lu.ftran(append([]float64(nil), a...), got)
+		if d := maxAbsDiff(got, want); d > 1e-8 {
+			t.Fatalf("trial %d: ftran drift %g (m=%d)", trial, d, m)
+		}
+		wantT := denseSolve(transpose(b), a)
+		gotT := make([]float64, m)
+		rs.lu.btran(append([]float64(nil), a...), gotT)
+		if d := maxAbsDiff(gotT, wantT); d > 1e-8 {
+			t.Fatalf("trial %d: btran drift %g (m=%d)", trial, d, m)
+		}
+	}
+}
+
+// TestLUSingularBasisRecovery: a rank-deficient basis must be patched
+// with placeholder unit columns instead of producing NaNs, and the
+// patched factorization must solve exactly for the patched basis.
+func TestLUSingularBasisRecovery(t *testing.T) {
+	// Column 2 = 2·column 0 and column 3 is all zeros: rank 2 of 4.
+	cols := [][]float64{
+		{1, 2, 0, 1},
+		{0, 1, 1, 0},
+		{2, 4, 0, 2},
+		{0, 0, 0, 0},
+	}
+	rs := makeRevisedBasis(cols)
+	rs.lu.factorize(rs)
+	if rs.lu.deficient != 2 {
+		t.Fatalf("deficient = %d, want 2", rs.lu.deficient)
+	}
+	patched := 0
+	for pos, v := range rs.basisVar {
+		if int(v) >= rs.n {
+			patched++
+			if rs.status[v] != inBasis || rs.posOf[v] != int32(pos) {
+				t.Fatalf("placeholder bookkeeping broken at pos %d", pos)
+			}
+		}
+	}
+	if patched != 2 {
+		t.Fatalf("patched positions = %d, want 2", patched)
+	}
+	// The patched basis is nonsingular: ftran must reproduce a dense
+	// solve of the patched matrix.
+	b := denseBasis(rs)
+	a := []float64{1, -2, 0.5, 3}
+	want := denseSolve(b, a)
+	got := make([]float64, 4)
+	rs.lu.ftran(append([]float64(nil), a...), got)
+	if d := maxAbsDiff(got, want); d > 1e-8 {
+		t.Fatalf("patched ftran drift %g", d)
+	}
+}
+
+// TestLUEtaUpdateMatchesRefactorization: replacing basis columns through
+// the eta file must give the same ftran/btran results as factorizing the
+// updated basis from scratch — the exact invariant the refactorization
+// cadence relies on.
+func TestLUEtaUpdateMatchesRefactorization(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 100; trial++ {
+		m := 2 + r.Intn(10)
+		n := m + 1 + r.Intn(4)
+		cols := make([][]float64, n)
+		base := randomSparseCols(r, m)
+		copy(cols, base)
+		for j := m; j < n; j++ {
+			col := make([]float64, m)
+			for k := 0; k < 2+r.Intn(3); k++ {
+				col[r.Intn(m)] += 1 + r.Float64()*2
+			}
+			cols[j] = col
+		}
+		rs := makeRevisedBasis(cols)
+		rs.m = m // basis over the first m columns; the rest are entering candidates
+		rs.lu.factorize(rs)
+
+		// Push a few eta updates through the factorization.
+		updates := 1 + r.Intn(3)
+		acol := make([]float64, m)
+		w := make([]float64, m)
+		for u := 0; u < updates; u++ {
+			q := int32(m + r.Intn(n-m))
+			if rs.posOf[q] >= 0 {
+				continue
+			}
+			for i := range acol {
+				acol[i] = 0
+			}
+			rs.addColTimes(q, 1, acol)
+			rs.lu.ftran(acol, w)
+			pos := r.Intn(m)
+			if math.Abs(w[pos]) < 1e-6 {
+				continue // ratio test would never pick this pivot
+			}
+			old := rs.basisVar[pos]
+			rs.status[old] = nbLower
+			rs.posOf[old] = -1
+			rs.basisVar[pos] = q
+			rs.status[q] = inBasis
+			rs.posOf[q] = int32(pos)
+			rs.lu.addEta(w, pos)
+		}
+
+		// Fresh factorization of the updated basis in a second LU.
+		var fresh basisLU
+		fresh.factorize(rs)
+		if fresh.deficient > 0 {
+			continue // degenerate draw; equivalence only claimed for nonsingular updates
+		}
+		a := make([]float64, m)
+		for i := range a {
+			a[i] = r.Float64()*4 - 2
+		}
+		viaEta := make([]float64, m)
+		viaFresh := make([]float64, m)
+		rs.lu.ftran(append([]float64(nil), a...), viaEta)
+		fresh.ftran(append([]float64(nil), a...), viaFresh)
+		if d := maxAbsDiff(viaEta, viaFresh); d > 1e-7 {
+			t.Fatalf("trial %d: eta ftran deviates from refactorization by %g", trial, d)
+		}
+		rs.lu.btran(append([]float64(nil), a...), viaEta)
+		fresh.btran(append([]float64(nil), a...), viaFresh)
+		if d := maxAbsDiff(viaEta, viaFresh); d > 1e-7 {
+			t.Fatalf("trial %d: eta btran deviates from refactorization by %g", trial, d)
+		}
+	}
+}

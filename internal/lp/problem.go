@@ -61,6 +61,7 @@ type Problem struct {
 	cons    []constraint
 	maxIter int
 	bounded bool
+	sparse  bool
 }
 
 // NewProblem returns an empty minimization problem.
@@ -95,6 +96,26 @@ func (p *Problem) SetMaxIterations(n int) { p.maxIter = n }
 // the nonbasic-at-upper-bound set). See the package documentation for the
 // full solver contract.
 func (p *Problem) SetBounded(on bool) { p.bounded = on }
+
+// SetSparse selects the sparse revised simplex: the constraint matrix is
+// kept in compressed sparse form, the basis is held as an LU
+// factorization updated by an eta file, and each pivot touches only the
+// nonzeros of the columns involved — on the staircase-structured horizon
+// LPs this repository solves, cost per pivot drops from O(rows·cols) to
+// roughly the basis fill-in. Optimal status and objective are identical
+// to the dense tableau (the property/fuzz parity harness in this package
+// gates that equivalence to 1e-9); the reported vertex may be a
+// different, equally optimal one on degenerate problems, so golden-pinned
+// paths must stay on the dense solver. The mode survives Reset, composes
+// with SetBounded, and always solves cold (SolveWarm falls back to
+// Solve). On numerical trouble the solver transparently re-solves the
+// problem with the dense tableau, so results never depend on the sparse
+// path succeeding. See the package documentation for the full contract.
+func (p *Problem) SetSparse(on bool) { p.sparse = on }
+
+// Sparse reports whether the sparse revised simplex is selected —
+// observability for callers pinning which solver path a problem rides.
+func (p *Problem) Sparse() bool { return p.sparse }
 
 // AddVariable adds a decision variable with bounds [lower, upper] and the
 // given objective coefficient, returning its identifier. lower may be

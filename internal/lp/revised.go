@@ -1,0 +1,583 @@
+package lp
+
+import (
+	"math"
+
+	"github.com/smartdpss/smartdpss/internal/scratch"
+)
+
+// Column statuses of the revised simplex. Unlike the dense tableau's
+// complement reflection (which rewrites the column in place), a column at
+// its upper bound keeps its matrix data and is tracked by status alone;
+// its contribution moves into the effective right-hand side.
+const (
+	nbLower uint8 = iota // nonbasic at lower bound (0)
+	nbUpper              // nonbasic at finite upper bound
+	inBasis
+)
+
+// revised is the working state of the sparse revised simplex: the
+// constraint matrix in compressed sparse column form over structural and
+// slack columns, the LU-factorized basis, and the bounded-variable
+// bookkeeping. Column ids n..n+m-1 are placeholder unit columns fixed at
+// [0,0] — they cover rows the crash basis leaves uncovered and absorb
+// numerically dependent basis positions, playing the role the dense
+// path's artificial variables play, but under the composite phase-1
+// objective they need no artificial costs and are simply never priced.
+//
+// All slices are owned by the struct and reused across solves.
+type revised struct {
+	m, n    int // rows; priced columns (structural + slack)
+	nstruct int
+
+	colStart []int32
+	colRow   []int32
+	colVal   []float64
+	cost     []float64
+	ub       []float64
+
+	rhs  []float64 // right-hand sides as built
+	beff []float64 // effective rhs: rhs − Σ_{j at upper} ub_j·A_j
+
+	status   []uint8
+	basisVar []int32 // basis position -> column id
+	posOf    []int32 // column id -> basis position, -1 when nonbasic
+
+	xB []float64 // basic values, by position
+	lu basisLU
+
+	rotor int // partial-pricing segment cursor
+
+	// solve scratch
+	acol []float64 // dense row-space ftran input
+	w    []float64 // ftran output (basis-position space)
+	y    []float64 // btran output (row space)
+	cB   []float64 // btran input (basis-position space)
+
+	// crash scratch
+	covered []bool
+	colCnt  []int32
+	colMax  []float64
+	queue   []int32
+	slackOf []int32
+	cur     []int32
+}
+
+// build assembles the revised-simplex state from a sparse standard form.
+func (rs *revised) build(sf *standardForm) {
+	m := len(sf.rows)
+	nstruct := sf.ncols
+	nslack := 0
+	for _, row := range sf.rows {
+		if row.rel != EQ {
+			nslack++
+		}
+	}
+	n := nstruct + nslack
+	rs.m, rs.n, rs.nstruct = m, n, nstruct
+
+	// CSC assembly: structural entries from the standard form's sparse
+	// rows, one ±1 slack/surplus column per inequality row, assigned in
+	// row order. Row indices within a column come out ascending.
+	rs.colStart = scratch.Zeroed(rs.colStart, n+1)
+	for _, c := range sf.rcol {
+		rs.colStart[c+1]++
+	}
+	rs.slackOf = scratch.For(rs.slackOf, m)
+	sid := int32(nstruct)
+	for i, row := range sf.rows {
+		if row.rel == EQ {
+			rs.slackOf[i] = -1
+		} else {
+			rs.slackOf[i] = sid
+			rs.colStart[sid+1]++
+			sid++
+		}
+	}
+	for j := 1; j <= n; j++ {
+		rs.colStart[j] += rs.colStart[j-1]
+	}
+	nnz := int(rs.colStart[n])
+	rs.colRow = scratch.For(rs.colRow, nnz)
+	rs.colVal = scratch.For(rs.colVal, nnz)
+	rs.cur = scratch.For(rs.cur, n)
+	copy(rs.cur, rs.colStart[:n])
+	for i := 0; i < m; i++ {
+		for e := sf.rowStart[i]; e < sf.rowStart[i+1]; e++ {
+			c := sf.rcol[e]
+			rs.colRow[rs.cur[c]] = int32(i)
+			rs.colVal[rs.cur[c]] = sf.rval[e]
+			rs.cur[c]++
+		}
+		if s := rs.slackOf[i]; s >= 0 {
+			v := 1.0
+			if sf.rows[i].rel == GE {
+				v = -1
+			}
+			rs.colRow[rs.cur[s]] = int32(i)
+			rs.colVal[rs.cur[s]] = v
+			rs.cur[s]++
+		}
+	}
+
+	rs.cost = scratch.Zeroed(rs.cost, n)
+	copy(rs.cost[:nstruct], sf.costs)
+	rs.ub = scratch.For(rs.ub, n)
+	copy(rs.ub[:nstruct], sf.upper)
+	for j := nstruct; j < n; j++ {
+		rs.ub[j] = math.Inf(1)
+	}
+
+	rs.rhs = scratch.For(rs.rhs, m)
+	for i, row := range sf.rows {
+		rs.rhs[i] = row.rhs
+	}
+	rs.beff = scratch.For(rs.beff, m)
+	copy(rs.beff, rs.rhs)
+
+	rs.status = scratch.Zeroed(rs.status, n+m) // nbLower everywhere
+	rs.posOf = scratch.For(rs.posOf, n+m)
+	for j := range rs.posOf {
+		rs.posOf[j] = -1
+	}
+	rs.basisVar = scratch.For(rs.basisVar, m)
+	rs.xB = scratch.For(rs.xB, m)
+	rs.acol = scratch.For(rs.acol, m)
+	rs.w = scratch.For(rs.w, m)
+	rs.y = scratch.For(rs.y, m)
+	rs.cB = scratch.For(rs.cB, m)
+	rs.rotor = 0
+}
+
+// crash builds a triangular starting basis by repeatedly picking columns
+// with exactly one uncovered row (slack columns qualify immediately, and
+// the staircase state columns of the horizon LPs cascade from there), so
+// most equality rows start with a structural pivot instead of a
+// placeholder. Pivots below a tenth of the column's largest entry are
+// rejected for stability. The FIFO processing order is deterministic.
+func (rs *revised) crash(sf *standardForm) {
+	m, n := rs.m, rs.n
+	rs.covered = scratch.Zeroed(rs.covered, m)
+	rs.colCnt = scratch.For(rs.colCnt, n)
+	rs.colMax = scratch.For(rs.colMax, n)
+	for j := 0; j < n; j++ {
+		rs.colCnt[j] = rs.colStart[j+1] - rs.colStart[j]
+		cm := 0.0
+		for i := rs.colStart[j]; i < rs.colStart[j+1]; i++ {
+			if a := math.Abs(rs.colVal[i]); a > cm {
+				cm = a
+			}
+		}
+		rs.colMax[j] = cm
+	}
+	rs.queue = rs.queue[:0]
+	for j := 0; j < n; j++ {
+		if rs.colCnt[j] == 1 {
+			rs.queue = append(rs.queue, int32(j))
+		}
+	}
+	for qi := 0; qi < len(rs.queue); qi++ {
+		j := rs.queue[qi]
+		if rs.posOf[j] >= 0 || rs.colCnt[j] != 1 {
+			continue
+		}
+		r := int32(-1)
+		a := 0.0
+		for i := rs.colStart[j]; i < rs.colStart[j+1]; i++ {
+			if !rs.covered[rs.colRow[i]] {
+				r, a = rs.colRow[i], rs.colVal[i]
+				break
+			}
+		}
+		if r < 0 || math.Abs(a) < 0.1*rs.colMax[j] {
+			continue
+		}
+		rs.basisVar[r] = j
+		rs.status[j] = inBasis
+		rs.posOf[j] = r
+		rs.covered[r] = true
+		for e := sf.rowStart[r]; e < sf.rowStart[r+1]; e++ {
+			c := sf.rcol[e]
+			rs.colCnt[c]--
+			if rs.colCnt[c] == 1 && rs.posOf[c] < 0 {
+				rs.queue = append(rs.queue, c)
+			}
+		}
+		if s := rs.slackOf[r]; s >= 0 && s != j {
+			rs.colCnt[s]--
+		}
+	}
+	for r := 0; r < m; r++ {
+		if !rs.covered[r] {
+			nv := int32(n + r)
+			rs.basisVar[r] = nv
+			rs.status[nv] = inBasis
+			rs.posOf[nv] = int32(r)
+		}
+	}
+}
+
+// demoteToPlaceholder swaps the variable basic at pos out for the
+// placeholder unit column of row r. Called by factorize when the basis
+// proves numerically dependent; the demoted variable is parked at its
+// lower bound, so the effective rhs is unchanged.
+func (rs *revised) demoteToPlaceholder(pos int, r int32) {
+	old := rs.basisVar[pos]
+	rs.status[old] = nbLower
+	rs.posOf[old] = -1
+	nv := int32(rs.n) + r
+	rs.basisVar[pos] = nv
+	rs.status[nv] = inBasis
+	rs.posOf[nv] = int32(pos)
+}
+
+// ubOf returns the upper bound of a column id, counting placeholders as
+// fixed at zero.
+func (rs *revised) ubOf(v int32) float64 {
+	if int(v) >= rs.n {
+		return 0
+	}
+	return rs.ub[v]
+}
+
+// colDot computes yᵀA_j over the sparse column.
+func (rs *revised) colDot(j int) float64 {
+	s := 0.0
+	for i := rs.colStart[j]; i < rs.colStart[j+1]; i++ {
+		s += rs.y[rs.colRow[i]] * rs.colVal[i]
+	}
+	return s
+}
+
+// addColTimes adds s·A_v into the dense row-space vector dst.
+func (rs *revised) addColTimes(v int32, s float64, dst []float64) {
+	if int(v) >= rs.n {
+		dst[int(v)-rs.n] += s
+		return
+	}
+	for i := rs.colStart[v]; i < rs.colStart[v+1]; i++ {
+		dst[rs.colRow[i]] += s * rs.colVal[i]
+	}
+}
+
+// infeasibility reports the number of basic variables outside their
+// bounds by more than feasTol and the summed violation.
+func (rs *revised) infeasibility() (int, float64) {
+	ninf := 0
+	f := 0.0
+	for i, x := range rs.xB {
+		ubv := rs.ubOf(rs.basisVar[i])
+		if x < -feasTol {
+			ninf++
+			f -= x
+		} else if x > ubv+feasTol {
+			ninf++
+			f += x - ubv
+		}
+	}
+	return ninf, f
+}
+
+// refreshXB recomputes the basic values from the effective rhs through
+// the current factorization, and reports whether they are all finite.
+func (rs *revised) refreshXB() bool {
+	copy(rs.acol, rs.beff)
+	rs.lu.ftran(rs.acol, rs.xB)
+	for _, x := range rs.xB {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// priceEnter selects the entering column. In the normal mode it scans
+// rotating fixed-size segments of the column range and takes the largest
+// reduced cost of the first segment holding any eligible column; in
+// Bland mode (anti-cycling) it takes the lowest-numbered eligible
+// column. Both are deterministic. The returned d is the reduced cost
+// (negative for an at-lower entry, positive for at-upper); q is -1 when
+// no column is eligible.
+func (rs *revised) priceEnter(phase1, bland bool) (int, float64) {
+	eligible := func(j int) (float64, bool) {
+		st := rs.status[j]
+		if st == inBasis || rs.ub[j] == 0 {
+			return 0, false
+		}
+		d := -rs.colDot(j)
+		if !phase1 {
+			d += rs.cost[j]
+		}
+		if st == nbLower {
+			if d < -costTol {
+				return d, true
+			}
+		} else if d > costTol {
+			return d, true
+		}
+		return 0, false
+	}
+	if bland {
+		for j := 0; j < rs.n; j++ {
+			if d, ok := eligible(j); ok {
+				return j, d
+			}
+		}
+		return -1, 0
+	}
+	seg := rs.n / 8
+	if seg < 256 {
+		seg = 256
+	}
+	nseg := (rs.n + seg - 1) / seg
+	if nseg == 0 {
+		nseg = 1
+	}
+	for s := 0; s < nseg; s++ {
+		si := (rs.rotor + s) % nseg
+		lo := si * seg
+		hi := lo + seg
+		if hi > rs.n {
+			hi = rs.n
+		}
+		bestJ, bestD, bestA := -1, 0.0, 0.0
+		for j := lo; j < hi; j++ {
+			if d, ok := eligible(j); ok {
+				if a := math.Abs(d); a > bestA {
+					bestJ, bestD, bestA = j, d, a
+				}
+			}
+		}
+		if bestJ >= 0 {
+			rs.rotor = si
+			return bestJ, bestD
+		}
+	}
+	return -1, 0
+}
+
+// ratioTest finds how far the entering column q can move in direction
+// dir (+1 from lower, −1 from upper) before a basic variable hits a
+// bound. In phase 1 it is the conservative first-breakpoint rule:
+// feasible basics block at their nearer bound, infeasible basics block
+// on reaching their violated bound (where the composite objective's
+// slope changes). Ties within 1e-12 resolve to the smallest leaving
+// column id, mirroring the dense tableau. When the entering variable's
+// own upper bound binds first the move is a bound flip (r < 0,
+// flip true); θ = +Inf means no breakpoint at all.
+func (rs *revised) ratioTest(q int, dir float64, phase1 bool) (theta float64, r int, leaveAt uint8, flip bool) {
+	best := math.Inf(1)
+	r = -1
+	bestVar := int32(math.MaxInt32)
+	for i := 0; i < rs.m; i++ {
+		wi := rs.w[i]
+		if wi < pivotTol && wi > -pivotTol {
+			continue
+		}
+		delta := -dir * wi
+		v := rs.basisVar[i]
+		x := rs.xB[i]
+		ubv := rs.ubOf(v)
+		var t float64
+		var at uint8
+		switch {
+		case phase1 && x < -feasTol:
+			if delta <= 0 {
+				continue
+			}
+			t = -x / delta
+			at = nbLower
+		case phase1 && x > ubv+feasTol:
+			if delta >= 0 {
+				continue
+			}
+			t = (x - ubv) / -delta
+			at = nbUpper
+		case delta < 0:
+			t = x / -delta
+			if t < 0 {
+				t = 0
+			}
+			at = nbLower
+		default:
+			if math.IsInf(ubv, 1) {
+				continue
+			}
+			t = (ubv - x) / delta
+			if t < 0 {
+				t = 0
+			}
+			at = nbUpper
+		}
+		if t < best-1e-12 || (t <= best+1e-12 && v < bestVar) {
+			best, r, leaveAt, bestVar = t, i, at, v
+		}
+	}
+	if ubq := rs.ub[q]; !math.IsInf(ubq, 1) && ubq < best-1e-12 {
+		return ubq, -1, 0, true
+	}
+	return best, r, leaveAt, false
+}
+
+// applyFlip moves the entering column to its opposite bound without a
+// basis change, updating the basic values and the effective rhs.
+func (rs *revised) applyFlip(q int, dir float64) {
+	ubq := rs.ub[q]
+	for i, wi := range rs.w {
+		rs.xB[i] -= dir * ubq * wi
+	}
+	if dir > 0 {
+		rs.status[q] = nbUpper
+		rs.addColTimes(int32(q), -ubq, rs.beff)
+	} else {
+		rs.status[q] = nbLower
+		rs.addColTimes(int32(q), ubq, rs.beff)
+	}
+}
+
+// applyPivot executes the basis change: basic values move by θ along the
+// direction, the leaving variable settles at leaveAt, the entering
+// column takes position r, and the update is appended to the eta file.
+func (rs *revised) applyPivot(q int, dir float64, r int, theta float64, leaveAt uint8) {
+	if theta != 0 {
+		for i, wi := range rs.w {
+			rs.xB[i] -= dir * theta * wi
+		}
+	}
+	v := rs.basisVar[r]
+	rs.status[v] = leaveAt
+	rs.posOf[v] = -1
+	if leaveAt == nbUpper {
+		if ubv := rs.ubOf(v); ubv != 0 {
+			rs.addColTimes(v, -ubv, rs.beff)
+		}
+	}
+	enterX := theta
+	if rs.status[q] == nbUpper {
+		enterX = rs.ub[q] - theta
+		rs.addColTimes(int32(q), rs.ub[q], rs.beff)
+	}
+	rs.status[q] = inBasis
+	rs.posOf[q] = int32(r)
+	rs.basisVar[r] = int32(q)
+	rs.xB[r] = enterX
+	rs.lu.addEta(rs.w, r)
+}
+
+// runSparse drives the revised simplex over the sparse standard form in
+// s.sf. The second return value reports whether the sparse path produced
+// a trustworthy answer; false means the caller must rebuild the standard
+// form dense and re-solve on the exact tableau path (numerical trouble,
+// or an iteration budget the dense anti-cycling machinery should
+// adjudicate).
+func (s *Solver) runSparse(p *Problem) (Solution, bool) {
+	sf := &s.sf
+	rs := &s.rev
+	rs.build(sf)
+	rs.crash(sf)
+	rs.lu.factorize(rs)
+	if !rs.refreshXB() {
+		return Solution{}, false
+	}
+
+	maxIter := p.maxIter
+	if maxIter <= 0 {
+		maxIter = 200 + 60*(rs.m+rs.n)
+	}
+
+	pivots := 0
+	stall := 0
+	for {
+		if pivots >= maxIter || stall > 8*stallWin {
+			return Solution{}, false
+		}
+		if rs.lu.needsRefactor() {
+			rs.lu.factorize(rs)
+			if !rs.refreshXB() {
+				return Solution{}, false
+			}
+		}
+		ninf, f := rs.infeasibility()
+		phase1 := ninf > 0
+		for i := 0; i < rs.m; i++ {
+			if phase1 {
+				x := rs.xB[i]
+				switch {
+				case x < -feasTol:
+					rs.cB[i] = -1
+				case x > rs.ubOf(rs.basisVar[i])+feasTol:
+					rs.cB[i] = 1
+				default:
+					rs.cB[i] = 0
+				}
+			} else {
+				v := rs.basisVar[i]
+				if int(v) < rs.n {
+					rs.cB[i] = rs.cost[v]
+				} else {
+					rs.cB[i] = 0
+				}
+			}
+		}
+		rs.lu.btran(rs.cB, rs.y)
+		q, d := rs.priceEnter(phase1, stall >= stallWin)
+		if q < 0 {
+			if phase1 && f > feasTol {
+				return Solution{Status: Infeasible, Iterations: pivots}, true
+			}
+			break // optimal
+		}
+		dir := 1.0
+		if rs.status[q] == nbUpper {
+			dir = -1
+		}
+		for i := range rs.acol {
+			rs.acol[i] = 0
+		}
+		rs.addColTimes(int32(q), 1, rs.acol)
+		rs.lu.ftran(rs.acol, rs.w)
+		theta, r, leaveAt, flip := rs.ratioTest(q, dir, phase1)
+		if math.IsInf(theta, 1) {
+			if phase1 {
+				// The composite objective is bounded below by zero, so a
+				// breakpoint always exists in exact arithmetic.
+				return Solution{}, false
+			}
+			return Solution{Status: Unbounded, Iterations: pivots}, true
+		}
+		progress := theta
+		if flip {
+			progress = rs.ub[q]
+			rs.applyFlip(q, dir)
+		} else {
+			rs.applyPivot(q, dir, r, theta, leaveAt)
+		}
+		if progress*math.Abs(d) > improveE {
+			stall = 0
+		} else {
+			stall++
+		}
+		pivots++
+	}
+
+	// Optimal: recover the standard-form vector and the exact objective.
+	s.y = scratch.Zeroed(s.y, sf.ncols)
+	obj := sf.offset
+	for j := 0; j < rs.nstruct; j++ {
+		switch rs.status[j] {
+		case nbUpper:
+			s.y[j] = rs.ub[j]
+		case inBasis:
+			s.y[j] = rs.xB[rs.posOf[j]]
+		}
+		obj += sf.costs[j] * s.y[j]
+	}
+	s.vals = scratch.Zeroed(s.vals, len(sf.recover))
+	sf.recoverValuesInto(s.y, s.vals)
+	return Solution{
+		Status:     Optimal,
+		Objective:  obj,
+		Iterations: pivots,
+		values:     s.vals,
+	}, true
+}

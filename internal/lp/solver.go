@@ -21,8 +21,9 @@ import "github.com/smartdpss/smartdpss/internal/scratch"
 // and SolveWarm borrows the solver's buffers and is valid only until the
 // next solve; use Solution.Values (a copy) to retain results.
 type Solver struct {
-	sf standardForm
-	t  tableau
+	sf  standardForm
+	t   tableau
+	rev revised
 
 	y    []float64 // standard-form solution scratch
 	vals []float64 // recovered variable values (borrowed by Solution)
@@ -59,12 +60,21 @@ func (s *Solver) run(p *Problem, warm bool) (Solution, error) {
 	if err := p.validate(); err != nil {
 		return Solution{}, err
 	}
-	// Bounded problems always solve cold: a remembered basis does not
-	// carry the nonbasic-at-upper-bound set, so re-installing it could
-	// silently start from the wrong solution point.
-	warm = warm && !p.bounded
+	// Bounded and sparse problems always solve cold: a remembered basis
+	// does not carry the nonbasic-at-upper-bound set, so re-installing
+	// it could silently start from the wrong solution point.
+	warm = warm && !p.bounded && !p.sparse
 	p.buildStandardForm(&s.sf)
 	sf := &s.sf
+	if p.sparse {
+		if sol, ok := s.runSparse(p); ok {
+			return sol, nil
+		}
+		// Numerical trouble on the sparse path: rebuild the rows dense
+		// and fall through to the exact tableau solver, which owns the
+		// final word on every problem.
+		p.buildStandardFormDense(sf)
+	}
 	t := &s.t
 	t.init(sf)
 
@@ -141,7 +151,7 @@ func (s *Solver) run(p *Problem, warm bool) (Solution, error) {
 	}
 	s.vals = scratch.Zeroed(s.vals, len(sf.recover))
 	sf.recoverValuesInto(s.y, s.vals)
-	if !p.bounded {
+	if !p.bounded && !p.sparse {
 		s.rememberBasis(sf)
 	}
 	return Solution{

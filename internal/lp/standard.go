@@ -52,9 +52,20 @@ type standardForm struct {
 	offset  float64   // constant added to the objective by substitutions
 	recover []varRecover
 
+	// Sparse row storage (sparse mode only): row i's entries are
+	// rcol/rval[rowStart[i]:rowStart[i+1]] and rows[i].coeffs is nil.
+	// The dense arena is never touched, so sparse builds stay linear in
+	// the nonzero count rather than rows×cols.
+	sparse   bool
+	rowStart []int32
+	rcol     []int32
+	rval     []float64
+
 	// build scratch, reused across calls
 	subs  []colSub
 	arena []float64 // backing storage for every row's coeffs
+	stamp []int32   // sparse dedup: last row (1-based) that touched a column
+	spos  []int32   // sparse dedup: entry index of that touch
 }
 
 // buildStandardForm rewrites the problem over non-negative variables into
@@ -67,6 +78,17 @@ type standardForm struct {
 // recorded in sf.upper as a column bound for the bounded-variable pivot
 // loop instead.
 func (p *Problem) buildStandardForm(sf *standardForm) {
+	p.buildStandardFormMode(sf, p.sparse)
+}
+
+// buildStandardFormDense forces a dense-row build regardless of the
+// problem's sparse flag. The sparse solver uses it to hand a numerically
+// troublesome problem to the exact dense tableau path.
+func (p *Problem) buildStandardFormDense(sf *standardForm) {
+	p.buildStandardFormMode(sf, false)
+}
+
+func (p *Problem) buildStandardFormMode(sf *standardForm, sparse bool) {
 	nv := len(p.vars)
 	if cap(sf.recover) < nv {
 		sf.recover = make([]varRecover, nv)
@@ -79,6 +101,7 @@ func (p *Problem) buildStandardForm(sf *standardForm) {
 	sf.ncols = 0
 	sf.offset = 0
 	sf.bounded = p.bounded
+	sf.sparse = sparse
 
 	// Column assignment and per-variable substitution. In row mode,
 	// upper-bounded shifted variables contribute one extra ≤ row each,
@@ -140,13 +163,18 @@ func (p *Problem) buildStandardForm(sf *standardForm) {
 		}
 	}
 
-	// Row storage: one arena slab per build, sliced per row.
 	nrows := len(p.cons) + nupper
-	sf.arena = scratch.Zeroed(sf.arena, nrows*sf.ncols)
 	if cap(sf.rows) < nrows {
 		sf.rows = make([]sfRow, nrows)
 	}
 	sf.rows = sf.rows[:nrows]
+	if sparse {
+		p.buildSparseRows(sf)
+		return
+	}
+
+	// Row storage: one arena slab per build, sliced per row.
+	sf.arena = scratch.Zeroed(sf.arena, nrows*sf.ncols)
 	rowCoeffs := func(i int) []float64 {
 		return sf.arena[i*sf.ncols : (i+1)*sf.ncols : (i+1)*sf.ncols]
 	}
@@ -183,6 +211,69 @@ func (p *Problem) buildStandardForm(sf *standardForm) {
 			ui++
 		}
 	}
+}
+
+// buildSparseRows fills the compressed sparse row storage. Entry order
+// within a row is first-occurrence order of the columns; duplicate terms
+// are summed in place via the stamp/spos dedup scratch (a term pair that
+// cancels exactly leaves an explicit zero, which the revised simplex
+// treats like any other value). Relations and right-hand sides still live
+// in sf.rows; only the coefficient storage differs from the dense build.
+func (p *Problem) buildSparseRows(sf *standardForm) {
+	nrows := len(sf.rows)
+	sf.rowStart = scratch.For(sf.rowStart, nrows+1)
+	sf.rcol = sf.rcol[:0]
+	sf.rval = sf.rval[:0]
+	sf.stamp = scratch.Zeroed(sf.stamp, sf.ncols)
+	sf.spos = scratch.For(sf.spos, sf.ncols)
+
+	ri := int32(1) // 1-based row stamp; 0 means "never touched"
+	add := func(col int, v float64) {
+		if sf.stamp[col] == ri {
+			sf.rval[sf.spos[col]] += v
+			return
+		}
+		sf.stamp[col] = ri
+		sf.spos[col] = int32(len(sf.rval))
+		sf.rcol = append(sf.rcol, int32(col))
+		sf.rval = append(sf.rval, v)
+	}
+
+	for ci, c := range p.cons {
+		sf.rowStart[ci] = int32(len(sf.rcol))
+		rhs := c.rhs
+		for _, t := range c.terms {
+			s := sf.subs[t.Var]
+			rhs -= t.Coeff * s.base
+			if s.col < 0 {
+				continue
+			}
+			add(s.col, t.Coeff*s.scale)
+			if sf.recover[t.Var].kind == recSplit {
+				add(s.col2, -t.Coeff)
+			}
+		}
+		sf.rows[ci] = sfRow{rel: c.rel, rhs: rhs}
+		ri++
+	}
+
+	// Upper-bound rows, in variable order (row mode only — bounded mode
+	// carries these limits in sf.upper). Same order as the dense build.
+	if !p.bounded {
+		ui := len(p.cons)
+		for i, v := range p.vars {
+			r := sf.recover[i]
+			if r.kind != recShifted || math.IsInf(v.upper, 1) {
+				continue
+			}
+			sf.rowStart[ui] = int32(len(sf.rcol))
+			sf.rcol = append(sf.rcol, int32(r.col))
+			sf.rval = append(sf.rval, 1)
+			sf.rows[ui] = sfRow{rel: LE, rhs: v.upper - v.lower}
+			ui++
+		}
+	}
+	sf.rowStart[nrows] = int32(len(sf.rcol))
 }
 
 // recoverValuesInto maps a standard-form solution vector back to original
