@@ -3,7 +3,7 @@
 
 GO ?= go
 
-# The perf-trajectory benchmark set (see BENCH_7.json and README
+# The perf-trajectory benchmark set (see BENCH_8.json and README
 # "Performance"). BenchmarkAblationOfflineHorizonLP (unanchored) matches
 # both the sparse default and its Dense reference variant, so cmd/perf
 # can gate their same-run speedup ratio.
@@ -78,15 +78,16 @@ serve-smoke:
 	./scripts/serve-smoke.sh
 
 # Regenerate the committed benchmark trajectory file: runs the key hot-path
-# benchmarks with -benchmem and rewrites BENCH_7.json's "current" block
-# (the pre-sparse-simplex "baseline" block is carried over unchanged; the
-# PR-5/PR-4 trajectories survive in BENCH_5.json/BENCH_4.json). The
-# year-long annual LP joins at one iteration — its wall-clock is minutes,
-# so 20x would take an hour. The bench output goes through a file, not a
-# pipe, so a failing benchmark run fails the target instead of being
+# benchmarks with -benchmem and rewrites BENCH_8.json's "current" block
+# (its "baseline" block — the pre-hyper-sparse PR-7 reference — is carried
+# over unchanged; older trajectories survive in BENCH_7/5/4.json). The
+# year-long annual LP joins at one iteration: ~10 s per solve on the
+# hyper-sparse kernels, and cmd/perf gates it against a 20 s wall-clock
+# budget on the CI -check path. The bench output goes through a file, not
+# a pipe, so a failing benchmark run fails the target instead of being
 # masked by the parser's exit status.
 perf:
 	$(GO) test -bench='$(PERF_BENCHES)' -benchmem -benchtime=20x -run '^$$' . > bench.out
 	$(GO) test -bench=BenchmarkAblationOfflineAnnualLP -benchmem -benchtime=1x -run '^$$' . >> bench.out
-	$(GO) run ./cmd/perf -out BENCH_7.json -note "make perf" < bench.out
+	$(GO) run ./cmd/perf -out BENCH_8.json -note "make perf" < bench.out
 	@rm -f bench.out

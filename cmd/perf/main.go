@@ -18,7 +18,10 @@
 // count of any gated benchmark regresses beyond the tolerance.
 // Allocations per op are deterministic — unlike ns/op they do not
 // depend on CI machine load — which makes them the right regression
-// signal for an allocation-free hot path.
+// signal for an allocation-free hot path. Two further gate families run
+// on the -check path: same-run speedup ratios (sparse vs dense
+// reference, load-independent) and coarse absolute wall-clock budgets
+// (the annual LP's ≤20 s hyper-sparsity pin).
 package main
 
 import (
@@ -77,6 +80,18 @@ var speedupGates = []struct {
 	{"BenchmarkAblationOfflineHorizonLP", "BenchmarkAblationOfflineHorizonLPDense", 0.70},
 }
 
+// wallGates are absolute wall-clock budgets in ns/op. Unlike the alloc
+// and same-run ratio gates these are machine-load sensitive, so each
+// budget carries roughly 2x headroom over the measured value and exists
+// to catch order-of-magnitude regressions, not percent-level drift. The
+// annual entry pins the hyper-sparse revised simplex: the year-long
+// (8760-slot) whole-horizon LP measured ~10 s when the hyper-sparse
+// FTRAN/BTRAN kernels landed, versus ~200 s before them — a return to
+// the dense-vector per-pivot cost blows this budget immediately.
+var wallGates = map[string]float64{
+	"BenchmarkAblationOfflineAnnualLP": 20e9,
+}
+
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
 
@@ -117,6 +132,9 @@ func main() {
 		}
 		fmt.Printf("perf: allocation gate passed against %s\n", *check)
 		if err := gateSpeedups(results); err != nil {
+			fatalf("%v", err)
+		}
+		if err := gateWall(results); err != nil {
 			fatalf("%v", err)
 		}
 	}
@@ -204,6 +222,23 @@ func gateSpeedups(fresh map[string]Result) error {
 				g.fast, g.slow, ratio, g.maxRatio)
 		}
 		fmt.Printf("perf: %s at %.3fx of %s (gate %.2f)\n", g.fast, ratio, g.slow, g.maxRatio)
+	}
+	return nil
+}
+
+// gateWall enforces the absolute wall-clock budgets. A gate only fires
+// when its benchmark was measured in this run.
+func gateWall(fresh map[string]Result) error {
+	for name, budget := range wallGates {
+		got, ok := fresh[name]
+		if !ok {
+			continue
+		}
+		if got.NsPerOp > budget {
+			return fmt.Errorf("%s wall clock %.1f s exceeds the %.0f s budget",
+				name, got.NsPerOp/1e9, budget/1e9)
+		}
+		fmt.Printf("perf: %s at %.1f s (budget %.0f s)\n", name, got.NsPerOp/1e9, budget/1e9)
 	}
 	return nil
 }

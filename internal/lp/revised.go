@@ -6,6 +6,11 @@ import (
 	"github.com/smartdpss/smartdpss/internal/scratch"
 )
 
+// ratioTieTol is the relative tie window of the sparse ratio test; see
+// ratioTest. The dense tableau keeps its historical absolute 1e-12
+// window (its pivot sequences are byte-pinned by the golden suite).
+const ratioTieTol = 1e-12
+
 // Column statuses of the revised simplex. Unlike the dense tableau's
 // complement reflection (which rewrites the column in place), a column at
 // its upper bound keeps its matrix data and is tracked by status alone;
@@ -46,13 +51,36 @@ type revised struct {
 	xB []float64 // basic values, by position
 	lu basisLU
 
+	sf *standardForm // build source; pivot-row pricing reads its row-major storage
+
 	rotor int // partial-pricing segment cursor
 
+	// Incrementally maintained pivot-loop state (see pricing.go): the
+	// reduced costs and devex weights of every priced column, and the
+	// feasibility signs of every basis position. All of it is rebuilt by
+	// build/rescan, so nothing leaks across solves.
+	d        []float64 // reduced costs, updated from each pivot row
+	gamma    []float64 // devex reference weights
+	gammaMax float64   // largest weight since the last framework reset
+	dPhase1  bool      // phase the maintained duals price
+	dStale   bool      // duals need a recompute before the next pricing
+	sgn      []int8    // per position: -1 below lower, +1 above upper, 0 feasible
+	ninf     int       // infeasible basis positions, tracked incrementally
+
 	// solve scratch
-	acol []float64 // dense row-space ftran input
-	w    []float64 // ftran output (basis-position space)
-	y    []float64 // btran output (row space)
-	cB   []float64 // btran input (basis-position space)
+	acol      []float64 // dense row-space ftran input
+	w         []float64 // ftran output (basis-position space), zero between pivots
+	wIdx      []int32   // pattern of w when wSparse
+	wSparse   bool
+	y         []float64 // btran output (row space)
+	cB        []float64 // btran input (basis-position space)
+	rho       []float64 // btranUnit output (row space), zero between pivots
+	rhoIdx    []int32   // pattern of rho when rhoSparse
+	rhoSparse bool
+	alpha     []float64 // pivot row by priced column, zero between pivots
+	alphaIdx  []int32   // pattern of alpha
+	amark     []bool    // scatter marks for alpha
+	slackSign []float64 // per row: ±1 slack coefficient, 0 on EQ rows
 
 	// crash scratch
 	covered []bool
@@ -83,7 +111,9 @@ func (rs *revised) build(sf *standardForm) {
 	for _, c := range sf.rcol {
 		rs.colStart[c+1]++
 	}
+	rs.sf = sf
 	rs.slackOf = scratch.For(rs.slackOf, m)
+	rs.slackSign = scratch.Zeroed(rs.slackSign, m)
 	sid := int32(nstruct)
 	for i, row := range sf.rows {
 		if row.rel == EQ {
@@ -114,6 +144,7 @@ func (rs *revised) build(sf *standardForm) {
 			if sf.rows[i].rel == GE {
 				v = -1
 			}
+			rs.slackSign[i] = v
 			rs.colRow[rs.cur[s]] = int32(i)
 			rs.colVal[rs.cur[s]] = v
 			rs.cur[s]++
@@ -143,10 +174,32 @@ func (rs *revised) build(sf *standardForm) {
 	rs.basisVar = scratch.For(rs.basisVar, m)
 	rs.xB = scratch.For(rs.xB, m)
 	rs.acol = scratch.For(rs.acol, m)
-	rs.w = scratch.For(rs.w, m)
 	rs.y = scratch.For(rs.y, m)
 	rs.cB = scratch.For(rs.cB, m)
+
+	// Per-solve pivot-loop state. Everything a previous solve could have
+	// left behind is reset here — pricing cursor, devex framework,
+	// maintained duals, feasibility signs, eta file (cleared by the first
+	// factorize), and the zero-invariant scatter buffers, which an
+	// aborted solve (dense fallback mid-pivot) may have left dirty.
 	rs.rotor = 0
+	rs.w = scratch.Zeroed(rs.w, m)
+	rs.wIdx = rs.wIdx[:0]
+	rs.wSparse = false
+	rs.rho = scratch.Zeroed(rs.rho, m)
+	rs.rhoIdx = rs.rhoIdx[:0]
+	rs.rhoSparse = false
+	rs.alpha = scratch.Zeroed(rs.alpha, n)
+	rs.alphaIdx = rs.alphaIdx[:0]
+	rs.amark = scratch.Zeroed(rs.amark, n)
+	rs.d = scratch.For(rs.d, n)
+	rs.gamma = scratch.For(rs.gamma, n)
+	rs.resetDevexWeights()
+	rs.dPhase1 = false
+	rs.dStale = true
+	rs.sgn = scratch.Zeroed(rs.sgn, m)
+	rs.ninf = 0
+	rs.lu.nfactor = 0
 }
 
 // crash builds a triangular starting basis by repeatedly picking columns
@@ -260,24 +313,6 @@ func (rs *revised) addColTimes(v int32, s float64, dst []float64) {
 	}
 }
 
-// infeasibility reports the number of basic variables outside their
-// bounds by more than feasTol and the summed violation.
-func (rs *revised) infeasibility() (int, float64) {
-	ninf := 0
-	f := 0.0
-	for i, x := range rs.xB {
-		ubv := rs.ubOf(rs.basisVar[i])
-		if x < -feasTol {
-			ninf++
-			f -= x
-		} else if x > ubv+feasTol {
-			ninf++
-			f += x - ubv
-		}
-	}
-	return ninf, f
-}
-
 // refreshXB recomputes the basic values from the effective rhs through
 // the current factorization, and reports whether they are all finite.
 func (rs *revised) refreshXB() bool {
@@ -291,107 +326,44 @@ func (rs *revised) refreshXB() bool {
 	return true
 }
 
-// priceEnter selects the entering column. In the normal mode it scans
-// rotating fixed-size segments of the column range and takes the largest
-// reduced cost of the first segment holding any eligible column; in
-// Bland mode (anti-cycling) it takes the lowest-numbered eligible
-// column. Both are deterministic. The returned d is the reduced cost
-// (negative for an at-lower entry, positive for at-upper); q is -1 when
-// no column is eligible.
-func (rs *revised) priceEnter(phase1, bland bool) (int, float64) {
-	eligible := func(j int) (float64, bool) {
-		st := rs.status[j]
-		if st == inBasis || rs.ub[j] == 0 {
-			return 0, false
-		}
-		d := -rs.colDot(j)
-		if !phase1 {
-			d += rs.cost[j]
-		}
-		if st == nbLower {
-			if d < -costTol {
-				return d, true
-			}
-		} else if d > costTol {
-			return d, true
-		}
-		return 0, false
-	}
-	if bland {
-		for j := 0; j < rs.n; j++ {
-			if d, ok := eligible(j); ok {
-				return j, d
-			}
-		}
-		return -1, 0
-	}
-	seg := rs.n / 8
-	if seg < 256 {
-		seg = 256
-	}
-	nseg := (rs.n + seg - 1) / seg
-	if nseg == 0 {
-		nseg = 1
-	}
-	for s := 0; s < nseg; s++ {
-		si := (rs.rotor + s) % nseg
-		lo := si * seg
-		hi := lo + seg
-		if hi > rs.n {
-			hi = rs.n
-		}
-		bestJ, bestD, bestA := -1, 0.0, 0.0
-		for j := lo; j < hi; j++ {
-			if d, ok := eligible(j); ok {
-				if a := math.Abs(d); a > bestA {
-					bestJ, bestD, bestA = j, d, a
-				}
-			}
-		}
-		if bestJ >= 0 {
-			rs.rotor = si
-			return bestJ, bestD
-		}
-	}
-	return -1, 0
-}
-
 // ratioTest finds how far the entering column q can move in direction
 // dir (+1 from lower, −1 from upper) before a basic variable hits a
 // bound. In phase 1 it is the conservative first-breakpoint rule:
-// feasible basics block at their nearer bound, infeasible basics block
-// on reaching their violated bound (where the composite objective's
-// slope changes). Ties within 1e-12 resolve to the smallest leaving
-// column id, mirroring the dense tableau. When the entering variable's
-// own upper bound binds first the move is a bound flip (r < 0,
-// flip true); θ = +Inf means no breakpoint at all.
+// feasible basics block at their nearer bound, infeasible basics (as
+// classified by the maintained sgn) block on reaching their violated
+// bound (where the composite objective's slope changes). Ties resolve to
+// the smallest leaving column id within a scale-aware window
+// (ratioTieTol relative to the step length — the absolute window of the
+// dense tableau misbehaves on large-magnitude annual rows). When the
+// entering variable's own upper bound binds first the move is a bound
+// flip (r < 0, flip true); θ = +Inf means no breakpoint at all. The scan
+// covers only the ftran pattern when the solve stayed hyper-sparse.
 func (rs *revised) ratioTest(q int, dir float64, phase1 bool) (theta float64, r int, leaveAt uint8, flip bool) {
 	best := math.Inf(1)
 	r = -1
 	bestVar := int32(math.MaxInt32)
-	for i := 0; i < rs.m; i++ {
+	consider := func(i int) {
 		wi := rs.w[i]
 		if wi < pivotTol && wi > -pivotTol {
-			continue
+			return
 		}
 		delta := -dir * wi
 		v := rs.basisVar[i]
 		x := rs.xB[i]
-		ubv := rs.ubOf(v)
 		var t float64
 		var at uint8
 		switch {
-		case phase1 && x < -feasTol:
+		case phase1 && rs.sgn[i] < 0:
 			if delta <= 0 {
-				continue
+				return
 			}
 			t = -x / delta
 			at = nbLower
-		case phase1 && x > ubv+feasTol:
+		case phase1 && rs.sgn[i] > 0:
 			if delta >= 0 {
-				continue
+				return
 			}
-			t = (x - ubv) / -delta
+			t = (x - rs.ubOf(v)) / -delta
 			at = nbUpper
 		case delta < 0:
 			t = x / -delta
@@ -400,8 +372,9 @@ func (rs *revised) ratioTest(q int, dir float64, phase1 bool) (theta float64, r 
 			}
 			at = nbLower
 		default:
+			ubv := rs.ubOf(v)
 			if math.IsInf(ubv, 1) {
-				continue
+				return
 			}
 			t = (ubv - x) / delta
 			if t < 0 {
@@ -409,22 +382,45 @@ func (rs *revised) ratioTest(q int, dir float64, phase1 bool) (theta float64, r 
 			}
 			at = nbUpper
 		}
-		if t < best-1e-12 || (t <= best+1e-12 && v < bestVar) {
+		eps := ratioTieTol * (1 + t)
+		if t < best-eps || (t <= best+eps && v < bestVar) {
 			best, r, leaveAt, bestVar = t, i, at, v
 		}
 	}
-	if ubq := rs.ub[q]; !math.IsInf(ubq, 1) && ubq < best-1e-12 {
+	if rs.wSparse {
+		for _, i := range rs.wIdx {
+			consider(int(i))
+		}
+	} else {
+		for i := 0; i < rs.m; i++ {
+			consider(i)
+		}
+	}
+	if ubq := rs.ub[q]; !math.IsInf(ubq, 1) && ubq < best-ratioTieTol*(1+ubq) {
 		return ubq, -1, 0, true
 	}
 	return best, r, leaveAt, false
 }
 
 // applyFlip moves the entering column to its opposite bound without a
-// basis change, updating the basic values and the effective rhs.
+// basis change, updating the basic values, feasibility signs and the
+// effective rhs over the ftran pattern.
 func (rs *revised) applyFlip(q int, dir float64) {
 	ubq := rs.ub[q]
-	for i, wi := range rs.w {
-		rs.xB[i] -= dir * ubq * wi
+	if rs.wSparse {
+		for _, i := range rs.wIdx {
+			if wi := rs.w[i]; wi != 0 {
+				rs.xB[i] -= dir * ubq * wi
+				rs.updateSgnAt(int(i))
+			}
+		}
+	} else {
+		for i, wi := range rs.w {
+			if wi != 0 {
+				rs.xB[i] -= dir * ubq * wi
+				rs.updateSgnAt(i)
+			}
+		}
 	}
 	if dir > 0 {
 		rs.status[q] = nbUpper
@@ -436,12 +432,29 @@ func (rs *revised) applyFlip(q int, dir float64) {
 }
 
 // applyPivot executes the basis change: basic values move by θ along the
-// direction, the leaving variable settles at leaveAt, the entering
-// column takes position r, and the update is appended to the eta file.
+// direction (with feasibility signs maintained over the pattern), the
+// leaving variable settles at leaveAt, the entering column takes
+// position r, and the update is appended to the eta file.
 func (rs *revised) applyPivot(q int, dir float64, r int, theta float64, leaveAt uint8) {
 	if theta != 0 {
-		for i, wi := range rs.w {
-			rs.xB[i] -= dir * theta * wi
+		if rs.wSparse {
+			for _, i := range rs.wIdx {
+				if int(i) == r {
+					continue
+				}
+				if wi := rs.w[i]; wi != 0 {
+					rs.xB[i] -= dir * theta * wi
+					rs.updateSgnAt(int(i))
+				}
+			}
+		} else {
+			for i, wi := range rs.w {
+				if i == r || wi == 0 {
+					continue
+				}
+				rs.xB[i] -= dir * theta * wi
+				rs.updateSgnAt(i)
+			}
 		}
 	}
 	v := rs.basisVar[r]
@@ -461,7 +474,28 @@ func (rs *revised) applyPivot(q int, dir float64, r int, theta float64, leaveAt 
 	rs.posOf[q] = int32(r)
 	rs.basisVar[r] = int32(q)
 	rs.xB[r] = enterX
-	rs.lu.addEta(rs.w, r)
+	// The leaving position's ±1→0 sign transition is the cost
+	// replacement the dual update already models; only an entering value
+	// landing outside its bounds invalidates the maintained phase-1
+	// duals.
+	sg := sgnOfVal(enterX, rs.ub[q])
+	if old := rs.sgn[r]; old != sg {
+		if old != 0 {
+			rs.ninf--
+		}
+		if sg != 0 {
+			rs.ninf++
+		}
+		rs.sgn[r] = sg
+	}
+	if sg != 0 && rs.dPhase1 {
+		rs.dStale = true
+	}
+	if rs.wSparse {
+		rs.lu.addEtaSparse(rs.w, rs.wIdx, r)
+	} else {
+		rs.lu.addEta(rs.w, r)
+	}
 }
 
 // runSparse drives the revised simplex over the sparse standard form in
@@ -470,6 +504,14 @@ func (rs *revised) applyPivot(q int, dir float64, r int, theta float64, leaveAt 
 // form dense and re-solve on the exact tableau path (numerical trouble,
 // or an iteration budget the dense anti-cycling machinery should
 // adjudicate).
+//
+// The loop is built around incremental state: reduced costs and devex
+// weights update from each pivot row (recomputed from scratch only at
+// refactorizations, phase switches and staleness events), feasibility
+// signs update from each pivot's sparse delta, and FTRAN/BTRAN run
+// hyper-sparse. Before declaring any terminal status the loop
+// refactorizes and recomputes everything once ("fresh confirmation"), so
+// accumulated drift can never produce a wrong Optimal/Infeasible answer.
 func (s *Solver) runSparse(p *Problem) (Solution, bool) {
 	sf := &s.sf
 	rs := &s.rev
@@ -479,6 +521,7 @@ func (s *Solver) runSparse(p *Problem) (Solution, bool) {
 	if !rs.refreshXB() {
 		return Solution{}, false
 	}
+	rs.rescanInfeasibility()
 
 	maxIter := p.maxIter
 	if maxIter <= 0 {
@@ -487,6 +530,7 @@ func (s *Solver) runSparse(p *Problem) (Solution, bool) {
 
 	pivots := 0
 	stall := 0
+	fresh := true // factors fresh and state rescanned since the last pivot
 	for {
 		if pivots >= maxIter || stall > 8*stallWin {
 			return Solution{}, false
@@ -496,33 +540,29 @@ func (s *Solver) runSparse(p *Problem) (Solution, bool) {
 			if !rs.refreshXB() {
 				return Solution{}, false
 			}
+			rs.rescanInfeasibility()
+			rs.dStale = true
+			fresh = true
 		}
-		ninf, f := rs.infeasibility()
-		phase1 := ninf > 0
-		for i := 0; i < rs.m; i++ {
-			if phase1 {
-				x := rs.xB[i]
-				switch {
-				case x < -feasTol:
-					rs.cB[i] = -1
-				case x > rs.ubOf(rs.basisVar[i])+feasTol:
-					rs.cB[i] = 1
-				default:
-					rs.cB[i] = 0
-				}
-			} else {
-				v := rs.basisVar[i]
-				if int(v) < rs.n {
-					rs.cB[i] = rs.cost[v]
-				} else {
-					rs.cB[i] = 0
-				}
-			}
+		phase1 := rs.ninf > 0
+		if rs.dStale || rs.dPhase1 != phase1 {
+			rs.recomputeDuals(phase1)
 		}
-		rs.lu.btran(rs.cB, rs.y)
-		q, d := rs.priceEnter(phase1, stall >= stallWin)
+		q, d := rs.priceEnter(stall >= stallWin)
 		if q < 0 {
-			if phase1 && f > feasTol {
+			if !fresh {
+				// Confirm the terminal status on fresh factors, exact
+				// basic values and recomputed duals.
+				rs.lu.factorize(rs)
+				if !rs.refreshXB() {
+					return Solution{}, false
+				}
+				rs.rescanInfeasibility()
+				rs.recomputeDuals(rs.ninf > 0)
+				fresh = true
+				continue
+			}
+			if rs.ninf > 0 {
 				return Solution{Status: Infeasible, Iterations: pivots}, true
 			}
 			break // optimal
@@ -531,13 +571,12 @@ func (s *Solver) runSparse(p *Problem) (Solution, bool) {
 		if rs.status[q] == nbUpper {
 			dir = -1
 		}
-		for i := range rs.acol {
-			rs.acol[i] = 0
-		}
-		rs.addColTimes(int32(q), 1, rs.acol)
-		rs.lu.ftran(rs.acol, rs.w)
+		aRow := rs.colRow[rs.colStart[q]:rs.colStart[q+1]]
+		aVal := rs.colVal[rs.colStart[q]:rs.colStart[q+1]]
+		rs.wIdx, rs.wSparse = rs.lu.ftranSparse(aRow, aVal, rs.w, rs.wIdx)
 		theta, r, leaveAt, flip := rs.ratioTest(q, dir, phase1)
 		if math.IsInf(theta, 1) {
+			rs.clearW()
 			if phase1 {
 				// The composite objective is bounded below by zero, so a
 				// breakpoint always exists in exact arithmetic.
@@ -550,8 +589,15 @@ func (s *Solver) runSparse(p *Problem) (Solution, bool) {
 			progress = rs.ub[q]
 			rs.applyFlip(q, dir)
 		} else {
+			arq := rs.w[r]
+			lv := rs.basisVar[r]
+			sgnR := rs.sgn[r]
+			rs.computePivotRow(r)
 			rs.applyPivot(q, dir, r, theta, leaveAt)
+			rs.updateDualsDevex(q, r, d, arq, lv, sgnR)
 		}
+		rs.clearW()
+		fresh = false
 		if progress*math.Abs(d) > improveE {
 			stall = 0
 		} else {

@@ -282,6 +282,33 @@ func FuzzSparseSolveParity(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
 	f.Add([]byte{0xff, 0x00, 0x80, 0x20, 0x11, 0x99, 0x42, 0x42, 0x42, 0x42, 0x17, 0x03})
 	f.Add([]byte{9, 200, 13, 77, 250, 3, 3, 3, 128, 128, 128, 0, 0, 0, 255, 255})
+	// Hyper-sparse threshold crossings: 5 variables and 6 dense rows keep
+	// FTRAN/BTRAN patterns hovering around the m/4 density threshold, so
+	// the solve flips between the sparse kernels and their dense
+	// fallbacks mid-trajectory.
+	f.Add([]byte{
+		4, 6, 0, // nv=5, nc=6, bounded
+		0x90, 0x30, 0x70, 4, 0xa0, 0x40, 0x60, 4, 0x88, 0x50, 0x90, 4, 0x70, 0x20, 0xb0, 4, 0x98, 0x60, 0x50, 4,
+		0x40, 0xc0, 0x40, 0xc0, 0x40, 0, 0x90, // dense LE row
+		0xc0, 0x40, 0xc0, 0x40, 0xc0, 1, 0x70, // dense GE row
+		0x60, 0xa0, 0x60, 0xa0, 0x60, 2, 0x88, // dense EQ row
+		0x40, 0x40, 0x40, 0x40, 0x40, 0, 0xa0,
+		0xc0, 0xc0, 0xc0, 0xc0, 0xc0, 1, 0x60,
+		0xa0, 0x60, 0xa0, 0x60, 0xa0, 2, 0x80,
+	})
+	// The sparse complement: identical shape, but most coefficients snap
+	// to zero (byte 0x80), so row patterns stay single-entry and the
+	// solve should hold the hyper-sparse path throughout.
+	f.Add([]byte{
+		4, 6, 0,
+		0x90, 0x30, 0x70, 4, 0xa0, 0x40, 0x60, 4, 0x88, 0x50, 0x90, 4, 0x70, 0x20, 0xb0, 4, 0x98, 0x60, 0x50, 4,
+		0x40, 0x80, 0x80, 0x80, 0x80, 0, 0x90,
+		0x80, 0xc0, 0x80, 0x80, 0x80, 1, 0x70,
+		0x80, 0x80, 0x60, 0x80, 0x80, 2, 0x88,
+		0x80, 0x80, 0x80, 0x40, 0x80, 0, 0xa0,
+		0x80, 0x80, 0x80, 0x80, 0xc0, 1, 0x60,
+		0x40, 0x80, 0x80, 0x80, 0x60, 2, 0x80,
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, ok := decodeFuzzLP(data)
 		if !ok {
