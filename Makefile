@@ -3,11 +3,12 @@
 
 GO ?= go
 
-# The perf-trajectory benchmark set (see BENCH_8.json and README
+# The perf-trajectory benchmark set (see BENCH_9.json and README
 # "Performance"). BenchmarkAblationOfflineHorizonLP (unanchored) matches
 # both the sparse default and its Dense reference variant, so cmd/perf
-# can gate their same-run speedup ratio.
-PERF_BENCHES = BenchmarkDefaultsSimulation|BenchmarkAblationP5LP$$|BenchmarkAblationOfflineHorizonLP|BenchmarkFleetDispatch|BenchmarkSuiteSequential
+# can gate their same-run speedup ratio; BenchmarkGeoStep carries the
+# geo fan-out's allocs/op gate at every fleet size.
+PERF_BENCHES = BenchmarkDefaultsSimulation|BenchmarkAblationP5LP$$|BenchmarkAblationOfflineHorizonLP|BenchmarkFleetDispatch|BenchmarkSuiteSequential|BenchmarkGeoStep
 
 # Fuzzing budget for the `fuzz` target (CI smoke uses the default).
 FUZZTIME ?= 30s
@@ -53,12 +54,12 @@ lint-docs:
 docs: lint lint-docs
 	$(GO) test -run Example ./...
 
-# Full scenario suite (paper + extensions + provisioning + fleet + the
-# year-long annual family) on all cores. The annual scenario solves the
-# 8760-slot horizon LP on the sparse simplex — minutes, not hours, but
-# still the slowest row of the suite.
+# Full scenario suite (paper + extensions + provisioning + fleet + geo
+# + the year-long annual family) on all cores. The annual scenario
+# solves the 8760-slot horizon LP on the sparse simplex — minutes, not
+# hours, but still the slowest row of the suite.
 suite:
-	$(GO) run ./cmd/experiments -run paper,ext,provision,fleet,annual
+	$(GO) run ./cmd/experiments -run paper,ext,provision,fleet,annual,geo
 
 # Golden-file regression gate: diff the paper suite against the
 # committed snapshots. Regenerate intentionally with:
@@ -78,9 +79,9 @@ serve-smoke:
 	./scripts/serve-smoke.sh
 
 # Regenerate the committed benchmark trajectory file: runs the key hot-path
-# benchmarks with -benchmem and rewrites BENCH_8.json's "current" block
-# (its "baseline" block — the pre-hyper-sparse PR-7 reference — is carried
-# over unchanged; older trajectories survive in BENCH_7/5/4.json). The
+# benchmarks with -benchmem and rewrites BENCH_9.json's "current" block
+# (its "baseline" block — the pre-geo PR-8 reference — is carried over
+# unchanged; older trajectories survive in BENCH_8/7/5/4.json). The
 # year-long annual LP joins at one iteration: ~10 s per solve on the
 # hyper-sparse kernels, and cmd/perf gates it against a 20 s wall-clock
 # budget on the CI -check path. The bench output goes through a file, not
@@ -89,5 +90,5 @@ serve-smoke:
 perf:
 	$(GO) test -bench='$(PERF_BENCHES)' -benchmem -benchtime=20x -run '^$$' . > bench.out
 	$(GO) test -bench=BenchmarkAblationOfflineAnnualLP -benchmem -benchtime=1x -run '^$$' . >> bench.out
-	$(GO) run ./cmd/perf -out BENCH_8.json -note "make perf" < bench.out
+	$(GO) run ./cmd/perf -out BENCH_9.json -note "make perf" < bench.out
 	@rm -f bench.out

@@ -8,6 +8,7 @@ package smartdpss_test
 // versions.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -227,6 +228,67 @@ func BenchmarkFleetDispatch(b *testing.B) {
 		if _, err := dpss.Simulate(dpss.PolicySmartDPSS, opts, traces); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchGeoSites builds an n-site fleet matching the geo scenario
+// family's shape: site 0 at the default scope, later sites on derived
+// seeds with a ±30% price spread.
+func benchGeoSites(n int) []dpss.GeoSiteSpec {
+	sites := make([]dpss.GeoSiteSpec, n)
+	for i := range sites {
+		tc := dpss.DefaultTraceConfig()
+		tc.Days = 7
+		opts := dpss.DefaultOptions()
+		if i > 0 {
+			tc.Seed += int64(i) * 7919
+			frac := 1.0
+			if n > 2 {
+				frac = float64(i-1) / float64(n-2)
+			}
+			scale := 0.7 + 0.6*frac
+			tc.PriceScale = scale
+			if scale > 1 {
+				opts.PmaxUSD *= scale
+			}
+		}
+		sites[i] = dpss.GeoSiteSpec{
+			Name:                   fmt.Sprintf("s%d", i),
+			Options:                opts,
+			Trace:                  tc,
+			ImportPenaltyUSDPerMWh: 5,
+		}
+	}
+	return sites
+}
+
+// BenchmarkGeoStep measures a week of the geo-distributed fleet through
+// the sharded multi-site step at 1/2/4/8 sites (greedy router,
+// SmartDPSS per site). The allocs/op gate in cmd/perf watches the site
+// fan-out: allocations must stay proportional to site count (setup:
+// traces, sessions, routing) with zero allocations per slot step, so a
+// regression that allocates in the lockstep loop multiplies allocs by
+// the slot count and trips the gate at every fleet size.
+func BenchmarkGeoStep(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sites=%d", n), func(b *testing.B) {
+			sites := benchGeoSites(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := dpss.RunGeo(dpss.GeoOptions{
+					Sites:  sites,
+					Policy: dpss.PolicySmartDPSS,
+					Router: dpss.GeoRouterGreedy,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Sites) != n {
+					b.Fatalf("got %d site results, want %d", len(res.Sites), n)
+				}
+			}
+		})
 	}
 }
 

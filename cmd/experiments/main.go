@@ -1,8 +1,9 @@
 // Command experiments drives the SmartDPSS scenario suite: it reproduces
 // the figures of the paper's evaluation (ICDCS 2013, Sec. VI), the
-// extension studies, and the on-site power provisioning family
-// (arXiv:1303.6775), running scenarios and their inner sweeps on a
-// worker pool.
+// extension studies, the on-site power provisioning family
+// (arXiv:1303.6775), and the geo-distributed multi-site family
+// (arXiv:1308.0585; the "geo" tag), running scenarios and their inner
+// sweeps on a worker pool.
 //
 // Usage:
 //

@@ -64,6 +64,14 @@ var gated = map[string]float64{
 	"BenchmarkFleetDispatch":            1.10,
 	"BenchmarkAblationP5LP":             1.10,
 	"BenchmarkAblationOfflineHorizonLP": 1.10,
+	// The geo fan-out gate: allocations are proportional to site count
+	// (setup only), with zero allocations in the per-slot sharded step.
+	// A regression that allocates per slot multiplies allocs/op by the
+	// 168-slot horizon and trips every fleet size at once.
+	"BenchmarkGeoStep/sites=1": 1.10,
+	"BenchmarkGeoStep/sites=2": 1.10,
+	"BenchmarkGeoStep/sites=4": 1.10,
+	"BenchmarkGeoStep/sites=8": 1.10,
 }
 
 // speedupGates are same-run ns/op ratio assertions: each entry requires

@@ -76,10 +76,27 @@
 //	tables, err := smartdpss.RunSuite(smartdpss.DefaultSuiteConfig(), "paper")
 //
 // Selectors are scenario names ("fig6v", "prov-grid", "fleet-uc") or
-// tags ("paper", "ext", "provision", "fleet"); output is byte-identical
-// at every parallelism level for a fixed seed, and the paper figures
-// are additionally pinned against committed golden snapshots
-// (internal/experiments/testdata/golden, enforced by TestSuiteGolden).
+// tags ("paper", "ext", "provision", "fleet", "geo"); output is
+// byte-identical at every parallelism level for a fixed seed, and the
+// paper figures are additionally pinned against committed golden
+// snapshots (internal/experiments/testdata/golden, enforced by
+// TestSuiteGolden).
+//
+// # Geo-distributed fleets
+//
+// RunGeo lifts the single-site engine to N sites in different pricing
+// regions, coupled by a front end that routes delay-sensitive request
+// traffic between them (the workload-modulation formulation of
+// arXiv:1308.0585). Each GeoSiteSpec carries its own Options and
+// TraceConfig; sites step concurrently — one goroutine per site behind
+// a deterministic fixed-order reduce — so a GeoResult is byte-identical
+// at every GOMAXPROCS, and a one-site fleet with GeoRouterNone
+// reproduces Simulate exactly. GeoRouterGreedy moves load from the most
+// expensive region to cheaper ones per slot using only that slot's
+// observables; GeoRouterLP solves one coupled routing+supply LP over
+// the whole horizon on the sparse simplex and replays its routing
+// through each site's controller. The "geo" scenario family sweeps
+// price divergence, site count (1→8) and the latency-penalty frontier.
 //
 // # Batch and streaming: one computation, two drivers
 //
@@ -123,6 +140,9 @@
 //	  │     ├── internal/market     the two-timescale grid account
 //	  │     └── internal/{workload,solar,wind,pricing,thermal,trace}
 //	  │                           synthetic input generators
+//	  ├── internal/geo          geo-distributed fleet: per-site
+//	  │                         sessions stepped concurrently behind a
+//	  │                         deterministic reduce, workload routers
 //	  ├── internal/serve        service harness for cmd/dpss-serve:
 //	  │                         ingest sources, checkpointing daemon,
 //	  │                         OpenMetrics exposition + validator

@@ -52,4 +52,9 @@
 // source and sink legs and greedily matching negative-cost pairs. Property
 // tests assert both solvers produce equal objectives; the analytic path is
 // roughly two orders of magnitude faster (see the ablation benchmark).
+//
+// The controller is deliberately single-site: it owns no global state, so
+// a geo-distributed fleet (internal/geo) composes per-site Controller
+// instances stepped concurrently, one per site, coupled only through the
+// workload router upstream of each site's demand inputs.
 package core

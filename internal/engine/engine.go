@@ -276,6 +276,12 @@ func (o Options) baselineConfig() baseline.Config {
 	return c
 }
 
+// BaselineConfig exposes the options→baseline translation for internal
+// consumers that build baseline solvers directly over engine options —
+// the geo coupled routing+supply LP constructs one baseline.Config per
+// site. The root facade does not re-export it.
+func (o Options) BaselineConfig() baseline.Config { return o.baselineConfig() }
+
 func batteryParams(o Options) battery.Params {
 	ref := o.PeakMW
 	if o.BatteryReferenceMW > 0 {
@@ -418,6 +424,17 @@ func DefaultTraceConfig() TraceConfig {
 type Traces struct {
 	set *trace.Set
 }
+
+// TracesFromSet wraps an existing trace set as engine traces. Internal
+// consumers that derive new sets from generated ones — the geo router
+// rewrites per-site demand series — use it to re-enter the engine API;
+// the set is validated when a session is built over it.
+func TracesFromSet(set *trace.Set) *Traces { return &Traces{set: set} }
+
+// Set exposes the underlying trace set for internal consumers (the geo
+// router reads demand and price series directly). The root facade does
+// not re-export it; external callers stay behind the Traces methods.
+func (t *Traces) Set() *trace.Set { return t.set }
 
 // GenerateTraces builds the synthetic trace set: interactive plus batch
 // demand, solar production, and two-timescale prices.

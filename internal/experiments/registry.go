@@ -24,6 +24,11 @@ const (
 	// never pay for a year of simulation; `make suite` opts in
 	// explicitly.
 	TagAnnual = "annual"
+	// TagGeo marks the geo-distributed multi-site family
+	// (arXiv:1308.0585): price-divergence routing, site-count scaling
+	// and the latency-penalty frontier over internal/geo's sharded
+	// fleet.
+	TagGeo = "geo"
 	// TagSweep marks scenarios whose runner fans a multi-point sweep
 	// out on the worker pool.
 	TagSweep = "sweep"
@@ -164,6 +169,24 @@ func init() {
 			Description: "ANNUAL-1 — year-long comparison with an 8760-slot horizon LP (sparse simplex)",
 			Tags:        []string{TagAnnual, TagSweep, TagSlow},
 			Run:         ExtAnnual,
+		},
+		{
+			Name:        "geo-div",
+			Description: "GEO-1 — workload routing vs regional price divergence (3 sites)",
+			Tags:        []string{TagGeo, TagSweep},
+			Run:         GeoDivergence,
+		},
+		{
+			Name:        "geo-scale",
+			Description: "GEO-2 — fleet scaling from 1 to 8 sites through the sharded step",
+			Tags:        []string{TagGeo, TagSweep},
+			Run:         GeoScale,
+		},
+		{
+			Name:        "geo-lat",
+			Description: "GEO-3 — routing latency-penalty frontier",
+			Tags:        []string{TagGeo, TagSweep},
+			Run:         GeoLatency,
 		},
 	} {
 		suite.Register(s)

@@ -49,14 +49,27 @@ func TestScenariosRegistered(t *testing.T) {
 	if len(fleet) != 3 {
 		t.Fatalf("fleet scenarios = %d, want 3", len(fleet))
 	}
+	geoScen, err := suite.Select(TagGeo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGeo := []string{"geo-div", "geo-scale", "geo-lat"}
+	if len(geoScen) != len(wantGeo) {
+		t.Fatalf("geo scenarios = %d, want %d", len(geoScen), len(wantGeo))
+	}
+	for i := range wantGeo {
+		if geoScen[i].Name != wantGeo[i] {
+			t.Fatalf("geo[%d] = %q, want %q (order matters)", i, geoScen[i].Name, wantGeo[i])
+		}
+	}
 }
 
 // renderSuite runs every registered experiment scenario — the paper
-// figures, the extensions, the provisioning family and the fleet
-// family — and renders all tables into one byte stream.
+// figures, the extensions, the provisioning family, the fleet family
+// and the geo family — and renders all tables into one byte stream.
 func renderSuite(t *testing.T, cfg Config) []byte {
 	t.Helper()
-	tables, err := suite.RunSuite(cfg, TagPaper, TagExt, TagProvision, TagFleet)
+	tables, err := suite.RunSuite(cfg, TagPaper, TagExt, TagProvision, TagFleet, TagGeo)
 	if err != nil {
 		t.Fatal(err)
 	}

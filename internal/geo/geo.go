@@ -1,0 +1,300 @@
+// Package geo lifts the single-site supply engine into a geo-distributed
+// fleet: N sites, each with its own engine options and traces, stepped in
+// lockstep through one shared slot clock and coupled by a front end that
+// routes delay-sensitive request traffic between pricing regions (the
+// workload-modulation formulation of arXiv:1308.0585 grafted onto the
+// paper's two-timescale supply controller).
+//
+// The package is built so that today's single-site paths are exactly the
+// one-site special case: a one-site Run with RouterNone feeds the
+// generated traces to the engine unmodified and produces byte-identical
+// reports to engine.Simulate. Multi-site steps shard across goroutines —
+// one per site, drawn from the suite's shared worker budget — behind a
+// deterministic index-ordered reduce, so the output is byte-identical at
+// every parallelism level.
+//
+// Routing has two arms. The greedy router is the online arm: per slot it
+// observes only that slot's real-time prices and home demands, and moves
+// load from the most expensive site to cheaper ones while the price gap
+// exceeds the importer's latency penalty. The LP router is the
+// offline/lookahead arm: one coupled routing+supply staircase LP over
+// the whole horizon (baseline.SolveGeoHorizon) whose routing projection
+// is replayed through each site's own controller.
+package geo
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/smartdpss/smartdpss/internal/baseline"
+	"github.com/smartdpss/smartdpss/internal/engine"
+	"github.com/smartdpss/smartdpss/internal/trace"
+)
+
+// SiteSpec declares one site of the fleet: its supply-side engine
+// options, its trace scope, and the routing constraints the front end
+// applies to it.
+type SiteSpec struct {
+	// Name labels the site in results.
+	Name string
+	// Options is the site's engine configuration.
+	Options engine.Options
+	// Trace is the site's trace request; per-site seeds and price scales
+	// are the knobs that make sites diverge.
+	Trace engine.TraceConfig
+	// RouteCapMW caps the site's post-routing delay-sensitive demand in
+	// MW. Zero defaults to Options.PeakMW; negative is invalid.
+	RouteCapMW float64
+	// ImportPenaltyUSDPerMWh is the latency-penalty price of serving a
+	// request away from its home region, charged per imported MWh.
+	ImportPenaltyUSDPerMWh float64
+}
+
+// Router selects the workload-routing arm.
+type Router string
+
+const (
+	// RouterNone disables routing: every site serves its home demand.
+	// The traces pass through unmodified, which is what pins the
+	// one-site case byte-identical to the single-site engine.
+	RouterNone Router = "none"
+	// RouterGreedy is the online arm: per-slot price-ordered moves
+	// using only that slot's observables.
+	RouterGreedy Router = "greedy"
+	// RouterLP is the offline arm: the coupled routing+supply LP over
+	// the whole horizon.
+	RouterLP Router = "lp"
+)
+
+// Config scopes one geo run.
+type Config struct {
+	// Sites is the fleet, in fixed result order. All sites must share
+	// Days and SlotMinutes.
+	Sites []SiteSpec
+	// Policy is the per-site supply policy (every engine policy works;
+	// the offline benchmarks see the post-routing demand).
+	Policy engine.Policy
+	// Router selects the routing arm (default RouterNone).
+	Router Router
+	// Parallel bounds the per-site worker fan-out (0 means GOMAXPROCS).
+	Parallel int
+	// Tokens, when non-nil, is a shared spawn budget (suite.Config's
+	// SpawnBudget): extra workers beyond the stepping goroutine are
+	// spawned only while a token is available, so geo fan-out nests
+	// inside suite.Map without multiplying the global parallelism.
+	Tokens chan struct{}
+}
+
+// SiteResult is one site's slice of the run.
+type SiteResult struct {
+	Name   string
+	Report *engine.Report
+	// ImportedMWh and ExportedMWh total the demand routed to and away
+	// from the site; PenaltyUSD prices the imports.
+	ImportedMWh float64
+	ExportedMWh float64
+	PenaltyUSD  float64
+}
+
+// Result aggregates a geo run. TotalCostUSD sums the per-site supply
+// costs; RoutingPenaltyUSD is kept separate (like the report's peak
+// charge) so the supply costs stay comparable across routers.
+type Result struct {
+	Policy engine.Policy
+	Router Router
+	Sites  []SiteResult
+	Slots  int
+
+	TotalCostUSD      float64
+	TimeAvgCostUSD    float64
+	RoutingPenaltyUSD float64
+	// MovedMWh is the total demand that changed sites.
+	MovedMWh float64
+	// PeakGridMW is the fleet-level aggregate grid peak: the maximum
+	// over slots of the summed per-site grid draw, which no per-site
+	// report can reconstruct.
+	PeakGridMW float64
+	// PeakBacklogMWh is the fleet-level aggregate backlog peak.
+	PeakBacklogMWh float64
+	UnservedMWh    float64
+}
+
+// Run executes the geo fleet: generates per-site traces, precomputes
+// routing for the whole horizon, steps every site's session in lockstep
+// through the sharded stepper, and reduces in fixed site order.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Sites) == 0 {
+		return nil, errors.New("geo: no sites configured")
+	}
+	router := cfg.Router
+	if router == "" {
+		router = RouterNone
+	}
+	switch router {
+	case RouterNone, RouterGreedy, RouterLP:
+	default:
+		return nil, fmt.Errorf("geo: unknown router %q", router)
+	}
+	days := cfg.Sites[0].Trace.Days
+	for s := range cfg.Sites {
+		if cfg.Sites[s].Trace.Days != days {
+			return nil, fmt.Errorf("geo: site %d has %d days, want %d", s, cfg.Sites[s].Trace.Days, days)
+		}
+		if cfg.Sites[s].Trace.SlotMinutes != cfg.Sites[0].Trace.SlotMinutes {
+			return nil, fmt.Errorf("geo: site %d slot length differs from site 0", s)
+		}
+		if cfg.Sites[s].RouteCapMW < 0 {
+			return nil, fmt.Errorf("geo: site %d has negative RouteCapMW", s)
+		}
+		if cfg.Sites[s].ImportPenaltyUSDPerMWh < 0 {
+			return nil, fmt.Errorf("geo: site %d has negative ImportPenaltyUSDPerMWh", s)
+		}
+	}
+
+	n := len(cfg.Sites)
+	traces := make([]*engine.Traces, n)
+	sets := make([]*trace.Set, n)
+	for s := range cfg.Sites {
+		tr, err := engine.GenerateTraces(cfg.Sites[s].Trace)
+		if err != nil {
+			return nil, fmt.Errorf("geo: site %d: %w", s, err)
+		}
+		traces[s] = tr
+		sets[s] = tr.Set()
+	}
+	H := sets[0].Horizon()
+	slotMinutes := sets[0].DemandDS.SlotMinutes
+	for s := 1; s < n; s++ {
+		if sets[s].Horizon() != H {
+			return nil, fmt.Errorf("geo: site %d horizon %d, want %d", s, sets[s].Horizon(), H)
+		}
+	}
+	slotHours := float64(slotMinutes) / 60
+
+	// Routing is precomputed for the whole horizon before any session
+	// steps: the greedy arm is per-slot online (it reads only slot-τ
+	// observables), the LP arm is clairvoyant, and RouterNone is nil —
+	// the zero-copy passthrough that keeps legacy runs byte-identical.
+	var routedDS [][]float64
+	var err error
+	switch router {
+	case RouterNone:
+	case RouterGreedy:
+		routedDS = routeGreedy(cfg.Sites, sets, slotHours)
+	case RouterLP:
+		routedDS, err = routeLP(cfg.Sites, sets, slotHours)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sessions := make([]*engine.Session, n)
+	imported := make([]float64, n)
+	exported := make([]float64, n)
+	for s := range cfg.Sites {
+		siteTraces := traces[s]
+		if routedDS != nil {
+			moved := false
+			for i := 0; i < H; i++ {
+				home := sets[s].DemandDS.At(i)
+				delta := routedDS[s][i] - home
+				if delta > 0 {
+					imported[s] += delta
+					moved = true
+				} else if delta < 0 {
+					exported[s] -= delta
+					moved = true
+				}
+			}
+			if moved {
+				series := trace.FromValues(
+					sets[s].DemandDS.Name, sets[s].DemandDS.Unit, slotMinutes, routedDS[s])
+				routedSet, err := sets[s].WithDemandDS(series)
+				if err != nil {
+					return nil, fmt.Errorf("geo: site %d: %w", s, err)
+				}
+				siteTraces = engine.TracesFromSet(routedSet)
+			}
+		}
+		sess, err := engine.NewReplaySession(cfg.Policy, cfg.Sites[s].Options, siteTraces)
+		if err != nil {
+			return nil, fmt.Errorf("geo: site %d: %w", s, err)
+		}
+		sessions[s] = sess
+	}
+
+	st := newStepper(sessions, cfg.Parallel, cfg.Tokens)
+	defer st.close()
+	res := &Result{
+		Policy: cfg.Policy,
+		Router: router,
+		Sites:  make([]SiteResult, n),
+		Slots:  H,
+	}
+	for i := 0; i < H; i++ {
+		if err := st.step(); err != nil {
+			return nil, err
+		}
+		grid, backlog := 0.0, 0.0
+		for s := range st.outs {
+			grid += st.outs[s].GridMWh
+			backlog += st.outs[s].BacklogAfter
+		}
+		if mw := grid / slotHours; mw > res.PeakGridMW {
+			res.PeakGridMW = mw
+		}
+		if backlog > res.PeakBacklogMWh {
+			res.PeakBacklogMWh = backlog
+		}
+	}
+
+	for s := range sessions {
+		rep, err := sessions[s].Finish()
+		if err != nil {
+			return nil, fmt.Errorf("geo: site %d: %w", s, err)
+		}
+		penalty := cfg.Sites[s].ImportPenaltyUSDPerMWh * imported[s]
+		res.Sites[s] = SiteResult{
+			Name:        cfg.Sites[s].Name,
+			Report:      rep,
+			ImportedMWh: imported[s],
+			ExportedMWh: exported[s],
+			PenaltyUSD:  penalty,
+		}
+		res.TotalCostUSD += rep.TotalCostUSD
+		res.RoutingPenaltyUSD += penalty
+		res.MovedMWh += imported[s]
+		res.UnservedMWh += rep.UnservedMWh
+	}
+	res.TimeAvgCostUSD = res.TotalCostUSD / float64(H)
+	return res, nil
+}
+
+// routeCapMWh resolves a site's per-slot routing capacity in MWh (0
+// means uncapped, matching the LP's convention).
+func routeCapMWh(site *SiteSpec, slotHours float64) float64 {
+	capMW := site.RouteCapMW
+	if capMW == 0 {
+		capMW = site.Options.PeakMW
+	}
+	return capMW * slotHours
+}
+
+// routeLP runs the coupled routing+supply LP and returns its routing
+// projection.
+func routeLP(sites []SiteSpec, sets []*trace.Set, slotHours float64) ([][]float64, error) {
+	geoSites := make([]baseline.GeoSite, len(sites))
+	for s := range sites {
+		geoSites[s] = baseline.GeoSite{
+			Config:           sites[s].Options.BaselineConfig(),
+			Set:              sets[s],
+			ImportPenaltyUSD: sites[s].ImportPenaltyUSDPerMWh,
+			RouteCapMWh:      routeCapMWh(&sites[s], slotHours),
+		}
+	}
+	plan, err := baseline.SolveGeoHorizon(geoSites)
+	if err != nil {
+		return nil, fmt.Errorf("geo: routing LP: %w", err)
+	}
+	return plan.RoutedDS, nil
+}

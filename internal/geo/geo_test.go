@@ -1,0 +1,198 @@
+package geo
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"github.com/smartdpss/smartdpss/internal/engine"
+)
+
+func testSites(t *testing.T, n, days int) []SiteSpec {
+	t.Helper()
+	sites := make([]SiteSpec, n)
+	for i := range sites {
+		tc := engine.DefaultTraceConfig()
+		tc.Days = days
+		opts := engine.DefaultOptions()
+		if i > 0 {
+			// Derived per-site seeds and a price spread so sites diverge;
+			// site 0 stays the exact default scope (the legacy pin). The
+			// market price cap scales with the site's prices.
+			tc.Seed = tc.Seed + int64(i)*7919
+			tc.PriceScale = 1 + 0.3*float64(i)
+			opts.PmaxUSD *= tc.PriceScale
+		}
+		sites[i] = SiteSpec{
+			Name:                   fmt.Sprintf("site-%d", i),
+			Options:                opts,
+			Trace:                  tc,
+			ImportPenaltyUSDPerMWh: 5,
+		}
+	}
+	return sites
+}
+
+func reportBytes(t *testing.T, rep *engine.Report) string {
+	t.Helper()
+	js, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.String() + "\n" + string(js)
+}
+
+// A one-site geo run with no routing must reproduce the legacy
+// single-site engine byte for byte, for every policy: the geo layer
+// passes the generated traces through unmodified and steps the same
+// replay session the batch path does.
+func TestGeoOneSiteMatchesLegacy(t *testing.T) {
+	policies := []engine.Policy{
+		engine.PolicySmartDPSS,
+		engine.PolicyImpatient,
+		engine.PolicyOfflineOptimal,
+		engine.PolicyOfflineHorizon,
+	}
+	for _, policy := range policies {
+		t.Run(string(policy), func(t *testing.T) {
+			opts := engine.DefaultOptions()
+			tc := engine.DefaultTraceConfig()
+			tc.Days = 7
+
+			traces, err := engine.GenerateTraces(tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := engine.Simulate(policy, opts, traces)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, router := range []Router{RouterNone, RouterGreedy} {
+				res, err := Run(Config{
+					Sites:  []SiteSpec{{Name: "solo", Options: opts, Trace: tc}},
+					Policy: policy,
+					Router: router,
+				})
+				if err != nil {
+					t.Fatalf("router %s: %v", router, err)
+				}
+				got := reportBytes(t, res.Sites[0].Report)
+				want := reportBytes(t, legacy)
+				if got != want {
+					t.Fatalf("router %s: one-site geo report differs from legacy:\n--- geo ---\n%s\n--- legacy ---\n%s",
+						router, got, want)
+				}
+				if res.MovedMWh != 0 || res.RoutingPenaltyUSD != 0 {
+					t.Fatalf("router %s: one-site run moved energy: %g MWh, %g USD",
+						router, res.MovedMWh, res.RoutingPenaltyUSD)
+				}
+			}
+		})
+	}
+}
+
+// The sharded step must be byte-identical at every parallelism level:
+// results are reduced in fixed site order regardless of which worker
+// steps which site.
+func TestGeoParallelDeterminism(t *testing.T) {
+	sites := testSites(t, 4, 7)
+	run := func(parallel int) *Result {
+		res, err := Run(Config{
+			Sites:    sites,
+			Policy:   engine.PolicySmartDPSS,
+			Router:   RouterGreedy,
+			Parallel: parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	for _, parallel := range []int{2, 4, 8} {
+		par := run(parallel)
+		for s := range seq.Sites {
+			a := reportBytes(t, seq.Sites[s].Report)
+			b := reportBytes(t, par.Sites[s].Report)
+			if a != b {
+				t.Fatalf("parallel %d: site %d report differs from sequential", parallel, s)
+			}
+		}
+		if seq.TotalCostUSD != par.TotalCostUSD ||
+			seq.RoutingPenaltyUSD != par.RoutingPenaltyUSD ||
+			seq.MovedMWh != par.MovedMWh ||
+			seq.PeakGridMW != par.PeakGridMW ||
+			seq.PeakBacklogMWh != par.PeakBacklogMWh {
+			t.Fatalf("parallel %d: aggregates differ from sequential", parallel)
+		}
+	}
+}
+
+// The LP router must run end to end and conserve total demand across
+// sites (the per-slot coupling row).
+func TestGeoLPRouterRuns(t *testing.T) {
+	sites := testSites(t, 2, 2)
+	sites[0].Trace.PriceScale = 0.6
+	sites[1].Trace.PriceScale = 1.6
+	sites[1].Options.PmaxUSD = 240
+	sites[0].ImportPenaltyUSDPerMWh = 1
+	sites[1].ImportPenaltyUSDPerMWh = 1
+
+	res, err := Run(Config{Sites: sites, Policy: engine.PolicySmartDPSS, Router: RouterLP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MovedMWh <= 0 {
+		t.Fatal("expected the LP router to move demand under a 0.6/1.6 price spread")
+	}
+	var imp, exp float64
+	for s := range res.Sites {
+		imp += res.Sites[s].ImportedMWh
+		exp += res.Sites[s].ExportedMWh
+	}
+	if diff := imp - exp; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("imports %g and exports %g do not balance", imp, exp)
+	}
+}
+
+// Extra workers must come out of — and go back into — the shared suite
+// budget, so nested fan-out cannot oversubscribe a run.
+func TestGeoReturnsSuiteTokens(t *testing.T) {
+	tokens := make(chan struct{}, 3)
+	for i := 0; i < 3; i++ {
+		tokens <- struct{}{}
+	}
+	_, err := Run(Config{
+		Sites:    testSites(t, 4, 2),
+		Policy:   engine.PolicySmartDPSS,
+		Router:   RouterGreedy,
+		Parallel: 8,
+		Tokens:   tokens,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tokens); got != 3 {
+		t.Fatalf("suite budget not restored: %d tokens, want 3", got)
+	}
+}
+
+func TestGeoConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("expected error for empty site list")
+	}
+	sites := testSites(t, 2, 2)
+	sites[1].Trace.Days = 3
+	if _, err := Run(Config{Sites: sites, Policy: engine.PolicySmartDPSS}); err == nil {
+		t.Fatal("expected error for mismatched days")
+	}
+	sites = testSites(t, 1, 2)
+	if _, err := Run(Config{Sites: sites, Policy: engine.PolicySmartDPSS, Router: Router("warp")}); err == nil {
+		t.Fatal("expected error for unknown router")
+	}
+	sites[0].ImportPenaltyUSDPerMWh = -1
+	if _, err := Run(Config{Sites: sites, Policy: engine.PolicySmartDPSS}); err == nil {
+		t.Fatal("expected error for negative penalty")
+	}
+}

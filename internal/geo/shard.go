@@ -1,0 +1,130 @@
+package geo
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/smartdpss/smartdpss/internal/engine"
+)
+
+// stepper drives N site sessions through one slot in parallel. Workers
+// are persistent goroutines signalled per slot over preallocated
+// channels, and sites are claimed from an atomic counter, so the per-slot
+// step allocates nothing no matter how many sites or workers run. The
+// outs slice is written by whichever worker claims each site and read by
+// the caller only after every worker has signalled done — the channel
+// handoff is the happens-before edge — and the caller reduces it in
+// fixed site order, so results are byte-identical at every GOMAXPROCS.
+//
+// With one site (or Parallel 1) no workers spawn and the caller steps
+// the sessions itself: the legacy single-site execution path, exactly.
+type stepper struct {
+	sessions []*engine.Session
+	outs     []engine.SlotOutcome
+	errs     []error
+	next     atomic.Int64
+
+	starts []chan struct{} // one per worker; closed on shutdown
+	done   chan struct{}
+	tokens chan struct{} // suite budget to return tokens to (may be nil)
+	held   int           // tokens acquired from the budget
+}
+
+// newStepper sizes the worker pool: at most one goroutine per site,
+// bounded by parallel (GOMAXPROCS when 0), minus the caller's own hands.
+// When a suite token budget is present, each extra worker additionally
+// requires a token, acquired non-blockingly — under a saturated suite the
+// stepper degrades toward sequential stepping instead of oversubscribing.
+func newStepper(sessions []*engine.Session, parallel int, tokens chan struct{}) *stepper {
+	width := parallel
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	w := len(sessions)
+	if width < w {
+		w = width
+	}
+	extra := w - 1
+	if extra < 0 {
+		extra = 0
+	}
+	held := 0
+	if tokens != nil {
+	acquire:
+		for held < extra {
+			select {
+			case <-tokens:
+				held++
+			default:
+				break acquire
+			}
+		}
+		extra = held
+	}
+
+	st := &stepper{
+		sessions: sessions,
+		outs:     make([]engine.SlotOutcome, len(sessions)),
+		errs:     make([]error, len(sessions)),
+		starts:   make([]chan struct{}, extra),
+		done:     make(chan struct{}, extra),
+		tokens:   tokens,
+		held:     held,
+	}
+	for i := range st.starts {
+		st.starts[i] = make(chan struct{}, 1)
+		go st.worker(st.starts[i])
+	}
+	return st
+}
+
+// worker steps sites claimed from the shared counter, once per start
+// signal, until the start channel closes.
+func (st *stepper) worker(start chan struct{}) {
+	for range start {
+		st.work()
+		st.done <- struct{}{}
+	}
+}
+
+// work claims and steps sites until the counter runs out.
+func (st *stepper) work() {
+	for {
+		i := int(st.next.Add(1)) - 1
+		if i >= len(st.sessions) {
+			return
+		}
+		st.outs[i], st.errs[i] = st.sessions[i].StepReplay()
+	}
+}
+
+// step advances every session one slot. On return, outs holds each
+// site's committed outcome in site order. Errors surface lowest site
+// index first so failure reporting is deterministic too.
+func (st *stepper) step() error {
+	st.next.Store(0)
+	for _, start := range st.starts {
+		start <- struct{}{}
+	}
+	st.work()
+	for range st.starts {
+		<-st.done
+	}
+	for s, err := range st.errs {
+		if err != nil {
+			return fmt.Errorf("geo: site %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// close shuts the workers down and returns any held suite tokens.
+func (st *stepper) close() {
+	for _, start := range st.starts {
+		close(start)
+	}
+	for i := 0; i < st.held; i++ {
+		st.tokens <- struct{}{}
+	}
+}

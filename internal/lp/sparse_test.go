@@ -309,6 +309,43 @@ func FuzzSparseSolveParity(f *testing.F) {
 		0x80, 0x80, 0x80, 0x80, 0xc0, 1, 0x60,
 		0x40, 0x80, 0x80, 0x80, 0x60, 2, 0x80,
 	})
+	// Coupled routing block (internal/baseline SolveGeoHorizon shape):
+	// two sites' (out, in) pairs plus a battery-style level variable.
+	// Penalty costs sit on the "in" columns only, each site carries a
+	// balance row and an in-minus-out cap row, and an EQ coupling row
+	// ties the sites together with +1/-1 entries — the row that makes
+	// the otherwise block-diagonal staircase non-separable.
+	f.Add([]byte{
+		4, 6, 0, // nv=5, nc=6, bounded
+		0x80, 0xa0, 0x80, 4, // out1 in [0,2], cost 0
+		0x80, 0xc0, 0x90, 4, // in1  in [0,4], cost 1 (import penalty)
+		0x80, 0xa0, 0x80, 4, // out2 in [0,2], cost 0
+		0x80, 0xc0, 0x90, 4, // in2  in [0,4], cost 1
+		0x80, 0xb0, 0x88, 4, // bl   in [0,3], cost 0.5
+		0xa0, 0x60, 0x80, 0x80, 0xa0, 0, 0x90, // site-1 balance: out1-in1+bl <= 2
+		0x80, 0x80, 0xa0, 0x60, 0x80, 1, 0x78, // site-2 balance: out2-in2 >= -1
+		0xa0, 0x60, 0xa0, 0x60, 0x80, 2, 0x80, // coupling: out1-in1+out2-in2 = 0
+		0x60, 0xa0, 0x80, 0x80, 0x80, 0, 0x88, // site-1 cap: in1-out1 <= 1
+		0x80, 0x80, 0x60, 0xa0, 0x80, 0, 0x88, // site-2 cap: in2-out2 <= 1
+		0x60, 0x80, 0x60, 0x80, 0xa0, 2, 0x80, // accumulator: bl-out1-out2 = 0
+	})
+	// Staircase battery chain with a routing coupling row: bidiagonal
+	// EQ transitions bl[i+1]-bl[i] (the whole-horizon LP's dominant row
+	// pattern) alongside the out/in pair, its EQ coupling row and an
+	// in-minus-out cap — a one-slot slice of the coupled geo staircase.
+	f.Add([]byte{
+		4, 5, 0, // nv=5, nc=5, bounded
+		0x80, 0xc0, 0x80, 4, // bl0 in [0,4], cost 0
+		0x80, 0xc0, 0x80, 4, // bl1 in [0,4], cost 0
+		0x80, 0xc0, 0x88, 4, // bl2 in [0,4], cost 0.5
+		0x80, 0xa0, 0x80, 4, // out in [0,2], cost 0
+		0x80, 0xc0, 0x90, 4, // in  in [0,4], cost 1
+		0x60, 0xa0, 0x80, 0x60, 0xa0, 2, 0x88, // transition: bl1-bl0-out+in = 1
+		0x80, 0x60, 0xa0, 0x80, 0x80, 2, 0x78, // transition: bl2-bl1 = -1
+		0x80, 0x80, 0x80, 0xa0, 0x60, 2, 0x80, // coupling: out-in = 0
+		0x80, 0x80, 0x80, 0x60, 0xa0, 0, 0x88, // cap: in-out <= 1
+		0x80, 0x80, 0xa0, 0xa0, 0x80, 1, 0x88, // deadline: bl2+out >= 1
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, ok := decodeFuzzLP(data)
 		if !ok {

@@ -65,6 +65,11 @@ type SlotOutcome struct {
 	// CostUSD is the slot's Cost(τ): long-term share, real-time buy, UPS
 	// operation, waste penalty, and generation fuel + startup.
 	CostUSD float64
+	// GridMWh is the slot's total grid draw — the delivered long-term
+	// share plus the executed real-time purchase. Multi-site reducers sum
+	// it across concurrently stepped sessions to track the fleet-level
+	// aggregate peak, which no per-site report can reconstruct.
+	GridMWh float64
 }
 
 // Snapshotter is implemented by controllers whose internal state can be
@@ -513,7 +518,7 @@ func (s *Session) Commit() (SlotOutcome, error) {
 
 	s.pending = false
 	s.slot++
-	return SlotOutcome{Outcome: out, Executed: dec, CostUSD: slotCost}, nil
+	return SlotOutcome{Outcome: out, Executed: dec, CostUSD: slotCost, GridMWh: gridDraw}, nil
 }
 
 // Finish finalizes and returns the report. It may run before the horizon

@@ -61,6 +61,13 @@ type Config struct {
 	tokens chan struct{}
 }
 
+// SpawnBudget returns the run's shared worker-token channel (nil outside
+// Run). Scenario code that fans out below Map — the geo multi-site
+// stepper runs one goroutine per site — passes it along so nested
+// parallelism stays bounded by the same global Parallel budget instead
+// of multiplying it.
+func (c Config) SpawnBudget() chan struct{} { return c.tokens }
+
 // DefaultConfig matches the paper's one-month setup.
 func DefaultConfig() Config {
 	return Config{Days: 31, Seed: 1}

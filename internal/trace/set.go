@@ -122,6 +122,27 @@ func (s *Set) CloneInto(dst *Set) *Set {
 	return dst
 }
 
+// WithDemandDS returns a shallow copy of the set with the delay-sensitive
+// demand series replaced. Every other series is shared with the receiver,
+// so a router that reassigns demand across sites pays one new series per
+// site, not a deep copy of the whole set. The replacement must match the
+// set's horizon and slot length.
+func (s *Set) WithDemandDS(ds *Series) (*Set, error) {
+	if ds == nil {
+		return nil, errors.New("trace: nil replacement DemandDS")
+	}
+	if ds.Len() != s.Horizon() {
+		return nil, fmt.Errorf("trace: replacement DemandDS has %d slots, want %d", ds.Len(), s.Horizon())
+	}
+	if s.DemandDS != nil && ds.SlotMinutes != s.DemandDS.SlotMinutes {
+		return nil, fmt.Errorf("trace: replacement DemandDS has %d-minute slots, want %d",
+			ds.SlotMinutes, s.DemandDS.SlotMinutes)
+	}
+	out := *s
+	out.DemandDS = ds
+	return &out, nil
+}
+
 // ScaleSystem multiplies demand and renewable by β, modelling the system
 // expansion scenario of Sec. V-C (d(β,t) = βd(t), r(β,t) = βr(t)); prices
 // are left unchanged. It returns the receiver.

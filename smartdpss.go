@@ -3,6 +3,7 @@ package smartdpss
 import (
 	"github.com/smartdpss/smartdpss/internal/engine"
 	_ "github.com/smartdpss/smartdpss/internal/experiments" // register suite scenarios
+	"github.com/smartdpss/smartdpss/internal/geo"
 	"github.com/smartdpss/smartdpss/internal/suite"
 )
 
@@ -104,3 +105,41 @@ func Scenarios() []Scenario { return suite.Scenarios() }
 func RunSuite(cfg SuiteConfig, selectors ...string) ([]*SuiteTable, error) {
 	return suite.RunSuite(cfg, selectors...)
 }
+
+// GeoSiteSpec declares one site of a geo-distributed fleet: engine
+// options, trace scope, routing capacity and latency penalty.
+type GeoSiteSpec = geo.SiteSpec
+
+// GeoRouter selects the workload-routing arm of a geo run.
+type GeoRouter = geo.Router
+
+// Available geo routers.
+const (
+	// GeoRouterNone disables routing: every site serves its home
+	// demand. A one-site run is byte-identical to Simulate.
+	GeoRouterNone = geo.RouterNone
+	// GeoRouterGreedy routes per slot by real-time price order using
+	// only that slot's observables (the online arm).
+	GeoRouterGreedy = geo.RouterGreedy
+	// GeoRouterLP routes by the coupled routing+supply LP over the
+	// whole horizon (the clairvoyant arm).
+	GeoRouterLP = geo.RouterLP
+)
+
+// GeoOptions scopes a geo-distributed multi-site run: the fleet, the
+// per-site policy, the routing arm and the parallelism bound.
+type GeoOptions = geo.Config
+
+// GeoResult aggregates a geo run: per-site reports plus fleet-level
+// totals and the aggregate grid/backlog peaks.
+type GeoResult = geo.Result
+
+// GeoSiteResult is one site's slice of a geo run.
+type GeoSiteResult = geo.SiteResult
+
+// RunGeo steps a geo-distributed fleet through the sharded multi-site
+// engine: per-site traces, precomputed workload routing, one concurrent
+// session per site behind a deterministic reduce. Results are
+// byte-identical at every parallelism level, and a one-site fleet with
+// GeoRouterNone reproduces Simulate exactly.
+func RunGeo(cfg GeoOptions) (*GeoResult, error) { return geo.Run(cfg) }
