@@ -8,12 +8,12 @@ GO ?= go
 # both the sparse default and its Dense reference variant, so cmd/perf
 # can gate their same-run speedup ratio; BenchmarkGeoStep carries the
 # geo fan-out's allocs/op gate at every fleet size.
-PERF_BENCHES = BenchmarkDefaultsSimulation|BenchmarkAblationP5LP$$|BenchmarkAblationOfflineHorizonLP|BenchmarkFleetDispatch|BenchmarkSuiteSequential|BenchmarkGeoStep
+PERF_BENCHES = BenchmarkDefaultsSimulation|BenchmarkAblationP5LP$$|BenchmarkAblationOfflineHorizonLP|BenchmarkFleetDispatch|BenchmarkSuiteSequential|BenchmarkGeoStep|BenchmarkTuneEvaluate
 
 # Fuzzing budget for the `fuzz` target (CI smoke uses the default).
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench fuzz lint lint-docs docs suite golden cover perf serve-smoke
+.PHONY: build test race bench fuzz lint lint-docs docs suite golden cover perf serve-smoke tune-smoke
 
 build:
 	$(GO) build ./...
@@ -68,9 +68,16 @@ golden:
 	$(GO) test ./internal/experiments -run 'TestSuiteGolden|TestGoldenFilesComplete' -v
 
 # Per-package coverage, mirroring the CI floors (suite 70%, generator 85%,
-# baseline 70%, lp 95%, sim 70%).
+# baseline 70%, lp 95%, sim 70%, optimize 85%).
 cover:
-	$(GO) test -cover ./internal/suite ./internal/generator ./internal/baseline ./internal/lp ./internal/sim
+	$(GO) test -cover ./internal/suite ./internal/generator ./internal/baseline ./internal/lp ./internal/sim ./internal/optimize
+
+# Tuning-family smoke: the three tune scenarios (tuned-vs-default gap,
+# seed/regime transfer, SmartDPSS-vs-Lyapunov frontier) on a two-day
+# horizon with two seeds through a two-worker pool — fast enough for CI,
+# wide enough to exercise the nested tuner fan-out.
+tune-smoke:
+	$(GO) run ./cmd/experiments -run tune -days 2 -seeds 2 -parallel 2
 
 # Service-mode smoke: start dpss-serve on a replay source, scrape
 # /metrics over HTTP, validate the OpenMetrics exposition, and prove a
@@ -79,9 +86,9 @@ serve-smoke:
 	./scripts/serve-smoke.sh
 
 # Regenerate the committed benchmark trajectory file: runs the key hot-path
-# benchmarks with -benchmem and rewrites BENCH_9.json's "current" block
-# (its "baseline" block — the pre-geo PR-8 reference — is carried over
-# unchanged; older trajectories survive in BENCH_8/7/5/4.json). The
+# benchmarks with -benchmem and rewrites BENCH_10.json's "current" block
+# (its "baseline" block — the pre-tuner PR-9 reference — is carried over
+# unchanged; older trajectories survive in BENCH_9/8/7/5/4.json). The
 # year-long annual LP joins at one iteration: ~10 s per solve on the
 # hyper-sparse kernels, and cmd/perf gates it against a 20 s wall-clock
 # budget on the CI -check path. The bench output goes through a file, not
@@ -90,5 +97,5 @@ serve-smoke:
 perf:
 	$(GO) test -bench='$(PERF_BENCHES)' -benchmem -benchtime=20x -run '^$$' . > bench.out
 	$(GO) test -bench=BenchmarkAblationOfflineAnnualLP -benchmem -benchtime=1x -run '^$$' . >> bench.out
-	$(GO) run ./cmd/perf -out BENCH_9.json -note "make perf" < bench.out
+	$(GO) run ./cmd/perf -out BENCH_10.json -note "make perf" < bench.out
 	@rm -f bench.out

@@ -292,6 +292,37 @@ func BenchmarkGeoStep(b *testing.B) {
 	}
 }
 
+// BenchmarkTuneEvaluate measures one objective evaluation of the
+// self-tuner — the unit of work RunTune repeats for its entire budget
+// (one short simulation per suite seed, blended into the mean/worst
+// score). The allocs/op gate in cmd/perf watches it: a per-evaluation
+// allocation regression multiplies across every evaluation of every
+// tuning run. The warm-up call outside the timer fills the shared trace
+// cache, so the measured loop sees the steady-state cost.
+func BenchmarkTuneEvaluate(b *testing.B) {
+	opts := dpss.DefaultOptions()
+	obj, err := experiments.NewTuneObjective(experiments.TuneOptions{
+		Policy: dpss.PolicySmartDPSS,
+		Base:   opts,
+		Suite:  experiments.Config{Days: 2, Seed: 1, SkipOffline: true, Seeds: 2, Parallel: 1},
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{opts.V, opts.Epsilon, float64(opts.T)}
+	if _, err := obj(x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchSuite runs the full one-month scenario suite (paper figures plus
 // extensions, provisioning and fleet) through the registry at a fixed
 // pool width. The selectors are explicit so the year-long annual family

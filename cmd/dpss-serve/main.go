@@ -73,8 +73,10 @@ func run(args []string) error {
 		pol = dpss.PolicySmartDPSS
 	case "impatient":
 		pol = dpss.PolicyImpatient
+	case "lyapunov":
+		pol = dpss.PolicyLyapunov
 	default:
-		return fmt.Errorf("unknown policy %q (want smartdpss or impatient)", *policy)
+		return fmt.Errorf("unknown policy %q (want smartdpss, impatient or lyapunov)", *policy)
 	}
 
 	tc := dpss.DefaultTraceConfig()

@@ -72,6 +72,10 @@ var gated = map[string]float64{
 	"BenchmarkGeoStep/sites=2": 1.10,
 	"BenchmarkGeoStep/sites=4": 1.10,
 	"BenchmarkGeoStep/sites=8": 1.10,
+	// One tuner objective evaluation: the unit of work RunTune repeats
+	// for its whole budget, so a per-evaluation allocation regression
+	// multiplies across every tuning run.
+	"BenchmarkTuneEvaluate": 1.10,
 }
 
 // speedupGates are same-run ns/op ratio assertions: each entry requires

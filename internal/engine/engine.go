@@ -46,6 +46,12 @@ const (
 	// Options.LookaheadWindow fine slots of perfect foresight — the
 	// "T-Step Lookahead" family of the paper's related work.
 	PolicyLookahead Policy = "lookahead"
+	// PolicyLyapunov is the forecast-free stored-energy baseline of
+	// Urgaonkar et al. (arXiv:1103.3099): price-threshold battery
+	// charge/discharge around a perturbed target level, from
+	// slot-observable state only. Tuned by Options.LyapunovV and
+	// Options.LyapunovTheta.
+	PolicyLyapunov Policy = "lyapunov"
 )
 
 // Report is the simulation outcome: cost decomposition, energy totals,
@@ -97,6 +103,13 @@ type Options struct {
 	// LookaheadWindow is the foresight length (fine slots) of
 	// PolicyLookahead; zero defaults to one coarse interval (T).
 	LookaheadWindow int
+	// LyapunovV is the cost-vs-queue weight of PolicyLyapunov's battery
+	// thresholds; zero selects the scale-aware default (usable battery
+	// span divided by PmaxUSD). Exposed to the tuner.
+	LyapunovV float64
+	// LyapunovTheta places PolicyLyapunov's battery target level as a
+	// fraction of the usable band [Bmin, Bmax]; zero defaults to 0.6.
+	LyapunovTheta float64
 	// HorizonLPDense forces PolicyOfflineHorizon onto the legacy dense
 	// chain LP instead of the sparse staircase formulation. Same optimal
 	// objective, quadratic in the horizon — a benchmark/debugging knob
@@ -734,6 +747,8 @@ func newController(policy Policy, opts Options, traces *Traces) (sim.Controller,
 		return core.New(opts.coreParams())
 	case PolicyImpatient:
 		return baseline.NewImpatient(opts.baselineConfig())
+	case PolicyLyapunov:
+		return baseline.NewLyapunov(opts.baselineConfig(), opts.LyapunovV, opts.LyapunovTheta)
 	case PolicyOfflineOptimal:
 		return baseline.NewOfflineOptimal(opts.baselineConfig(), traces.set)
 	case PolicyOfflineHorizon:

@@ -153,7 +153,7 @@ func newSession(policy Policy, opts Options, traces *Traces, horizon, slotMinute
 // must go through NewReplaySession.
 func NewSession(policy Policy, opts Options, horizon int) (*Session, error) {
 	switch policy {
-	case PolicySmartDPSS, PolicyImpatient:
+	case PolicySmartDPSS, PolicyImpatient, PolicyLyapunov:
 	default:
 		return nil, invalidOptions(fmt.Errorf(
 			"smartdpss: policy %q needs traces; use NewReplaySession", policy))

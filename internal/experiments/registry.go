@@ -29,6 +29,10 @@ const (
 	// and the latency-penalty frontier over internal/geo's sharded
 	// fleet.
 	TagGeo = "geo"
+	// TagTune marks the self-tuning family: simulator-in-the-loop
+	// parameter search (internal/optimize) over the tunable policy
+	// arms, and the SmartDPSS-vs-Lyapunov battery-baseline frontier.
+	TagTune = "tune"
 	// TagSweep marks scenarios whose runner fans a multi-point sweep
 	// out on the worker pool.
 	TagSweep = "sweep"
@@ -187,6 +191,24 @@ func init() {
 			Description: "GEO-3 — routing latency-penalty frontier",
 			Tags:        []string{TagGeo, TagSweep},
 			Run:         GeoLatency,
+		},
+		{
+			Name:        "tune-gap",
+			Description: "TUNE-1 — tuned vs default controller parameters per policy arm",
+			Tags:        []string{TagTune, TagSweep, TagSlow},
+			Run:         TuneGap,
+		},
+		{
+			Name:        "tune-xfer",
+			Description: "TUNE-2 — tuning transfer across held-out seeds and price regimes",
+			Tags:        []string{TagTune, TagSweep, TagSlow},
+			Run:         TuneTransfer,
+		},
+		{
+			Name:        "tune-frontier",
+			Description: "TUNE-3 — SmartDPSS vs Lyapunov battery baseline cost frontier",
+			Tags:        []string{TagTune, TagSweep, TagSlow},
+			Run:         TuneFrontier,
 		},
 	} {
 		suite.Register(s)

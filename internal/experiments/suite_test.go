@@ -62,14 +62,28 @@ func TestScenariosRegistered(t *testing.T) {
 			t.Fatalf("geo[%d] = %q, want %q (order matters)", i, geoScen[i].Name, wantGeo[i])
 		}
 	}
+	tuneScen, err := suite.Select(TagTune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTune := []string{"tune-gap", "tune-xfer", "tune-frontier"}
+	if len(tuneScen) != len(wantTune) {
+		t.Fatalf("tune scenarios = %d, want %d", len(tuneScen), len(wantTune))
+	}
+	for i := range wantTune {
+		if tuneScen[i].Name != wantTune[i] {
+			t.Fatalf("tune[%d] = %q, want %q (order matters)", i, tuneScen[i].Name, wantTune[i])
+		}
+	}
 }
 
 // renderSuite runs every registered experiment scenario — the paper
-// figures, the extensions, the provisioning family, the fleet family
-// and the geo family — and renders all tables into one byte stream.
+// figures, the extensions, the provisioning family, the fleet family,
+// the geo family and the tune family — and renders all tables into one
+// byte stream.
 func renderSuite(t *testing.T, cfg Config) []byte {
 	t.Helper()
-	tables, err := suite.RunSuite(cfg, TagPaper, TagExt, TagProvision, TagFleet, TagGeo)
+	tables, err := suite.RunSuite(cfg, TagPaper, TagExt, TagProvision, TagFleet, TagGeo, TagTune)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,225 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func quadratic(center []float64) Objective {
+	return func(x []float64) (float64, error) {
+		s := 0.0
+		for i, xi := range x {
+			d := xi - center[i]
+			s += d * d
+		}
+		return s, nil
+	}
+}
+
+func rosenbrock(x []float64) (float64, error) {
+	a, b := x[0], x[1]
+	return 100*(b-a*a)*(b-a*a) + (1-a)*(1-a), nil
+}
+
+func TestMinimizeQuadraticBowl(t *testing.T) {
+	b := Bounds{Lo: []float64{-5, -5, -5}, Hi: []float64{5, 5, 5}}
+	want := []float64{1.25, -2.5, 0.75}
+	res, err := Minimize(quadratic(want), nil, b, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, xi := range res.X {
+		if math.Abs(xi-want[i]) > 1e-3 {
+			t.Errorf("dim %d: got %g want %g", i, xi, want[i])
+		}
+	}
+	if res.F > 1e-6 {
+		t.Errorf("F = %g, want ~0", res.F)
+	}
+	if res.Evals == 0 || len(res.Trajectory) == 0 {
+		t.Errorf("empty bookkeeping: evals=%d trajectory=%d", res.Evals, len(res.Trajectory))
+	}
+	last := res.Trajectory[len(res.Trajectory)-1]
+	if last.F != res.F || !reflect.DeepEqual(last.X, res.X) {
+		t.Errorf("trajectory tail %v/%g disagrees with result %v/%g", last.X, last.F, res.X, res.F)
+	}
+}
+
+func TestMinimizeRosenbrock(t *testing.T) {
+	b := Bounds{Lo: []float64{-2, -2}, Hi: []float64{2, 2}}
+	start := []float64{-1.2, 1.0}
+	res, err := Minimize(rosenbrock, start, b, Options{Seed: 7, MaxEvals: 2000, Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-2 || math.Abs(res.X[1]-1) > 1e-2 {
+		t.Errorf("got %v, want near (1, 1); F=%g", res.X, res.F)
+	}
+}
+
+func TestMinimizeRespectsBounds(t *testing.T) {
+	// Optimum at (10, 10) lies outside the box: the best feasible point
+	// is the corner (2, 2), and no evaluation may leave the box.
+	b := Bounds{Lo: []float64{-2, -2}, Hi: []float64{2, 2}}
+	obj := func(x []float64) (float64, error) {
+		for i, xi := range x {
+			if xi < b.Lo[i]-1e-12 || xi > b.Hi[i]+1e-12 {
+				t.Fatalf("evaluated out-of-bounds point %v", x)
+			}
+		}
+		return quadratic([]float64{10, 10})(x)
+	}
+	res, err := Minimize(obj, nil, b, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-3 || math.Abs(res.X[1]-2) > 1e-3 {
+		t.Errorf("got %v, want corner (2, 2)", res.X)
+	}
+}
+
+func TestMinimizeSameSeedBitIdentical(t *testing.T) {
+	b := Bounds{Lo: []float64{-2, -2}, Hi: []float64{2, 2}}
+	opts := Options{Seed: 42, MaxEvals: 500, Restarts: 3}
+	r1, err := Minimize(rosenbrock, []float64{-1.2, 1}, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Minimize(rosenbrock, []float64{-1.2, 1}, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("same seed diverged:\n%+v\nvs\n%+v", r1, r2)
+	}
+}
+
+func TestMinimizeDistinctSeedsStableWinners(t *testing.T) {
+	// Distinct seeds may walk different trajectories (restart jitter) but
+	// must land on the same documented optimum of a convex bowl.
+	b := Bounds{Lo: []float64{-5, -5}, Hi: []float64{5, 5}}
+	want := []float64{0.5, -1.5}
+	for _, seed := range []int64{1, 2, 99, 12345} {
+		res, err := Minimize(quadratic(want), []float64{4, 4}, b, Options{Seed: seed, Restarts: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, xi := range res.X {
+			if math.Abs(xi-want[i]) > 1e-3 {
+				t.Errorf("seed %d dim %d: got %g want %g", seed, i, xi, want[i])
+			}
+		}
+	}
+}
+
+func TestMinimizeQuantize(t *testing.T) {
+	// Dimension 1 is integer-valued; the quantized optimum of
+	// (x-1.2)^2 + (y-6.7)^2 over integers in y is y = 7.
+	b := Bounds{Lo: []float64{-10, 0}, Hi: []float64{10, 20}}
+	q := func(x []float64) { x[1] = math.Round(x[1]) }
+	seen := false
+	obj := func(x []float64) (float64, error) {
+		if x[1] != math.Round(x[1]) {
+			t.Fatalf("unquantized candidate %v", x)
+		}
+		seen = true
+		return quadratic([]float64{1.2, 6.7})(x)
+	}
+	res, err := Minimize(obj, nil, b, Options{Seed: 5, Quantize: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatal("objective never called")
+	}
+	if res.X[1] != 7 {
+		t.Errorf("integer dim: got %g want 7", res.X[1])
+	}
+	if math.Abs(res.X[0]-1.2) > 1e-3 {
+		t.Errorf("continuous dim: got %g want 1.2", res.X[0])
+	}
+}
+
+func TestMinimizeRestartsEscapeCollapse(t *testing.T) {
+	b := Bounds{Lo: []float64{-5, -5}, Hi: []float64{5, 5}}
+	res, err := Minimize(quadratic([]float64{0, 0}), []float64{4, 4}, b,
+		Options{Seed: 9, Restarts: 2, Tol: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts == 0 {
+		t.Errorf("expected restarts after collapse at loose Tol, got 0")
+	}
+	if res.F > 1e-4 {
+		t.Errorf("F = %g after restarts, want ~0", res.F)
+	}
+}
+
+func TestMinimizeMaxEvalsBudget(t *testing.T) {
+	b := Bounds{Lo: []float64{-5, -5}, Hi: []float64{5, 5}}
+	res, err := Minimize(quadratic([]float64{0, 0}), nil, b,
+		Options{Seed: 1, MaxEvals: 7, Restarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The budget may overrun by at most one in-flight expansion pair.
+	if res.Evals > 9 {
+		t.Errorf("evals = %d, budget 7", res.Evals)
+	}
+}
+
+func TestMinimizeDegenerateDimension(t *testing.T) {
+	// Lo == Hi pins a dimension; the search must still converge in the
+	// remaining ones.
+	b := Bounds{Lo: []float64{3, -5}, Hi: []float64{3, 5}}
+	res, err := Minimize(quadratic([]float64{0, 2}), nil, b, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] != 3 {
+		t.Errorf("pinned dim moved to %g", res.X[0])
+	}
+	if math.Abs(res.X[1]-2) > 1e-3 {
+		t.Errorf("free dim: got %g want 2", res.X[1])
+	}
+}
+
+func TestMinimizeErrors(t *testing.T) {
+	good := Bounds{Lo: []float64{0}, Hi: []float64{1}}
+	cases := []struct {
+		name  string
+		obj   Objective
+		start []float64
+		b     Bounds
+	}{
+		{"nil objective", nil, nil, good},
+		{"empty bounds", quadratic([]float64{0}), nil, Bounds{}},
+		{"length mismatch", quadratic([]float64{0}), nil, Bounds{Lo: []float64{0}, Hi: []float64{1, 2}}},
+		{"inverted", quadratic([]float64{0}), nil, Bounds{Lo: []float64{2}, Hi: []float64{1}}},
+		{"non-finite", quadratic([]float64{0}), nil, Bounds{Lo: []float64{math.NaN()}, Hi: []float64{1}}},
+		{"start dim", quadratic([]float64{0}), []float64{0, 0}, good},
+	}
+	for _, tc := range cases {
+		if _, err := Minimize(tc.obj, tc.start, tc.b, Options{}); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+
+	objErr := errors.New("boom")
+	if _, err := Minimize(func([]float64) (float64, error) { return 0, objErr }, nil, good, Options{}); !errors.Is(err, objErr) {
+		t.Errorf("objective error not propagated: %v", err)
+	}
+	calls := 0
+	nan := func(x []float64) (float64, error) {
+		calls++
+		if calls > 3 {
+			return math.NaN(), nil
+		}
+		return x[0] * x[0], nil
+	}
+	if _, err := Minimize(nan, nil, Bounds{Lo: []float64{-1, -1}, Hi: []float64{1, 1}}, Options{}); err == nil {
+		t.Error("NaN objective: want error")
+	}
+}

@@ -70,6 +70,10 @@ type SlotOutcome struct {
 	// it across concurrently stepped sessions to track the fleet-level
 	// aggregate peak, which no per-site report can reconstruct.
 	GridMWh float64
+	// GenMWh is the slot's delivered on-site generation, so external
+	// harnesses can close the slot's energy balance without fleet
+	// internals (zero when no fleet is configured).
+	GenMWh float64
 }
 
 // Snapshotter is implemented by controllers whose internal state can be
@@ -518,7 +522,7 @@ func (s *Session) Commit() (SlotOutcome, error) {
 
 	s.pending = false
 	s.slot++
-	return SlotOutcome{Outcome: out, Executed: dec, CostUSD: slotCost, GridMWh: gridDraw}, nil
+	return SlotOutcome{Outcome: out, Executed: dec, CostUSD: slotCost, GridMWh: gridDraw, GenMWh: gen.DeliveredMWh}, nil
 }
 
 // Finish finalizes and returns the report. It may run before the horizon

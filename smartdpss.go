@@ -2,7 +2,7 @@ package smartdpss
 
 import (
 	"github.com/smartdpss/smartdpss/internal/engine"
-	_ "github.com/smartdpss/smartdpss/internal/experiments" // register suite scenarios
+	"github.com/smartdpss/smartdpss/internal/experiments" // also registers suite scenarios
 	"github.com/smartdpss/smartdpss/internal/geo"
 	"github.com/smartdpss/smartdpss/internal/suite"
 )
@@ -25,6 +25,11 @@ const (
 	// PolicyLookahead is a receding-horizon (MPC) controller with
 	// Options.LookaheadWindow fine slots of perfect foresight.
 	PolicyLookahead = engine.PolicyLookahead
+	// PolicyLyapunov is the forecast-free stored-energy baseline
+	// (arXiv:1103.3099): price-threshold battery charge/discharge around
+	// a perturbed target level, tuned by Options.LyapunovV and
+	// Options.LyapunovTheta.
+	PolicyLyapunov = engine.PolicyLyapunov
 )
 
 // Report is the simulation outcome: cost decomposition, energy totals,
@@ -105,6 +110,24 @@ func Scenarios() []Scenario { return suite.Scenarios() }
 func RunSuite(cfg SuiteConfig, selectors ...string) ([]*SuiteTable, error) {
 	return suite.RunSuite(cfg, selectors...)
 }
+
+// TuneOptions scopes a self-tuning run: the policy arm (PolicySmartDPSS
+// or PolicyLyapunov), the base engine options, the evaluation suite
+// (multi-seed mean cost with a worst-seed guard) and the optimizer
+// budget.
+type TuneOptions = experiments.TuneOptions
+
+// TuneResult reports a finished tuning run: the tuned parameter vector,
+// ready-to-simulate Options, default and tuned scores, and the
+// optimizer's incumbent trajectory.
+type TuneResult = experiments.TuneResult
+
+// RunTune tunes one policy arm against the simulator with a
+// deterministic seeded Nelder–Mead (internal/optimize), scoring each
+// candidate over the suite's seed family on the shared worker pool.
+// Same TuneOptions → bit-identical TuneResult at every parallelism
+// level.
+func RunTune(topts TuneOptions) (*TuneResult, error) { return experiments.RunTune(topts) }
 
 // GeoSiteSpec declares one site of a geo-distributed fleet: engine
 // options, trace scope, routing capacity and latency penalty.
